@@ -1,0 +1,407 @@
+package blogclusters
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices called out in DESIGN.md.
+// Parameters are scaled to benchmark-friendly sizes; the full-scale
+// sweeps live in cmd/experiments (go run ./cmd/experiments -scale 1).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bicc"
+	"repro/internal/cluster"
+	"repro/internal/clustergraph"
+	"repro/internal/cooccur"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/simjoin"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+func benchCorpus(b *testing.B, posts int) *corpus.Collection {
+	b.Helper()
+	col, err := corpus.Generate(corpus.GeneratorConfig{
+		Seed: 1, NumIntervals: 2, BackgroundPosts: posts,
+		BackgroundVocab: 2000, WordsPerPost: 10,
+		Events: []corpus.Event{{Name: "e", Phases: []corpus.Phase{{
+			Keywords: []string{"alpha", "beta", "gamma"}, Intervals: []int{0, 1}, Posts: posts / 20,
+		}}}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return col
+}
+
+func benchGraph(b *testing.B, m, n, d, g int) *clustergraph.Graph {
+	b.Helper()
+	cg, err := synth.Generate(synth.Config{Seed: 1, M: m, N: n, D: d, G: g})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cg
+}
+
+// BenchmarkTable1KeywordGraph measures keyword-graph construction (the
+// Section 3 single-pass + external-sort pipeline behind Table 1).
+func BenchmarkTable1KeywordGraph(b *testing.B) {
+	col := benchCorpus(b, 800)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := cooccur.Build(col, 0, 0, cooccur.BuildOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumEdges() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkFig6ArtVsRho measures the χ²/ρ pruning plus the Art
+// (biconnected components) run as the ρ threshold varies — Figure 6's
+// curve.
+func BenchmarkFig6ArtVsRho(b *testing.B) {
+	col := benchCorpus(b, 800)
+	g, err := cooccur.Build(col, 0, 0, cooccur.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.AnnotateStats()
+	for _, rho := range []float64{0.2, 0.5, 0.8} {
+		b.Run(fmt.Sprintf("rho%.1f", rho), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pruned := g.Prune(stats.ChiSquared95, rho)
+				bg := bicc.NewGraph(pruned.NumVertices())
+				for _, e := range pruned.Edges {
+					bg.AddEdge(e.U, e.V)
+				}
+				bicc.Decompose(bg)
+			}
+		})
+	}
+}
+
+// BenchmarkTable3BFSvsDFSvsTA compares the three solvers for top-5
+// full paths (Table 3; n scaled down, m = 6).
+func BenchmarkTable3BFSvsDFSvsTA(b *testing.B) {
+	g := benchGraph(b, 6, 100, 5, 0)
+	opts := core.Options{K: 5, L: core.FullPaths}
+	b.Run("BFS", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.BFS(g, core.BFSOptions{Options: opts}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DFS", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DFS(g, core.DFSOptions{Options: opts}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("TA", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.TA(g, core.TAOptions{Options: opts}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig7BFSGap sweeps the gap (Figure 7).
+func BenchmarkFig7BFSGap(b *testing.B) {
+	for _, gap := range []int{0, 1, 2} {
+		g := benchGraph(b, 10, 200, 5, gap)
+		b.Run(fmt.Sprintf("g%d", gap), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BFS(g, core.BFSOptions{Options: core.Options{K: 5, L: core.FullPaths}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8BFSDegree sweeps the out-degree (Figure 8).
+func BenchmarkFig8BFSDegree(b *testing.B) {
+	for _, d := range []int{3, 5, 7} {
+		g := benchGraph(b, 10, 200, d, 2)
+		b.Run(fmt.Sprintf("d%d", d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BFS(g, core.BFSOptions{Options: core.Options{K: 5, L: core.FullPaths}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9BFSScale sweeps nodes per interval (Figure 9).
+func BenchmarkFig9BFSScale(b *testing.B) {
+	for _, n := range []int{500, 1000, 2000} {
+		g := benchGraph(b, 25, n, 5, 1)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BFS(g, core.BFSOptions{Options: core.Options{K: 5, L: core.FullPaths}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10BFSSubpaths sweeps the subpath length (Figure 10).
+func BenchmarkFig10BFSSubpaths(b *testing.B) {
+	g := benchGraph(b, 15, 300, 5, 2)
+	for _, l := range []int{4, 8, 12} {
+		b.Run(fmt.Sprintf("l%d", l), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BFS(g, core.BFSOptions{Options: core.Options{K: 5, L: l}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11DFS sweeps m for the DFS solver (Figure 11).
+func BenchmarkFig11DFS(b *testing.B) {
+	for _, m := range []int{3, 6, 9} {
+		g := benchGraph(b, m, 100, 5, 1)
+		b.Run(fmt.Sprintf("m%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DFS(g, core.DFSOptions{Options: core.Options{K: 5, L: core.FullPaths}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12DFSGapDegree sweeps the gap at fixed degree for DFS
+// (Figure 12).
+func BenchmarkFig12DFSGapDegree(b *testing.B) {
+	for _, gap := range []int{0, 1, 2} {
+		g := benchGraph(b, 6, 100, 4, gap)
+		b.Run(fmt.Sprintf("g%d", gap), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DFS(g, core.DFSOptions{Options: core.Options{K: 5, L: core.FullPaths}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13DFSSubpaths sweeps the subpath length for DFS
+// (Figure 13).
+func BenchmarkFig13DFSSubpaths(b *testing.B) {
+	g := benchGraph(b, 6, 80, 5, 1)
+	for _, l := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("l%d", l), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DFS(g, core.DFSOptions{Options: core.Options{K: 5, L: l}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig14Normalized sweeps lmin for the normalized solver
+// (Figure 14).
+func BenchmarkFig14Normalized(b *testing.B) {
+	g := benchGraph(b, 8, 80, 3, 0)
+	for _, lmin := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("lmin%d", lmin), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NormalizedBFS(g, core.NormalizedOptions{K: 5, LMin: lmin}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKSensitivity sweeps k (the Section 5.2 sensitivity claim).
+func BenchmarkKSensitivity(b *testing.B) {
+	g := benchGraph(b, 9, 100, 5, 1)
+	for _, k := range []int{1, 5, 25} {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BFS(g, core.BFSOptions{Options: core.Options{K: k, L: core.FullPaths}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md Section 4) ---
+
+// BenchmarkAblationDFSChildOrder: children sorted by descending weight
+// (the paper's heuristic) vs worst-first.
+func BenchmarkAblationDFSChildOrder(b *testing.B) {
+	g := benchGraph(b, 6, 100, 5, 0)
+	for _, worst := range []bool{false, true} {
+		name := "sorted"
+		if worst {
+			name = "worstFirst"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DFS(g, core.DFSOptions{
+					Options:            core.Options{K: 5, L: core.FullPaths},
+					WorstFirstChildren: worst,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDFSPruning: CanPrune on vs off.
+func BenchmarkAblationDFSPruning(b *testing.B) {
+	g := benchGraph(b, 6, 100, 5, 0)
+	for _, disabled := range []bool{false, true} {
+		name := "pruning"
+		if disabled {
+			name = "noPruning"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DFS(g, core.DFSOptions{
+					Options:        core.Options{K: 5, L: core.FullPaths},
+					DisablePruning: disabled,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTAHashTables: the startwts/endwts upper-bound
+// optimization of Section 4.4 on vs off.
+func BenchmarkAblationTAHashTables(b *testing.B) {
+	g := benchGraph(b, 6, 100, 4, 0)
+	for _, disabled := range []bool{false, true} {
+		name := "bounds"
+		if disabled {
+			name = "noBounds"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.TA(g, core.TAOptions{
+					Options:                core.Options{K: 5, L: core.FullPaths},
+					DisableBoundHashTables: disabled,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBFSFullPathFastPath: the single-heap optimization
+// for l = m−1 on vs off.
+func BenchmarkAblationBFSFullPathFastPath(b *testing.B) {
+	g := benchGraph(b, 10, 300, 5, 1)
+	for _, disabled := range []bool{false, true} {
+		name := "fastPath"
+		if disabled {
+			name = "generic"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BFS(g, core.BFSOptions{
+					Options:                 core.Options{K: 5, L: core.FullPaths},
+					DisableFullPathFastPath: disabled,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSimJoin: prefix-filter similarity join vs the
+// quadratic loop for cluster-graph edges.
+func BenchmarkAblationSimJoin(b *testing.B) {
+	var left, right []cluster.Cluster
+	for i := 0; i < 400; i++ {
+		left = append(left, cluster.New(int64(i), 0, kwSet(i, 6)))
+		right = append(right, cluster.New(int64(i), 1, kwSet(i+200, 6)))
+	}
+	b.Run("prefixFilter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := simjoin.Join(left, right, 0.3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nestedLoop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := simjoin.JoinBrute(left, right, 0.3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func kwSet(seed, n int) []string {
+	kws := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		kws = append(kws, fmt.Sprintf("w%04d", (seed*31+i*7)%3000))
+	}
+	return kws
+}
+
+// BenchmarkQualitativePipeline runs the full Section 5.3 pipeline end
+// to end on a small news week.
+func BenchmarkQualitativePipeline(b *testing.B) {
+	col, err := GenerateCorpus(NewsWeekCorpus(2007, 120))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sets, err := AllIntervalClusters(col, ClusterOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := BuildClusterGraph(sets, GraphOptions{Gap: 2, Theta: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := StableClusters(g, "bfs", 5, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

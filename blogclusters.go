@@ -1,0 +1,331 @@
+// Package blogclusters is a from-scratch Go reproduction of
+// "Seeking Stable Clusters in the Blogosphere" (Bansal, Chiang, Koudas,
+// Tompa; VLDB 2007).
+//
+// The library turns a temporally ordered text stream (blog posts
+// bucketed into intervals) into:
+//
+//  1. per-interval keyword clusters — keyword co-occurrence graphs are
+//     built with a single pass plus external-memory sort, pruned with a
+//     χ² independence test and the correlation coefficient ρ, and
+//     decomposed into biconnected components (Section 3 of the paper);
+//  2. stable clusters — top-k highest-weight paths of a chosen temporal
+//     length through the cluster graph, via BFS, DFS or threshold-
+//     algorithm solvers, plus normalized (stability-ranked) and
+//     streaming variants (Section 4).
+//
+// The package is a facade over the internal packages; everything needed
+// for end-to-end use is re-exported here. See DESIGN.md for the paper →
+// module map and EXPERIMENTS.md for the reproduction of the paper's
+// evaluation.
+package blogclusters
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bicc"
+	"repro/internal/burst"
+	"repro/internal/cluster"
+	"repro/internal/clustergraph"
+	"repro/internal/cooccur"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/index"
+	"repro/internal/stats"
+	"repro/internal/text"
+	"repro/internal/topk"
+)
+
+// Re-exported building blocks. Downstream users program against these
+// names; the internal packages stay private.
+type (
+	// Document is one blog post as a bag of analyzed keywords.
+	Document = corpus.Document
+	// Interval is one temporal bucket of documents.
+	Interval = corpus.Interval
+	// Collection is a temporally ordered sequence of intervals.
+	Collection = corpus.Collection
+	// Cluster is a set of correlated keywords in one interval.
+	Cluster = cluster.Cluster
+	// ClusterGraph is the graph whose nodes are per-interval clusters.
+	ClusterGraph = clustergraph.Graph
+	// Path is a weighted path of cluster nodes (a stable cluster).
+	Path = topk.Path
+	// Result carries the top-k paths plus work counters.
+	Result = core.Result
+	// Analyzer tokenizes, stems and stop-word-filters raw text.
+	Analyzer = text.Analyzer
+	// KeywordGraph is the per-interval keyword co-occurrence graph.
+	KeywordGraph = cooccur.Graph
+	// Stream is the online stable-cluster maintainer.
+	Stream = core.Stream
+	// StreamOptions configures a Stream.
+	StreamOptions = core.StreamOptions
+)
+
+// NewAnalyzer returns the paper's text pipeline: stemming on, default
+// English stop words, bare numbers dropped.
+func NewAnalyzer() *Analyzer { return text.NewAnalyzer() }
+
+// ReadJSONL loads a collection from a JSONL stream of documents
+// ({"id","interval","keywords"} per line).
+func ReadJSONL(r io.Reader) (*Collection, error) { return corpus.ReadJSONL(r) }
+
+// FullPaths requests paths spanning all intervals (l = m−1).
+const FullPaths = core.FullPaths
+
+// ClusterOptions configures per-interval cluster generation (Section 3).
+type ClusterOptions struct {
+	// Chi2Critical is the χ² pruning threshold; default 3.84 (95%
+	// confidence, the paper's setting).
+	Chi2Critical float64
+	// RhoThreshold prunes edges with correlation coefficient ρ at or
+	// below it; default 0.2 (the paper's setting).
+	RhoThreshold float64
+	// MinClusterSize drops clusters with fewer keywords; default 2.
+	MinClusterSize int
+	// SortMemoryBudget bounds the external sorter's in-memory buffer;
+	// 0 means the 64 MiB default.
+	SortMemoryBudget int
+	// MinPairCount drops keyword pairs seen in fewer documents before
+	// statistics run; 0 keeps everything.
+	MinPairCount int64
+}
+
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.Chi2Critical == 0 {
+		o.Chi2Critical = stats.ChiSquared95
+	}
+	if o.RhoThreshold == 0 {
+		o.RhoThreshold = stats.DefaultRhoThreshold
+	}
+	if o.MinClusterSize == 0 {
+		o.MinClusterSize = 2
+	}
+	return o
+}
+
+// IntervalClusters runs the Section 3 pipeline for one interval of the
+// collection: keyword graph → χ²/ρ pruning → biconnected components →
+// keyword clusters. Cluster IDs are local to the call (0,1,2…);
+// BuildClusterGraph assigns graph-wide ids.
+func IntervalClusters(c *Collection, interval int, opts ClusterOptions) ([]Cluster, error) {
+	opts = opts.withDefaults()
+	kg, err := cooccur.Build(c, interval, interval, cooccur.BuildOptions{
+		SortMemoryBudget: opts.SortMemoryBudget,
+		MinPairCount:     opts.MinPairCount,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("blogclusters: interval %d keyword graph: %w", interval, err)
+	}
+	kg.AnnotateStats()
+	pruned := kg.Prune(opts.Chi2Critical, opts.RhoThreshold)
+
+	bg := bicc.NewGraph(pruned.NumVertices())
+	for _, e := range pruned.Edges {
+		bg.AddEdge(e.U, e.V)
+	}
+	dec := bicc.Decompose(bg)
+	var out []Cluster
+	for _, comp := range dec.Clusters(opts.MinClusterSize) {
+		kws := make([]string, len(comp))
+		for i, v := range comp {
+			kws[i] = pruned.Keywords[v]
+		}
+		out = append(out, cluster.New(int64(len(out)), interval, kws))
+	}
+	return out, nil
+}
+
+// AllIntervalClusters runs IntervalClusters for every interval.
+func AllIntervalClusters(c *Collection, opts ClusterOptions) ([][]Cluster, error) {
+	sets := make([][]Cluster, len(c.Intervals))
+	for i := range c.Intervals {
+		cs, err := IntervalClusters(c, i, opts)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = cs
+	}
+	return sets, nil
+}
+
+// WriteClusterSets persists per-interval cluster sets as JSONL so the
+// cluster-generation and stable-cluster stages can run separately.
+func WriteClusterSets(w io.Writer, sets [][]Cluster) error {
+	return cluster.WriteSetsJSONL(w, sets)
+}
+
+// ReadClusterSets loads cluster sets written by WriteClusterSets.
+func ReadClusterSets(r io.Reader) ([][]Cluster, error) {
+	return cluster.ReadSetsJSONL(r)
+}
+
+// GraphOptions configures cluster-graph construction (Section 4.1).
+type GraphOptions struct {
+	// Gap is g, the number of intervals a story may skip; default 0.
+	Gap int
+	// Theta is the minimum affinity for an edge; default 0.1 (the
+	// paper's θ).
+	Theta float64
+	// Affinity names the overlap measure: "jaccard" (default),
+	// "intersection" or "overlap".
+	Affinity string
+	// UseSimJoin computes Jaccard edges with the prefix-filter
+	// similarity join instead of the quadratic pair loop.
+	UseSimJoin bool
+}
+
+// BuildClusterGraph links per-interval cluster sets into the cluster
+// graph G.
+func BuildClusterGraph(sets [][]Cluster, opts GraphOptions) (*ClusterGraph, error) {
+	var aff cluster.AffinityFunc
+	normalize := false
+	if opts.Affinity != "" && opts.Affinity != "jaccard" {
+		f, err := cluster.ParseAffinity(opts.Affinity)
+		if err != nil {
+			return nil, err
+		}
+		aff = f
+		normalize = true // intersection weights exceed 1
+	}
+	return clustergraph.FromClusters(sets, clustergraph.FromClustersOptions{
+		Gap:        opts.Gap,
+		Theta:      opts.Theta,
+		Affinity:   aff,
+		UseSimJoin: opts.UseSimJoin,
+		Normalize:  normalize,
+	})
+}
+
+// StableClusters solves the kl-stable-clusters problem (Problem 1):
+// the k highest-weight paths of temporal length l. Algorithm is "bfs"
+// (default; Algorithm 2), "dfs" (Algorithm 3), "ta" (Section 4.4; full
+// paths only) or "brute" (exhaustive oracle).
+func StableClusters(g *ClusterGraph, algorithm string, k, l int) (*Result, error) {
+	opts := core.Options{K: k, L: l}
+	switch algorithm {
+	case "", "bfs":
+		return core.BFS(g, core.BFSOptions{Options: opts})
+	case "dfs":
+		return core.DFS(g, core.DFSOptions{Options: opts})
+	case "ta":
+		return core.TA(g, core.TAOptions{Options: opts})
+	case "brute":
+		return core.BruteKL(g, opts)
+	default:
+		return nil, fmt.Errorf("blogclusters: unknown algorithm %q (want bfs, dfs, ta or brute)", algorithm)
+	}
+}
+
+// NormalizedStableClusters solves Problem 2: the k paths of length at
+// least lmin with the highest stability (weight/length). The Weight
+// field of returned paths holds the stability.
+func NormalizedStableClusters(g *ClusterGraph, k, lmin int) (*Result, error) {
+	return core.NormalizedBFS(g, core.NormalizedOptions{K: k, LMin: lmin})
+}
+
+// NewStream starts an online stable-cluster maintainer (Section 4.6):
+// push each interval's clusters as they arrive and read the running
+// top-k.
+func NewStream(opts StreamOptions) (*Stream, error) { return core.NewStream(opts) }
+
+// DescribePath renders a stable-cluster path with its keyword clusters,
+// for reports and examples.
+func DescribePath(g *ClusterGraph, p Path) string {
+	s := fmt.Sprintf("weight %.3f, length %d:", p.Weight, p.Length)
+	for _, id := range p.Nodes {
+		c := g.Cluster(id)
+		s += fmt.Sprintf("\n  t%d %v", g.Interval(id), c.Keywords)
+	}
+	return s
+}
+
+// Index is the per-interval inverted keyword index underlying the
+// BlogScope-style search features (posting lists, A(u), A(u,v), boolean
+// search, keyword time series).
+type Index = index.Index
+
+// BuildIndex indexes every interval of the collection.
+func BuildIndex(c *Collection) (*Index, error) { return index.New(c) }
+
+// KeywordBurst is one bursty stretch of intervals for a keyword.
+type KeywordBurst = burst.Burst
+
+// DetectBursts finds the intervals in which keyword w bursts — the
+// "information bursts" BlogScope surfaces (paper Section 1). The
+// detector is Kleinberg's two-state automaton; see internal/burst for
+// the z-score alternative and tuning knobs.
+func DetectBursts(x *Index, w string) ([]KeywordBurst, error) {
+	counts := x.TimeSeries(w)
+	totals := make([]int64, x.NumIntervals())
+	for i := range totals {
+		totals[i] = int64(x.NumDocs(i))
+	}
+	return burst.Kleinberg(counts, totals, burst.KleinbergOptions{})
+}
+
+// RefineQuery implements the introduction's query-refinement use case:
+// "If a search query for a specific interval falls in a cluster, the
+// rest of the keywords in that cluster are good candidates for query
+// refinement." Given the interval's clusters and a query keyword, it
+// returns the other keywords of the cluster containing the keyword
+// (empty when the keyword is unclustered). The query is analyzed with
+// the same stemmer as the corpus, so surface forms match.
+func RefineQuery(clusters []Cluster, query string) []string {
+	kws := NewAnalyzer().Keywords(query)
+	if len(kws) == 0 {
+		return nil
+	}
+	kw := kws[0]
+	for _, c := range clusters {
+		if !c.Contains(kw) {
+			continue
+		}
+		out := make([]string, 0, c.Size()-1)
+		for _, w := range c.Keywords {
+			if w != kw {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// DiversityMode re-exports the constrained kl-variant modes (paths with
+// shared prefixes/suffixes discarded; see Section 4 of the paper).
+type DiversityMode = core.DiversityMode
+
+// Diversity modes for DiverseStableClusters.
+const (
+	DistinctEndpoints = core.DistinctEndpoints
+	DistinctPrefix    = core.DistinctPrefix
+	DistinctSuffix    = core.DistinctSuffix
+	DisjointNodes     = core.DisjointNodes
+)
+
+// DiverseStableClusters answers the constrained kl-variant: top-k
+// paths that do not share prefixes/suffixes/endpoints per mode.
+func DiverseStableClusters(g *ClusterGraph, k, l int, mode DiversityMode) (*Result, error) {
+	return core.DiverseKL(g, core.Options{K: k, L: l}, mode, 0)
+}
+
+// GenerateCorpus builds a synthetic blog corpus (the BlogScope-data
+// substitution; see DESIGN.md).
+func GenerateCorpus(cfg corpus.GeneratorConfig) (*Collection, error) { return corpus.Generate(cfg) }
+
+// NewsWeekCorpus returns the preset configuration mirroring the
+// paper's qualitative week of Jan 6–12 2007.
+func NewsWeekCorpus(seed int64, backgroundPosts int) corpus.GeneratorConfig {
+	return corpus.NewsWeek(seed, backgroundPosts)
+}
+
+// CorpusEvent and CorpusPhase re-export the synthetic generator's event
+// model so callers can script their own stories.
+type (
+	CorpusEvent  = corpus.Event
+	CorpusPhase  = corpus.Phase
+	CorpusConfig = corpus.GeneratorConfig
+)

@@ -1,0 +1,139 @@
+// Command blogscope is a miniature of the search-and-analysis system
+// the paper is built on (Section 1): given a corpus and a query
+// keyword, it reports the keyword's document-frequency time series,
+// its information bursts, its strongest pairwise correlations per
+// interval, the keyword cluster it falls into, and query-refinement
+// suggestions.
+//
+// Usage:
+//
+//	blogscope -demo -query somalia
+//	blogscope -input posts.jsonl -query iphone -interval 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	blogclusters "repro"
+	"repro/internal/cooccur"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("blogscope: ")
+
+	var (
+		input    = flag.String("input", "", "JSONL corpus file")
+		demo     = flag.Bool("demo", false, "use the synthetic news-week corpus")
+		query    = flag.String("query", "", "query keyword (required)")
+		interval = flag.Int("interval", -1, "interval for cluster/correlation detail (-1 = the keyword's peak)")
+		topN     = flag.Int("top", 5, "number of correlations to show")
+	)
+	flag.Parse()
+	if *query == "" {
+		log.Fatal("need -query KEYWORD")
+	}
+
+	col, err := loadCorpus(*input, *demo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Analyze the query the same way the corpus was analyzed.
+	kws := blogclusters.NewAnalyzer().Keywords(*query)
+	if len(kws) == 0 {
+		log.Fatalf("query %q has no analyzable keyword", *query)
+	}
+	kw := kws[0]
+	fmt.Printf("query %q → keyword %q\n\n", *query, kw)
+
+	idx, err := blogclusters.BuildIndex(col)
+	if err != nil {
+		log.Fatalf("index: %v", err)
+	}
+
+	// Time series + bursts.
+	series := idx.TimeSeries(kw)
+	fmt.Println("documents per interval:")
+	peak, peakAt := int64(-1), 0
+	for i, c := range series {
+		bar := strings.Repeat("#", int(min64(c, 60)))
+		fmt.Printf("  t%-3d %6d %s\n", i, c, bar)
+		if c > peak {
+			peak, peakAt = c, i
+		}
+	}
+	bursts, err := blogclusters.DetectBursts(idx, kw)
+	if err != nil {
+		log.Fatalf("bursts: %v", err)
+	}
+	if len(bursts) == 0 {
+		fmt.Println("\nno information bursts detected")
+	} else {
+		fmt.Println("\ninformation bursts:")
+		for _, b := range bursts {
+			fmt.Printf("  intervals %d..%d (score %.1f)\n", b.Start, b.End, b.Score)
+		}
+	}
+
+	day := *interval
+	if day < 0 {
+		day = peakAt
+	}
+	if day >= len(col.Intervals) {
+		log.Fatalf("interval %d outside corpus (%d intervals)", day, len(col.Intervals))
+	}
+
+	// Strongest correlations on the chosen day.
+	kg, err := cooccur.Build(col, day, day, cooccur.BuildOptions{})
+	if err != nil {
+		log.Fatalf("keyword graph: %v", err)
+	}
+	kg.AnnotateStats()
+	pruned := kg.Prune(stats.ChiSquared95, 0) // keep all significant pairs
+	fmt.Printf("\nstrongest correlations at t%d:\n", day)
+	for _, c := range pruned.StrongestCorrelations(kw, *topN) {
+		fmt.Printf("  %-20s ρ=%.3f  together in %d posts\n", c.Keyword, c.Rho, c.Count)
+	}
+
+	// Cluster membership + refinement.
+	clusters, err := blogclusters.IntervalClusters(col, day, blogclusters.ClusterOptions{})
+	if err != nil {
+		log.Fatalf("clusters: %v", err)
+	}
+	refinements := blogclusters.RefineQuery(clusters, kw)
+	if refinements == nil {
+		fmt.Printf("\n%q is not in any keyword cluster at t%d\n", kw, day)
+		return
+	}
+	fmt.Printf("\nkeyword cluster at t%d: %v\n", day, append([]string{kw}, refinements...))
+	fmt.Printf("query refinements: %v\n", refinements)
+}
+
+func loadCorpus(input string, demo bool) (*blogclusters.Collection, error) {
+	switch {
+	case demo && input != "":
+		return nil, fmt.Errorf("pass either -demo or -input, not both")
+	case demo:
+		return blogclusters.GenerateCorpus(blogclusters.NewsWeekCorpus(2007, 600))
+	case input == "":
+		return nil, fmt.Errorf("need -input FILE or -demo")
+	}
+	f, err := os.Open(input)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return blogclusters.ReadJSONL(f)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,181 @@
+// Command blogstable runs the end-to-end pipeline of the paper: read a
+// temporally ordered corpus (JSONL of {"id","interval","keywords"}
+// documents, or a synthetic news week), extract per-interval keyword
+// clusters, build the cluster graph, and report the top-k stable
+// clusters.
+//
+// Usage:
+//
+//	blogstable -demo                          # synthetic news week
+//	blogstable -input posts.jsonl -k 5 -l 3   # your own corpus
+//	blogstable -input posts.jsonl -normalized -lmin 2
+//	blogstable -input posts.jsonl -raw        # analyze raw text first
+//
+// With -raw, each JSONL document's keywords are treated as raw text
+// fragments and run through the tokenizer/stemmer/stop-word filter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	blogclusters "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("blogstable: ")
+
+	var (
+		input      = flag.String("input", "", "JSONL corpus file (one document per line)")
+		demo       = flag.Bool("demo", false, "run on the synthetic news-week corpus")
+		raw        = flag.Bool("raw", false, "analyze document keywords as raw text (tokenize/stem/stop words)")
+		algorithm  = flag.String("algorithm", "bfs", "stable-cluster algorithm: bfs, dfs, ta, brute")
+		k          = flag.Int("k", 5, "number of top stable clusters")
+		l          = flag.Int("l", -1, "temporal path length (-1 = full paths)")
+		gap        = flag.Int("gap", 1, "gap g: intervals a story may skip")
+		theta      = flag.Float64("theta", 0.1, "minimum affinity for a cluster-graph edge")
+		affinity   = flag.String("affinity", "jaccard", "affinity: jaccard, intersection, overlap")
+		rho        = flag.Float64("rho", 0.2, "correlation-coefficient pruning threshold")
+		minSize    = flag.Int("mincluster", 2, "minimum keywords per cluster")
+		normalized = flag.Bool("normalized", false, "solve the normalized problem instead (stability = weight/length)")
+		lmin       = flag.Int("lmin", 2, "minimum length for -normalized")
+		quiet      = flag.Bool("quiet", false, "suppress per-interval cluster listings")
+		saveSets   = flag.String("saveclusters", "", "write per-interval clusters to this JSONL file")
+		loadSets   = flag.String("clusters", "", "skip cluster generation and load clusters from this JSONL file")
+	)
+	flag.Parse()
+
+	var sets [][]blogclusters.Cluster
+	if *loadSets != "" {
+		f, err := os.Open(*loadSets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sets, err = blogclusters.ReadClusterSets(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("read clusters: %v", err)
+		}
+	} else {
+		col, err := loadCorpus(*input, *demo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *raw {
+			reanalyze(col)
+		}
+		fmt.Printf("corpus: %d documents across %d intervals\n", col.NumDocs(), len(col.Intervals))
+		sets, err = blogclusters.AllIntervalClusters(col, blogclusters.ClusterOptions{
+			RhoThreshold:   *rho,
+			MinClusterSize: *minSize,
+		})
+		if err != nil {
+			log.Fatalf("cluster generation: %v", err)
+		}
+	}
+	if *saveSets != "" {
+		// Re-number ids graph-wide so the saved file is self-contained.
+		id := int64(0)
+		for i := range sets {
+			for j := range sets[i] {
+				sets[i][j].ID = id
+				id++
+			}
+		}
+		f, err := os.Create(*saveSets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = blogclusters.WriteClusterSets(f, sets)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("save clusters: %v", err)
+		}
+		fmt.Printf("saved clusters to %s\n", *saveSets)
+	}
+	for i, cs := range sets {
+		fmt.Printf("interval %d: %d clusters\n", i, len(cs))
+		if !*quiet {
+			for _, c := range cs {
+				fmt.Printf("  %v\n", c.Keywords)
+			}
+		}
+	}
+
+	g, err := blogclusters.BuildClusterGraph(sets, blogclusters.GraphOptions{
+		Gap: *gap, Theta: *theta, Affinity: *affinity,
+	})
+	if err != nil {
+		log.Fatalf("cluster graph: %v", err)
+	}
+	fmt.Printf("cluster graph: %d nodes, %d edges (gap %d, theta %g)\n\n", g.NumNodes(), g.NumEdges(), *gap, *theta)
+
+	var res *blogclusters.Result
+	if *normalized {
+		res, err = blogclusters.NormalizedStableClusters(g, *k, *lmin)
+		if err != nil {
+			log.Fatalf("normalized stable clusters: %v", err)
+		}
+		fmt.Printf("top %d normalized stable clusters (lmin=%d):\n", *k, *lmin)
+	} else {
+		length := *l
+		if length < 0 {
+			length = blogclusters.FullPaths
+		}
+		res, err = blogclusters.StableClusters(g, *algorithm, *k, length)
+		if err != nil {
+			log.Fatalf("stable clusters: %v", err)
+		}
+		fmt.Printf("top %d stable clusters (%s):\n", *k, *algorithm)
+	}
+	if len(res.Paths) == 0 {
+		fmt.Println("  none found — lower -theta, raise -gap, or shorten -l")
+		return
+	}
+	for i, p := range res.Paths {
+		fmt.Printf("#%d %s\n", i+1, blogclusters.DescribePath(g, p))
+	}
+	st := res.Stats
+	fmt.Printf("\nwork: %d node reads, %d node writes, %d edge reads, %d heap offers, %d prunes\n",
+		st.NodeReads, st.NodeWrites, st.EdgeReads, st.HeapConsiders, st.Pruned)
+}
+
+func loadCorpus(input string, demo bool) (*blogclusters.Collection, error) {
+	switch {
+	case demo && input != "":
+		return nil, fmt.Errorf("pass either -demo or -input, not both")
+	case demo:
+		return blogclusters.GenerateCorpus(blogclusters.NewsWeekCorpus(2007, 600))
+	case input == "":
+		return nil, fmt.Errorf("need -input FILE or -demo (see -help)")
+	}
+	f, err := os.Open(input)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	col, err := blogclusters.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", input, err)
+	}
+	return col, nil
+}
+
+// reanalyze pushes every document's keyword list through the text
+// analyzer, so corpora exported with raw text fragments behave like
+// the paper's stemmed, stop-word-free input.
+func reanalyze(col *blogclusters.Collection) {
+	a := blogclusters.NewAnalyzer()
+	for i := range col.Intervals {
+		for j := range col.Intervals[i].Docs {
+			d := &col.Intervals[i].Docs[j]
+			d.Keywords = a.Keywords(strings.Join(d.Keywords, " "))
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation (Section 5). Each experiment prints the rows or
+// series the paper reports; absolute numbers differ (synthetic data,
+// different hardware and runtime) but the shapes — who wins, by what
+// factor, where the crossovers fall — reproduce.
+//
+// Usage:
+//
+//	experiments -exp table3            # one experiment at default scale
+//	experiments -exp all -scale 1.0    # the full suite at paper scale
+//	experiments -list                  # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id, or 'all'")
+	scale := flag.Float64("scale", 0.25, "workload scale in (0,1]; 1.0 = the paper's parameters")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	start := time.Now()
+	for _, id := range ids {
+		t, err := experiments.Run(strings.TrimSpace(id), experiments.Scale(*scale))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Render())
+	}
+	fmt.Printf("total: %s (scale %.2f)\n", time.Since(start).Round(time.Millisecond), *scale)
+}

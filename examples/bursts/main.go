@@ -1,0 +1,53 @@
+// Bursts demonstrates the information-burst detection that BlogScope
+// (the paper's host system) uses to point at events of interest, and
+// how bursts line up with the stable clusters the paper mines: a
+// keyword bursts exactly when its cluster appears.
+//
+// Run with: go run ./examples/bursts
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	blogclusters "repro"
+)
+
+func main() {
+	col, err := blogclusters.GenerateCorpus(blogclusters.NewsWeekCorpus(2007, 500))
+	if err != nil {
+		log.Fatalf("generate corpus: %v", err)
+	}
+	idx, err := blogclusters.BuildIndex(col)
+	if err != nil {
+		log.Fatalf("index: %v", err)
+	}
+
+	for _, kw := range []string{"beckham", "liverpool", "somalia", "iphon", "cisco"} {
+		series := idx.TimeSeries(kw)
+		var cells []string
+		for _, c := range series {
+			cells = append(cells, fmt.Sprintf("%4d", c))
+		}
+		bursts, err := blogclusters.DetectBursts(idx, kw)
+		if err != nil {
+			log.Fatalf("bursts(%s): %v", kw, err)
+		}
+		var spans []string
+		for _, b := range bursts {
+			spans = append(spans, fmt.Sprintf("Jan %d-%d", b.Start+6, b.End+6))
+		}
+		burstStr := "steady all week"
+		if len(spans) > 0 {
+			burstStr = "bursts " + strings.Join(spans, ", ")
+		}
+		fmt.Printf("%-10s %s  → %s\n", kw, strings.Join(cells, " "), burstStr)
+	}
+
+	fmt.Println("\nnote how the burst windows match the figures: beckham on Jan 12")
+	fmt.Println("(Figure 2), the FA cup with its gap (Figure 4), the iPhone launch")
+	fmt.Println("drifting into the Cisco suit (Figure 15), and somalia — a story")
+	fmt.Println("that is *stable*, not bursty (Figure 16): exactly why the paper")
+	fmt.Println("mines stable clusters instead of relying on bursts alone.")
+}

@@ -1,0 +1,66 @@
+// Quickstart: generate a small synthetic blog corpus with one embedded
+// story, extract per-day keyword clusters, and find the most stable
+// cluster path across the week.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	blogclusters "repro"
+)
+
+func main() {
+	// A 5-day corpus: background chatter plus one story ("rocket
+	// launch") discussed on every day.
+	cfg := blogclusters.CorpusConfig{
+		Seed:            1,
+		NumIntervals:    5,
+		BackgroundPosts: 400,
+		BackgroundVocab: 1500,
+		WordsPerPost:    7,
+		Events: []blogclusters.CorpusEvent{{
+			Name: "launch",
+			Phases: []blogclusters.CorpusPhase{{
+				Keywords:  []string{"rocket", "launch", "orbit", "payload"},
+				Intervals: []int{0, 1, 2, 3, 4},
+				Posts:     90,
+			}},
+		}},
+	}
+	corpus, err := blogclusters.GenerateCorpus(cfg)
+	if err != nil {
+		log.Fatalf("generate corpus: %v", err)
+	}
+	fmt.Printf("corpus: %d posts over %d days\n", corpus.NumDocs(), len(corpus.Intervals))
+
+	// Section 3: keyword graph → χ²/ρ pruning → biconnected components.
+	sets, err := blogclusters.AllIntervalClusters(corpus, blogclusters.ClusterOptions{})
+	if err != nil {
+		log.Fatalf("cluster generation: %v", err)
+	}
+	for day, cs := range sets {
+		fmt.Printf("day %d: %d keyword clusters\n", day, len(cs))
+	}
+
+	// Section 4: cluster graph + kl-stable clusters.
+	g, err := blogclusters.BuildClusterGraph(sets, blogclusters.GraphOptions{Gap: 0, Theta: 0.1})
+	if err != nil {
+		log.Fatalf("cluster graph: %v", err)
+	}
+	fmt.Printf("cluster graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+
+	res, err := blogclusters.StableClusters(g, "bfs", 3, blogclusters.FullPaths)
+	if err != nil {
+		log.Fatalf("stable clusters: %v", err)
+	}
+	fmt.Printf("\ntop stable clusters spanning all %d days:\n", len(corpus.Intervals))
+	for i, p := range res.Paths {
+		fmt.Printf("#%d %s\n", i+1, blogclusters.DescribePath(g, p))
+	}
+	if len(res.Paths) == 0 {
+		fmt.Println("(none found — try lowering theta)")
+	}
+}

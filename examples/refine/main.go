@@ -1,0 +1,37 @@
+// Refine demonstrates the query-refinement application from the
+// paper's introduction: when a search keyword falls inside a keyword
+// cluster for an interval, the cluster's other keywords are good
+// refinement candidates; and the strongest pairwise correlations of a
+// keyword make good single-term suggestions.
+//
+// Run with: go run ./examples/refine
+package main
+
+import (
+	"fmt"
+	"log"
+
+	blogclusters "repro"
+)
+
+func main() {
+	col, err := blogclusters.GenerateCorpus(blogclusters.NewsWeekCorpus(2007, 500))
+	if err != nil {
+		log.Fatalf("generate corpus: %v", err)
+	}
+
+	// Pretend a user searches BlogScope for "stem" on Jan 8 (interval 2).
+	const day = 2
+	clusters, err := blogclusters.IntervalClusters(col, day, blogclusters.ClusterOptions{})
+	if err != nil {
+		log.Fatalf("clusters: %v", err)
+	}
+	for _, query := range []string{"stem cells", "somalia", "pancake"} {
+		refinements := blogclusters.RefineQuery(clusters, query)
+		if refinements == nil {
+			fmt.Printf("query %-12q → no cluster on day %d; nothing to suggest\n", query, day)
+			continue
+		}
+		fmt.Printf("query %-12q → refine with %v\n", query, refinements)
+	}
+}

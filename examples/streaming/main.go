@@ -1,0 +1,74 @@
+// Streaming demonstrates the online algorithms of Section 4.6: blog
+// days arrive one at a time and the top-k stable clusters are
+// maintained incrementally, without recomputing past intervals.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	blogclusters "repro"
+)
+
+func main() {
+	// Ten days; a story ("election") that heats up mid-stream.
+	cfg := blogclusters.CorpusConfig{
+		Seed:            42,
+		NumIntervals:    10,
+		BackgroundPosts: 300,
+		BackgroundVocab: 1200,
+		WordsPerPost:    7,
+		Events: []blogclusters.CorpusEvent{
+			{Name: "election", Phases: []blogclusters.CorpusPhase{{
+				Keywords:  []string{"election", "ballot", "recount"},
+				Intervals: []int{3, 4, 5, 6, 7, 8, 9},
+				Posts:     80,
+			}}},
+			{Name: "storm", Phases: []blogclusters.CorpusPhase{{
+				Keywords:  []string{"storm", "flood"},
+				Intervals: []int{0, 1, 2},
+				Posts:     70,
+			}}},
+		},
+	}
+	col, err := blogclusters.GenerateCorpus(cfg)
+	if err != nil {
+		log.Fatalf("generate corpus: %v", err)
+	}
+
+	stream, err := blogclusters.NewStream(blogclusters.StreamOptions{
+		K: 3, L: 3, Gap: 1, Theta: 0.1,
+	})
+	if err != nil {
+		log.Fatalf("new stream: %v", err)
+	}
+
+	for day := range col.Intervals {
+		// Each day: run cluster generation for the new interval only,
+		// then push its clusters into the stream.
+		clusters, err := blogclusters.IntervalClusters(col, day, blogclusters.ClusterOptions{})
+		if err != nil {
+			log.Fatalf("day %d clusters: %v", day, err)
+		}
+		if err := stream.Push(clusters); err != nil {
+			log.Fatalf("day %d push: %v", day, err)
+		}
+		top := stream.TopK()
+		fmt.Printf("after day %d (%d clusters): ", day, len(clusters))
+		if len(top) == 0 {
+			fmt.Println("no length-3 stable clusters yet")
+			continue
+		}
+		fmt.Printf("best length-3 path weight %.3f (of %d tracked)\n", top[0].Weight, len(top))
+	}
+
+	fmt.Println("\nfinal top stable clusters:")
+	for i, p := range stream.TopK() {
+		fmt.Printf("#%d %s\n", i+1, p)
+	}
+	st := stream.Stats()
+	fmt.Printf("\nwork: %d node reads, %d node writes, %d heap offers, peak %d paths in window\n",
+		st.NodeReads, st.NodeWrites, st.HeapConsiders, st.PeakStatePaths)
+}

@@ -1,0 +1,202 @@
+package burst
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// flat builds a series of n intervals with the given per-interval
+// document total and baseline count, then injects spikes.
+func flat(n int, total, base int64) ([]int64, []int64) {
+	counts := make([]int64, n)
+	totals := make([]int64, n)
+	for i := range counts {
+		counts[i] = base
+		totals[i] = total
+	}
+	return counts, totals
+}
+
+func TestZScoreDetectsSpike(t *testing.T) {
+	counts, totals := flat(10, 1000, 10)
+	counts[4] = 200
+	bursts, err := ZScore(counts, totals, ZScoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bursts) != 1 || bursts[0].Start != 4 || bursts[0].End != 4 {
+		t.Fatalf("bursts = %v, want single burst at 4", bursts)
+	}
+	if bursts[0].Score < 2.5 || bursts[0].Length() != 1 {
+		t.Errorf("burst = %+v, want z >= 2.5, length 1", bursts[0])
+	}
+}
+
+func TestZScoreMergesAdjacent(t *testing.T) {
+	counts, totals := flat(12, 1000, 10)
+	counts[5], counts[6], counts[7] = 300, 250, 280
+	bursts, err := ZScore(counts, totals, ZScoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bursts) != 1 || bursts[0].Start != 5 || bursts[0].End != 7 {
+		t.Fatalf("bursts = %v, want one merged burst [5,7]", bursts)
+	}
+}
+
+func TestZScoreRateNormalization(t *testing.T) {
+	// Count doubles but so does the corpus: rate is flat, no burst.
+	counts := []int64{10, 10, 10, 20, 10, 10}
+	totals := []int64{1000, 1000, 1000, 2000, 1000, 1000}
+	bursts, err := ZScore(counts, totals, ZScoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bursts) != 0 {
+		t.Errorf("rate-flat series produced bursts: %v", bursts)
+	}
+}
+
+func TestZScoreEdgeCases(t *testing.T) {
+	if _, err := ZScore([]int64{1}, []int64{1, 2}, ZScoreOptions{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ZScore([]int64{5}, []int64{2}, ZScoreOptions{}); err == nil {
+		t.Error("count > total accepted")
+	}
+	// Flat series: no bursts, no error.
+	counts, totals := flat(5, 100, 7)
+	bursts, err := ZScore(counts, totals, ZScoreOptions{})
+	if err != nil || len(bursts) != 0 {
+		t.Errorf("flat series: %v, %v", bursts, err)
+	}
+	// Empty and single-interval series.
+	if b, err := ZScore(nil, nil, ZScoreOptions{}); err != nil || b != nil {
+		t.Errorf("empty series: %v, %v", b, err)
+	}
+	// Intervals below MinDocs are ignored.
+	counts = []int64{1, 50, 1, 1}
+	totals = []int64{2, 100, 100, 100}
+	if _, err := ZScore(counts, totals, ZScoreOptions{MinDocs: 10}); err != nil {
+		t.Errorf("MinDocs series: %v", err)
+	}
+}
+
+func TestKleinbergDetectsSustainedBurst(t *testing.T) {
+	counts, totals := flat(14, 1000, 10)
+	for i := 6; i <= 9; i++ {
+		counts[i] = 60
+	}
+	bursts, err := Kleinberg(counts, totals, KleinbergOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bursts) != 1 || bursts[0].Start != 6 || bursts[0].End != 9 {
+		t.Fatalf("bursts = %v, want [6,9]", bursts)
+	}
+	if bursts[0].Score <= 0 {
+		t.Errorf("burst score = %g, want positive saving", bursts[0].Score)
+	}
+}
+
+func TestKleinbergResistsSingleSpikes(t *testing.T) {
+	// A mild single-interval wobble should not open a burst when gamma
+	// is high.
+	counts, totals := flat(10, 1000, 10)
+	counts[3] = 16
+	bursts, err := Kleinberg(counts, totals, KleinbergOptions{Gamma: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bursts) != 0 {
+		t.Errorf("mild wobble burst under high gamma: %v", bursts)
+	}
+}
+
+func TestKleinbergOptionsValidation(t *testing.T) {
+	counts, totals := flat(3, 10, 1)
+	if _, err := Kleinberg(counts, totals, KleinbergOptions{S: 0.5}); err == nil {
+		t.Error("S <= 1 accepted")
+	}
+	if _, err := Kleinberg(counts, totals, KleinbergOptions{Gamma: -1}); err == nil {
+		t.Error("negative gamma accepted")
+	}
+	if _, err := Kleinberg([]int64{1}, []int64{1, 1}, KleinbergOptions{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Kleinberg([]int64{5}, []int64{2}, KleinbergOptions{}); err == nil {
+		t.Error("count > total accepted")
+	}
+	// All-zero series: nothing to detect.
+	if b, err := Kleinberg([]int64{0, 0}, []int64{10, 10}, KleinbergOptions{}); err != nil || len(b) != 0 {
+		t.Errorf("zero series: %v, %v", b, err)
+	}
+	if b, err := Kleinberg(nil, nil, KleinbergOptions{}); err != nil || b != nil {
+		t.Errorf("empty series: %v, %v", b, err)
+	}
+}
+
+func TestKleinbergVersusZScoreOnNoise(t *testing.T) {
+	// Noisy baseline with one strong 3-interval event: both detectors
+	// must find an overlap with the true window, and Kleinberg must not
+	// fragment it.
+	rng := rand.New(rand.NewSource(3))
+	n := 30
+	counts := make([]int64, n)
+	totals := make([]int64, n)
+	for i := range counts {
+		totals[i] = 1000
+		counts[i] = 8 + int64(rng.Intn(5))
+	}
+	for i := 12; i <= 14; i++ {
+		counts[i] = 70 + int64(rng.Intn(10))
+	}
+	kb, err := Kleinberg(counts, totals, KleinbergOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kb) != 1 || kb[0].Start > 12 || kb[0].End < 14 {
+		t.Errorf("Kleinberg = %v, want one burst covering [12,14]", kb)
+	}
+	zb, err := ZScore(counts, totals, ZScoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range zb {
+		if b.Start <= 12 && b.End >= 14 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ZScore = %v, no burst covering [12,14]", zb)
+	}
+}
+
+func TestBurstString(t *testing.T) {
+	b := Burst{Start: 2, End: 5, Score: 1.234}
+	if got, want := b.String(), "[2,5] score 1.23"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if b.Length() != 4 {
+		t.Errorf("Length = %d, want 4", b.Length())
+	}
+}
+
+func BenchmarkKleinberg(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 365
+	counts := make([]int64, n)
+	totals := make([]int64, n)
+	for i := range counts {
+		totals[i] = 10000
+		counts[i] = int64(50 + rng.Intn(20))
+	}
+	counts[100], counts[101] = 400, 380
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Kleinberg(counts, totals, KleinbergOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

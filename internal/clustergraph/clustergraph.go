@@ -1,0 +1,269 @@
+// Package clustergraph builds and represents the cluster graph G of
+// Section 4.1: nodes are per-interval keyword clusters, and an edge
+// joins clusters of different intervals whose affinity exceeds θ, as
+// long as the intervals are at most g+1 apart (g is the gap).
+//
+// Edge length is the temporal distance between the incident intervals
+// (an edge across a single gap of size g has length g+1, per the
+// paper); edge weight is the affinity. Children lists are kept sorted
+// by descending weight — the paper's heuristic so the DFS explores
+// heavy edges first.
+package clustergraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/simjoin"
+)
+
+// Half is one directed half-edge: the far endpoint plus the edge's
+// weight and temporal length.
+type Half struct {
+	Peer   int64
+	Weight float64
+	Length int
+}
+
+// Graph is the (immutable after Build) cluster graph.
+type Graph struct {
+	m         int
+	gap       int
+	interval  []int     // node id → interval index
+	intervals [][]int64 // interval index → node ids
+	parents   [][]Half  // node id → incoming half-edges (peer in earlier interval)
+	children  [][]Half  // node id → outgoing half-edges, weight-descending
+	clusters  []cluster.Cluster
+	edges     int
+	maxWeight float64
+}
+
+// NumIntervals returns m.
+func (g *Graph) NumIntervals() int { return g.m }
+
+// Gap returns the gap parameter g the graph was built with.
+func (g *Graph) Gap() int { return g.gap }
+
+// NumNodes returns the total number of cluster nodes.
+func (g *Graph) NumNodes() int { return len(g.interval) }
+
+// NumEdges returns the number of (undirected) edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// MaxWeight returns the largest edge weight (0 for an edgeless graph).
+func (g *Graph) MaxWeight() float64 { return g.maxWeight }
+
+// Interval returns the interval index of node id.
+func (g *Graph) Interval(id int64) int { return g.interval[id] }
+
+// NodesAt returns the node ids of interval i.
+func (g *Graph) NodesAt(i int) []int64 { return g.intervals[i] }
+
+// Parents returns the incoming half-edges of id (peers in earlier
+// intervals).
+func (g *Graph) Parents(id int64) []Half { return g.parents[id] }
+
+// Children returns the outgoing half-edges of id (peers in later
+// intervals), sorted by descending weight.
+func (g *Graph) Children(id int64) []Half { return g.children[id] }
+
+// Cluster returns the keyword cluster behind node id. Synthetic graphs
+// carry empty clusters.
+func (g *Graph) Cluster(id int64) cluster.Cluster { return g.clusters[id] }
+
+// Builder accumulates nodes and edges and then freezes them into a
+// Graph.
+type Builder struct {
+	m     int
+	gap   int
+	g     *Graph
+	built bool
+}
+
+// NewBuilder starts a graph over m temporal intervals with gap g.
+func NewBuilder(m, gap int) (*Builder, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("clustergraph: m must be positive, got %d", m)
+	}
+	if gap < 0 {
+		return nil, fmt.Errorf("clustergraph: gap must be >= 0, got %d", gap)
+	}
+	return &Builder{
+		m:   m,
+		gap: gap,
+		g: &Graph{
+			m:         m,
+			gap:       gap,
+			intervals: make([][]int64, m),
+		},
+	}, nil
+}
+
+// AddNode adds a cluster node in the given interval and returns its id.
+// The cluster value may be zero for synthetic graphs.
+func (b *Builder) AddNode(interval int, c cluster.Cluster) (int64, error) {
+	if b.built {
+		return 0, fmt.Errorf("clustergraph: AddNode after Build")
+	}
+	if interval < 0 || interval >= b.m {
+		return 0, fmt.Errorf("clustergraph: interval %d outside [0,%d)", interval, b.m)
+	}
+	id := int64(len(b.g.interval))
+	b.g.interval = append(b.g.interval, interval)
+	b.g.intervals[interval] = append(b.g.intervals[interval], id)
+	b.g.parents = append(b.g.parents, nil)
+	b.g.children = append(b.g.children, nil)
+	c.ID = id
+	c.Interval = interval
+	b.g.clusters = append(b.g.clusters, c)
+	return id, nil
+}
+
+// AddEdge joins two nodes of different intervals with the given affinity
+// weight. The temporal distance must be within gap+1 and the weight
+// positive.
+func (b *Builder) AddEdge(u, v int64, weight float64) error {
+	if b.built {
+		return fmt.Errorf("clustergraph: AddEdge after Build")
+	}
+	if u < 0 || v < 0 || int(u) >= len(b.g.interval) || int(v) >= len(b.g.interval) {
+		return fmt.Errorf("clustergraph: edge (%d,%d) references unknown node", u, v)
+	}
+	iu, iv := b.g.interval[u], b.g.interval[v]
+	if iu == iv {
+		return fmt.Errorf("clustergraph: edge (%d,%d) joins nodes of the same interval %d", u, v, iu)
+	}
+	if iu > iv {
+		u, v = v, u
+		iu, iv = iv, iu
+	}
+	length := iv - iu
+	if length > b.gap+1 {
+		return fmt.Errorf("clustergraph: edge (%d,%d) spans %d intervals, max is gap+1 = %d", u, v, length, b.gap+1)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("clustergraph: edge (%d,%d) has non-positive weight %g", u, v, weight)
+	}
+	b.g.children[u] = append(b.g.children[u], Half{Peer: v, Weight: weight, Length: length})
+	b.g.parents[v] = append(b.g.parents[v], Half{Peer: u, Weight: weight, Length: length})
+	b.g.edges++
+	if weight > b.g.maxWeight {
+		b.g.maxWeight = weight
+	}
+	return nil
+}
+
+// Build freezes the graph. Children lists are sorted by descending
+// weight (the DFS heuristic of Section 4.3); parents by ascending peer
+// id for determinism. If normalize is true and any weight exceeds 1,
+// all weights are scaled by the maximum weight so they lie in (0,1] —
+// the normalization footnote of Section 4.1, needed by affinities such
+// as raw intersection counts.
+func (b *Builder) Build(normalize bool) *Graph {
+	if b.built {
+		return b.g
+	}
+	b.built = true
+	g := b.g
+	if normalize && g.maxWeight > 1 {
+		scale := 1 / g.maxWeight
+		for _, lists := range [][][]Half{g.children, g.parents} {
+			for _, hs := range lists {
+				for i := range hs {
+					hs[i].Weight *= scale
+				}
+			}
+		}
+		g.maxWeight = 1
+	}
+	for _, hs := range g.children {
+		sort.SliceStable(hs, func(i, j int) bool {
+			if hs[i].Weight != hs[j].Weight {
+				return hs[i].Weight > hs[j].Weight
+			}
+			return hs[i].Peer < hs[j].Peer
+		})
+	}
+	for _, hs := range g.parents {
+		sort.SliceStable(hs, func(i, j int) bool { return hs[i].Peer < hs[j].Peer })
+	}
+	return g
+}
+
+// FromClustersOptions configures FromClusters.
+type FromClustersOptions struct {
+	// Gap is g, the maximum number of skipped intervals.
+	Gap int
+	// Theta is the minimum affinity for an edge (default
+	// cluster.DefaultAffinityThreshold).
+	Theta float64
+	// Affinity scores cluster overlap (default cluster.Jaccard).
+	Affinity cluster.AffinityFunc
+	// UseSimJoin computes Jaccard edges with the prefix-filter join
+	// instead of the quadratic loop. Only valid when Affinity is nil
+	// (Jaccard), since the join is Jaccard-specific.
+	UseSimJoin bool
+	// Normalize rescales weights into (0,1] when an affinity (e.g.
+	// intersection) produces weights above 1.
+	Normalize bool
+}
+
+// FromClusters builds the cluster graph from per-interval cluster sets
+// by evaluating the affinity between clusters of intervals at most
+// Gap+1 apart and keeping pairs with affinity >= Theta.
+func FromClusters(sets [][]cluster.Cluster, opts FromClustersOptions) (*Graph, error) {
+	m := len(sets)
+	b, err := NewBuilder(m, opts.Gap)
+	if err != nil {
+		return nil, err
+	}
+	theta := opts.Theta
+	if theta == 0 {
+		theta = cluster.DefaultAffinityThreshold
+	}
+	aff := opts.Affinity
+	if aff == nil {
+		aff = cluster.Jaccard
+	} else if opts.UseSimJoin {
+		return nil, fmt.Errorf("clustergraph: UseSimJoin requires the default Jaccard affinity")
+	}
+
+	ids := make([][]int64, m)
+	for i, cs := range sets {
+		ids[i] = make([]int64, len(cs))
+		for j, c := range cs {
+			id, err := b.AddNode(i, c)
+			if err != nil {
+				return nil, err
+			}
+			ids[i][j] = id
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j <= i+opts.Gap+1 && j < m; j++ {
+			if opts.UseSimJoin {
+				pairs, err := simjoin.Join(sets[i], sets[j], theta)
+				if err != nil {
+					return nil, err
+				}
+				for _, p := range pairs {
+					if err := b.AddEdge(ids[i][p.Left], ids[j][p.Right], p.Sim); err != nil {
+						return nil, err
+					}
+				}
+				continue
+			}
+			for a, ca := range sets[i] {
+				for bj, cb := range sets[j] {
+					if w := aff(ca, cb); w >= theta && w > 0 {
+						if err := b.AddEdge(ids[i][a], ids[j][bj], w); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+	return b.Build(opts.Normalize), nil
+}

@@ -1,0 +1,316 @@
+// Package cooccur builds the keyword co-occurrence graph of Section 3.
+//
+// A single pass over the documents of a temporal interval emits every
+// keyword pair (u,v) present in each document, plus (u,u) pairs so the
+// per-keyword document counts A(u) are produced by the same machinery.
+// The pair stream is sorted with external-memory merge sort
+// (internal/extsort) so identical pairs become adjacent, and a second
+// single pass aggregates them into triplets (u, v, A(u,v)) — exactly the
+// methodology the paper describes for BlogScope-scale data.
+//
+// The resulting Graph carries A(u), A(u,v) and n, from which the χ² and
+// ρ statistics (internal/stats) annotate and prune edges, yielding G'.
+package cooccur
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/extsort"
+	"repro/internal/stats"
+)
+
+// Edge is one co-occurrence triplet with its statistics. U < V always
+// (indices into Graph.Keywords).
+type Edge struct {
+	U, V  int32
+	Count int64 // A(u,v): documents containing both
+	Chi2  float64
+	Rho   float64
+}
+
+// Graph is the keyword graph G (or, after Prune, G').
+type Graph struct {
+	// N is the number of documents the graph was built from.
+	N int64
+	// Keywords maps keyword id → keyword string.
+	Keywords []string
+	// DocCount maps keyword id → A(u), the number of documents
+	// containing the keyword.
+	DocCount []int64
+	// Edges holds the co-occurrence triplets, sorted by (U, V).
+	Edges []Edge
+
+	index map[string]int32
+}
+
+// KeywordID returns the id of keyword w.
+func (g *Graph) KeywordID(w string) (int32, bool) {
+	id, ok := g.index[w]
+	return id, ok
+}
+
+// NumVertices returns the number of distinct keywords.
+func (g *Graph) NumVertices() int { return len(g.Keywords) }
+
+// NumEdges returns the number of co-occurrence edges.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// BuildOptions configures graph construction.
+type BuildOptions struct {
+	// SortMemoryBudget is the in-memory budget handed to the external
+	// sorter. Zero means extsort.DefaultMemoryBudget.
+	SortMemoryBudget int
+	// MinPairCount drops triplets with A(u,v) below this value before
+	// statistics are computed. The paper's graphs keep everything
+	// (threshold 1); larger corpora benefit from dropping singleton
+	// noise pairs early. Zero means 1.
+	MinPairCount int64
+}
+
+// pairSep separates the two keywords in a sort record. It cannot occur
+// inside an analyzed keyword (the tokenizer emits only letters/digits).
+const pairSep = " "
+
+// Build constructs the keyword graph for the documents of intervals
+// [from, to] of c (inclusive; pass the same value twice for a single
+// day, as in Table 1).
+func Build(c *corpus.Collection, from, to int, opts BuildOptions) (*Graph, error) {
+	if from < 0 || to >= len(c.Intervals) || from > to {
+		return nil, fmt.Errorf("cooccur: interval range [%d,%d] outside collection of %d intervals", from, to, len(c.Intervals))
+	}
+	minCount := opts.MinPairCount
+	if minCount <= 0 {
+		minCount = 1
+	}
+
+	// Pass 1: emit keyword pairs (including (u,u)) for every document.
+	sorter := extsort.New(opts.SortMemoryBudget)
+	var n int64
+	for i := from; i <= to; i++ {
+		for _, d := range c.Intervals[i].Docs {
+			n++
+			kws := d.Keywords
+			for a := 0; a < len(kws); a++ {
+				if strings.Contains(kws[a], pairSep) {
+					return nil, fmt.Errorf("cooccur: keyword %q contains separator", kws[a])
+				}
+				if err := sorter.Add(kws[a] + pairSep + kws[a]); err != nil {
+					return nil, err
+				}
+				for b := a + 1; b < len(kws); b++ {
+					u, v := kws[a], kws[b]
+					if u > v {
+						u, v = v, u
+					}
+					if err := sorter.Add(u + pairSep + v); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	it, err := sorter.Sort()
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+
+	// Pass 2: aggregate runs of identical pairs into triplets.
+	g := &Graph{N: n, index: make(map[string]int32)}
+	intern := func(w string) int32 {
+		if id, ok := g.index[w]; ok {
+			return id
+		}
+		id := int32(len(g.Keywords))
+		g.index[w] = id
+		g.Keywords = append(g.Keywords, w)
+		g.DocCount = append(g.DocCount, 0)
+		return id
+	}
+	var cur string
+	var count int64
+	emit := func() error {
+		if count == 0 {
+			return nil
+		}
+		i := strings.Index(cur, pairSep)
+		if i < 0 {
+			return fmt.Errorf("cooccur: malformed pair record %q", cur)
+		}
+		u, v := cur[:i], cur[i+1:]
+		if u == v {
+			g.DocCount[intern(u)] = count
+			return nil
+		}
+		if count >= minCount {
+			g.Edges = append(g.Edges, Edge{U: intern(u), V: intern(v), Count: count})
+		}
+		return nil
+	}
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		if rec == cur {
+			count++
+			continue
+		}
+		if err := emit(); err != nil {
+			return nil, err
+		}
+		cur, count = rec, 1
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	if err := emit(); err != nil {
+		return nil, err
+	}
+
+	// (u,u) records sort before (u,x) for every x>u but after pairs led
+	// by earlier keywords, so interning order is not id-sorted; normalize
+	// edge endpoints to U < V by id for a canonical representation.
+	for i := range g.Edges {
+		if g.Edges[i].U > g.Edges[i].V {
+			g.Edges[i].U, g.Edges[i].V = g.Edges[i].V, g.Edges[i].U
+		}
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i].U != g.Edges[j].U {
+			return g.Edges[i].U < g.Edges[j].U
+		}
+		return g.Edges[i].V < g.Edges[j].V
+	})
+	return g, nil
+}
+
+// AnnotateStats fills in the χ² and ρ fields of every edge in one pass,
+// as the paper prescribes ("this test can be computed with a single pass
+// of the edges of G").
+func (g *Graph) AnnotateStats() {
+	for i := range g.Edges {
+		e := &g.Edges[i]
+		au := g.DocCount[e.U]
+		av := g.DocCount[e.V]
+		e.Chi2 = stats.ChiSquared(g.N, au, av, e.Count)
+		e.Rho = stats.Correlation(g.N, au, av, e.Count)
+	}
+}
+
+// Prune returns G': the subgraph with only edges passing the χ² test at
+// the given critical value AND with ρ above rhoThreshold. Vertices with
+// no surviving edges are dropped and ids are re-packed. AnnotateStats
+// must have been called.
+func (g *Graph) Prune(chi2Critical, rhoThreshold float64) *Graph {
+	out := &Graph{N: g.N, index: make(map[string]int32)}
+	remap := make(map[int32]int32)
+	keep := func(old int32) int32 {
+		if id, ok := remap[old]; ok {
+			return id
+		}
+		id := int32(len(out.Keywords))
+		remap[old] = id
+		out.Keywords = append(out.Keywords, g.Keywords[old])
+		out.DocCount = append(out.DocCount, g.DocCount[old])
+		out.index[g.Keywords[old]] = id
+		return id
+	}
+	for _, e := range g.Edges {
+		if e.Chi2 <= chi2Critical || e.Rho <= rhoThreshold {
+			continue
+		}
+		ne := Edge{U: keep(e.U), V: keep(e.V), Count: e.Count, Chi2: e.Chi2, Rho: e.Rho}
+		if ne.U > ne.V {
+			ne.U, ne.V = ne.V, ne.U
+		}
+		out.Edges = append(out.Edges, ne)
+	}
+	sort.Slice(out.Edges, func(i, j int) bool {
+		if out.Edges[i].U != out.Edges[j].U {
+			return out.Edges[i].U < out.Edges[j].U
+		}
+		return out.Edges[i].V < out.Edges[j].V
+	})
+	return out
+}
+
+// Adjacency materializes adjacency lists (neighbor ids per vertex).
+func (g *Graph) Adjacency() [][]int32 {
+	adj := make([][]int32, len(g.Keywords))
+	for _, e := range g.Edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	return adj
+}
+
+// Correlated is one keyword correlated with a query keyword, with the
+// strength of the association.
+type Correlated struct {
+	Keyword string
+	Rho     float64
+	Count   int64 // documents containing both
+}
+
+// StrongestCorrelations returns up to n keywords most strongly
+// correlated with w, by descending ρ. The paper's introduction proposes
+// exactly this as query refinement: "for a query keyword we may suggest
+// the strongest correlation as a refinement". AnnotateStats must have
+// been called.
+func (g *Graph) StrongestCorrelations(w string, n int) []Correlated {
+	id, ok := g.KeywordID(w)
+	if !ok || n <= 0 {
+		return nil
+	}
+	var out []Correlated
+	for _, e := range g.Edges {
+		var other int32
+		switch id {
+		case e.U:
+			other = e.V
+		case e.V:
+			other = e.U
+		default:
+			continue
+		}
+		out = append(out, Correlated{Keyword: g.Keywords[other], Rho: e.Rho, Count: e.Count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rho != out[j].Rho {
+			return out[i].Rho > out[j].Rho
+		}
+		return out[i].Keyword < out[j].Keyword
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// EdgeBetween returns the edge joining keywords u and v, if present.
+func (g *Graph) EdgeBetween(u, v string) (Edge, bool) {
+	iu, ok := g.KeywordID(u)
+	if !ok {
+		return Edge{}, false
+	}
+	iv, ok := g.KeywordID(v)
+	if !ok {
+		return Edge{}, false
+	}
+	if iu > iv {
+		iu, iv = iv, iu
+	}
+	i := sort.Search(len(g.Edges), func(i int) bool {
+		e := g.Edges[i]
+		return e.U > iu || (e.U == iu && e.V >= iv)
+	})
+	if i < len(g.Edges) && g.Edges[i].U == iu && g.Edges[i].V == iv {
+		return g.Edges[i], true
+	}
+	return Edge{}, false
+}

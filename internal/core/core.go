@@ -1,0 +1,109 @@
+// Package core implements the paper's primary contribution: algorithms
+// for the kl-stable-clusters problem (Problem 1) and the normalized
+// stable-clusters problem (Problem 2) over a cluster graph.
+//
+// Three solutions to Problem 1 are provided, mirroring Section 4:
+//
+//   - BFS (Algorithm 2): a single pass over the intervals keeping the
+//     previous g+1 intervals in memory, with per-node top-k heaps of
+//     subpaths of each length (bfs.go).
+//   - DFS (Algorithm 3): a stack-based depth-first traversal with
+//     maxweight-based pruning, visited-flag unmarking and bestpaths
+//     back-propagation; low memory, more I/O (dfs.go).
+//   - TA (Section 4.4): an adaptation of the threshold algorithm over
+//     per-interval-pair edge lists sorted by weight; full paths only
+//     (ta.go).
+//
+// Problem 2 is solved with the BFS framework plus the Theorem 1 prefix
+// pruning (normalized.go). Streaming versions (Section 4.6) are in
+// online.go. A brute-force enumerator (brute.go) serves as the
+// correctness oracle for all of them.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/clustergraph"
+	"repro/internal/diskstore"
+	"repro/internal/topk"
+)
+
+// Options parameterizes a kl-stable-clusters query.
+type Options struct {
+	// K is the number of top paths to return.
+	K int
+	// L is the exact temporal path length sought. The special value
+	// FullPaths (or m-1) requests full paths, enabling the paper's
+	// single-heap fast path in BFS and the TA algorithm.
+	L int
+	// Store, when non-nil, persists per-node algorithm state (heaps,
+	// maxweight annotations) to secondary storage so that the I/O
+	// behaviour of the algorithms is real and measurable. Nil keeps all
+	// state in memory; logical I/O counters are maintained either way.
+	Store *diskstore.Store
+}
+
+// FullPaths is a sentinel for Options.L meaning l = m−1.
+const FullPaths = -1
+
+// resolveL normalizes Options.L against the graph's interval count.
+func (o Options) resolveL(g *clustergraph.Graph) (int, error) {
+	if o.K <= 0 {
+		return 0, fmt.Errorf("core: K must be positive, got %d", o.K)
+	}
+	l := o.L
+	if l == FullPaths {
+		l = g.NumIntervals() - 1
+	}
+	if l <= 0 {
+		return 0, fmt.Errorf("core: path length must be positive, got %d", l)
+	}
+	if l > g.NumIntervals()-1 {
+		return 0, fmt.Errorf("core: path length %d exceeds m-1 = %d", l, g.NumIntervals()-1)
+	}
+	return l, nil
+}
+
+// Stats describes the work an algorithm performed, in the cost model
+// the paper uses: node-state reads and writes against secondary
+// storage, plus algorithm-specific counters. When Options.Store is set,
+// NodeReads/NodeWrites correspond to real store operations.
+type Stats struct {
+	// NodeReads counts node-state loads.
+	NodeReads int64
+	// NodeWrites counts node-state saves.
+	NodeWrites int64
+	// EdgeReads counts edge/adjacency examinations.
+	EdgeReads int64
+	// HeapConsiders counts offers to any top-k heap.
+	HeapConsiders int64
+	// Pruned counts pruning events (DFS CanPrune firings, TA upper-bound
+	// skips).
+	Pruned int64
+	// Repushes counts re-explorations of nodes whose visited flag was
+	// unmarked (DFS only).
+	Repushes int64
+	// RandomSeeks counts TA random lookups.
+	RandomSeeks int64
+	// PeakStatePaths is the maximum number of paths simultaneously held
+	// in per-node state — the memory-footprint proxy behind the paper's
+	// "DFS needed 2MB vs BFS 35MB" claim.
+	PeakStatePaths int64
+}
+
+// Result is the answer to a stable-clusters query.
+type Result struct {
+	// Paths are the top-k paths, best first.
+	Paths []topk.Path
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// Weights returns the path weights, best first.
+func (r *Result) Weights() []float64 {
+	ws := make([]float64, len(r.Paths))
+	for i, p := range r.Paths {
+		ws[i] = p.Weight
+	}
+	return ws
+}

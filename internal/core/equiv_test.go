@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/diskstore"
+	"repro/internal/synth"
+)
+
+// The central correctness argument of this reproduction: on randomized
+// cluster graphs spanning gaps, subpath lengths and k values, the BFS,
+// DFS and TA algorithms and the exhaustive enumerator must return
+// identical top-k weight vectors.
+
+type equivCase struct {
+	cfg  synth.Config
+	k, l int
+}
+
+func equivCases() []equivCase {
+	var cases []equivCase
+	seed := int64(100)
+	for _, m := range []int{2, 3, 4, 5, 6} {
+		for _, g := range []int{0, 1, 2} {
+			for _, l := range []int{1, 2, m - 1} {
+				if l <= 0 || l > m-1 {
+					continue
+				}
+				for _, k := range []int{1, 3} {
+					seed++
+					cases = append(cases, equivCase{
+						cfg: synth.Config{Seed: seed, M: m, N: 5, D: 2, G: g},
+						k:   k, l: l,
+					})
+				}
+			}
+		}
+	}
+	return cases
+}
+
+func TestBFSDFSBruteEquivalence(t *testing.T) {
+	for _, c := range equivCases() {
+		c := c
+		name := fmt.Sprintf("m%d_g%d_l%d_k%d_seed%d", c.cfg.M, c.cfg.G, c.l, c.k, c.cfg.Seed)
+		t.Run(name, func(t *testing.T) {
+			g, err := synth.Generate(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := BruteKL(g, Options{K: c.k, L: c.l})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bfs, err := BFS(g, BFSOptions{Options: Options{K: c.k, L: c.l}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !weightsAlmostEqual(bfs.Weights(), want.Weights()) {
+				t.Errorf("BFS weights %v != brute %v", bfs.Weights(), want.Weights())
+			}
+			dfs, err := DFS(g, DFSOptions{Options: Options{K: c.k, L: c.l}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !weightsAlmostEqual(dfs.Weights(), want.Weights()) {
+				t.Errorf("DFS weights %v != brute %v", dfs.Weights(), want.Weights())
+			}
+			dfsNoPrune, err := DFS(g, DFSOptions{Options: Options{K: c.k, L: c.l}, DisablePruning: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !weightsAlmostEqual(dfsNoPrune.Weights(), want.Weights()) {
+				t.Errorf("unpruned DFS weights %v != brute %v", dfsNoPrune.Weights(), want.Weights())
+			}
+			if c.l == c.cfg.M-1 {
+				ta, err := TA(g, TAOptions{Options: Options{K: c.k, L: c.l}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !weightsAlmostEqual(ta.Weights(), want.Weights()) {
+					t.Errorf("TA weights %v != brute %v", ta.Weights(), want.Weights())
+				}
+				taNoBound, err := TA(g, TAOptions{Options: Options{K: c.k, L: c.l}, DisableBoundHashTables: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !weightsAlmostEqual(taNoBound.Weights(), want.Weights()) {
+					t.Errorf("TA-no-bound weights %v != brute %v", taNoBound.Weights(), want.Weights())
+				}
+			}
+		})
+	}
+}
+
+func TestBFSFastPathMatchesGeneric(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g, err := synth.Generate(synth.Config{Seed: seed, M: 5, N: 8, D: 2, G: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := BFS(g, BFSOptions{Options: Options{K: 4, L: FullPaths}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := BFS(g, BFSOptions{Options: Options{K: 4, L: FullPaths}, DisableFullPathFastPath: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !weightsAlmostEqual(fast.Weights(), slow.Weights()) {
+			t.Errorf("seed %d: fast path %v != generic %v", seed, fast.Weights(), slow.Weights())
+		}
+	}
+}
+
+func TestBFSBlockNestedMatchesUnlimited(t *testing.T) {
+	for seed := int64(20); seed < 30; seed++ {
+		g, err := synth.Generate(synth.Config{Seed: seed, M: 6, N: 10, D: 2, G: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := BFS(g, BFSOptions{Options: Options{K: 3, L: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked, err := BFS(g, BFSOptions{Options: Options{K: 3, L: 3}, MaxWindowNodes: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !weightsAlmostEqual(full.Weights(), blocked.Weights()) {
+			t.Errorf("seed %d: blocked %v != unlimited %v", seed, blocked.Weights(), full.Weights())
+		}
+		if blocked.Stats.NodeReads <= full.Stats.NodeReads {
+			t.Errorf("seed %d: block-nested reads %d not above unlimited %d",
+				seed, blocked.Stats.NodeReads, full.Stats.NodeReads)
+		}
+	}
+}
+
+func TestStoreBackedMatchesInMemory(t *testing.T) {
+	for seed := int64(40); seed < 46; seed++ {
+		g, err := synth.Generate(synth.Config{Seed: seed, M: 5, N: 6, D: 2, G: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range []int{2, 4} {
+			mem, err := BFS(g, BFSOptions{Options: Options{K: 3, L: l}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := diskstore.Open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			disk, err := BFS(g, BFSOptions{Options: Options{K: 3, L: l, Store: st}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !weightsAlmostEqual(mem.Weights(), disk.Weights()) {
+				t.Errorf("seed %d l %d: BFS store-backed %v != memory %v", seed, l, disk.Weights(), mem.Weights())
+			}
+			if st.Stats().Writes == 0 {
+				t.Error("store-backed BFS wrote nothing")
+			}
+			st.Close()
+
+			memD, err := DFS(g, DFSOptions{Options: Options{K: 3, L: l}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st2, err := diskstore.Open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			diskD, err := DFS(g, DFSOptions{Options: Options{K: 3, L: l, Store: st2}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !weightsAlmostEqual(memD.Weights(), diskD.Weights()) {
+				t.Errorf("seed %d l %d: DFS store-backed %v != memory %v", seed, l, diskD.Weights(), memD.Weights())
+			}
+			if st2.Stats().Writes == 0 || st2.Stats().RandomReads == 0 {
+				t.Error("store-backed DFS performed no real I/O")
+			}
+			st2.Close()
+		}
+	}
+}
+
+// randomClusterSets builds per-interval cluster sets over a small
+// vocabulary so affinities above θ occur.
+func randomClusterSets(rng *rand.Rand, m, perInterval int) [][]cluster.Cluster {
+	sets := make([][]cluster.Cluster, m)
+	id := int64(0)
+	for i := range sets {
+		sets[i] = make([]cluster.Cluster, perInterval)
+		for j := range sets[i] {
+			size := rng.Intn(5) + 2
+			kws := make([]string, 0, size)
+			for len(kws) < size {
+				kws = append(kws, fmt.Sprintf("w%d", rng.Intn(15)))
+			}
+			sets[i][j] = cluster.New(id, i, kws)
+			id++
+		}
+	}
+	return sets
+}
+
+func TestStatsPopulated(t *testing.T) {
+	g, err := synth.Generate(synth.Config{Seed: 7, M: 6, N: 20, D: 3, G: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := BFS(g, BFSOptions{Options: Options{K: 5, L: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bfs.Stats.NodeReads == 0 || bfs.Stats.NodeWrites == 0 || bfs.Stats.EdgeReads == 0 ||
+		bfs.Stats.HeapConsiders == 0 || bfs.Stats.PeakStatePaths == 0 {
+		t.Errorf("BFS stats unpopulated: %+v", bfs.Stats)
+	}
+	dfs, err := DFS(g, DFSOptions{Options: Options{K: 5, L: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfs.Stats.NodeReads == 0 || dfs.Stats.NodeWrites == 0 || dfs.Stats.EdgeReads == 0 {
+		t.Errorf("DFS stats unpopulated: %+v", dfs.Stats)
+	}
+	// The paper's memory claim: DFS holds far fewer paths in memory
+	// than BFS holds in its window.
+	if dfs.Stats.PeakStatePaths >= bfs.Stats.PeakStatePaths {
+		t.Errorf("DFS peak paths %d not below BFS %d", dfs.Stats.PeakStatePaths, bfs.Stats.PeakStatePaths)
+	}
+}

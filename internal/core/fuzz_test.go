@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestFuzzEquivalence hammers BFS and DFS (with pruning) against the
+// exhaustive oracle on randomized graph shapes. Skipped under -short.
+func TestFuzzEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz equivalence skipped in short mode")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 150; trial++ {
+		m := 2 + rng.Intn(6)
+		cfg := synth.Config{Seed: rng.Int63(), M: m, N: 2 + rng.Intn(7), D: 1 + rng.Intn(3), G: rng.Intn(3)}
+		l := 1 + rng.Intn(m-1)
+		k := 1 + rng.Intn(5)
+		g, err := synth.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := BruteKL(g, Options{K: k, L: l})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dfs, err := DFS(g, DFSOptions{Options: Options{K: k, L: l}})
+		if err != nil {
+			t.Fatalf("trial %d cfg %+v l %d k %d: %v", trial, cfg, l, k, err)
+		}
+		if !weightsAlmostEqual(dfs.Weights(), want.Weights()) {
+			t.Fatalf("trial %d cfg %+v l %d k %d: DFS %v != brute %v",
+				trial, cfg, l, k, dfs.Weights(), want.Weights())
+		}
+		bfs, err := BFS(g, BFSOptions{Options: Options{K: k, L: l}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !weightsAlmostEqual(bfs.Weights(), want.Weights()) {
+			t.Fatalf("trial %d: BFS %v != brute %v", trial, bfs.Weights(), want.Weights())
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/simjoin"
+	"repro/internal/topk"
+)
+
+// Stream is the online version of the stable-clusters machinery
+// (Section 4.6): intervals arrive one at a time, heaps for the new
+// interval's clusters are computed against the retained g+1-interval
+// window, and the global top-k is maintained incrementally — no past
+// computation is redone.
+//
+// As the paper observes, the streaming BFS and DFS perform the same
+// per-interval operations (only their bootstrap differs), so a single
+// implementation serves both.
+type Stream struct {
+	k, l  int
+	gap   int
+	theta float64
+	aff   cluster.AffinityFunc
+	join  bool
+
+	m      int // intervals consumed so far
+	nextID int64
+	// window holds the last gap+1 intervals: their clusters and their
+	// per-node heaps.
+	window []streamInterval
+	global *topk.K
+	stats  Stats
+}
+
+type streamInterval struct {
+	interval int
+	clusters []cluster.Cluster
+	ids      []int64
+	heaps    []map[int]*topk.K // parallel to ids: path length → heap
+}
+
+// StreamOptions configures a Stream.
+type StreamOptions struct {
+	// K is the number of top paths maintained.
+	K int
+	// L is the exact temporal path length sought. Full-path queries
+	// (l = m−1) do not apply online, since m grows without bound.
+	L int
+	// Gap is g.
+	Gap int
+	// Theta is the minimum affinity for an edge (default
+	// cluster.DefaultAffinityThreshold).
+	Theta float64
+	// Affinity scores cluster overlap (default cluster.Jaccard).
+	Affinity cluster.AffinityFunc
+	// UseSimJoin computes edges with the prefix-filter join (Jaccard
+	// only).
+	UseSimJoin bool
+}
+
+// NewStream starts an empty stream.
+func NewStream(opts StreamOptions) (*Stream, error) {
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
+	}
+	if opts.L <= 0 {
+		return nil, fmt.Errorf("core: L must be positive, got %d (full-path queries do not apply online)", opts.L)
+	}
+	if opts.Gap < 0 {
+		return nil, fmt.Errorf("core: Gap must be >= 0, got %d", opts.Gap)
+	}
+	theta := opts.Theta
+	if theta == 0 {
+		theta = cluster.DefaultAffinityThreshold
+	}
+	aff := opts.Affinity
+	if aff == nil {
+		aff = cluster.Jaccard
+	} else if opts.UseSimJoin {
+		return nil, fmt.Errorf("core: UseSimJoin requires the default Jaccard affinity")
+	}
+	return &Stream{
+		k:      opts.K,
+		l:      opts.L,
+		gap:    opts.Gap,
+		theta:  theta,
+		aff:    aff,
+		join:   opts.UseSimJoin,
+		global: topk.NewK(opts.K),
+	}, nil
+}
+
+// NumIntervals returns the number of intervals consumed.
+func (s *Stream) NumIntervals() int { return s.m }
+
+// Push consumes the cluster set of the next temporal interval: affinity
+// edges against the window are computed, the new nodes' heaps are
+// derived from their parents' heaps, and the global top-k is updated.
+func (s *Stream) Push(clusters []cluster.Cluster) error {
+	cur := streamInterval{
+		interval: s.m,
+		clusters: clusters,
+		ids:      make([]int64, len(clusters)),
+		heaps:    make([]map[int]*topk.K, len(clusters)),
+	}
+	for i := range clusters {
+		cur.ids[i] = s.nextID
+		s.nextID++
+		cur.heaps[i] = make(map[int]*topk.K)
+	}
+	for _, w := range s.window {
+		length := s.m - w.interval
+		if length > s.gap+1 {
+			continue
+		}
+		if err := s.link(&w, &cur, length); err != nil {
+			return err
+		}
+	}
+	s.stats.NodeReads += int64(s.windowNodes())
+	s.stats.NodeWrites += int64(len(clusters))
+	s.window = append(s.window, cur)
+	if len(s.window) > s.gap+1 {
+		s.window = s.window[1:]
+	}
+	s.m++
+	s.trackPeak()
+	return nil
+}
+
+// link computes the affinity edges between a window interval and the
+// current one and extends heaps across them.
+func (s *Stream) link(past *streamInterval, cur *streamInterval, length int) error {
+	type edge struct {
+		pi, ci int
+		w      float64
+	}
+	var edges []edge
+	if s.join {
+		pairs, err := simjoin.Join(past.clusters, cur.clusters, s.theta)
+		if err != nil {
+			return err
+		}
+		for _, p := range pairs {
+			edges = append(edges, edge{pi: p.Left, ci: p.Right, w: p.Sim})
+		}
+	} else {
+		for pi := range past.clusters {
+			for ci := range cur.clusters {
+				if w := s.aff(past.clusters[pi], cur.clusters[ci]); w >= s.theta && w > 0 {
+					edges = append(edges, edge{pi: pi, ci: ci, w: w})
+				}
+			}
+		}
+	}
+	for _, e := range edges {
+		s.stats.EdgeReads++
+		if e.w > 1 {
+			return fmt.Errorf("core: streaming affinity %g exceeds 1; use an affinity bounded by 1 (e.g. Jaccard)", e.w)
+		}
+		parentID, childID := past.ids[e.pi], cur.ids[e.ci]
+		s.offer(cur, e.ci, topk.Path{Nodes: []int64{parentID}}.Append(childID, length, e.w))
+		for x, h := range past.heaps[e.pi] {
+			if x+length > s.l {
+				continue
+			}
+			for _, p := range h.Items() {
+				s.offer(cur, e.ci, p.Append(childID, length, e.w))
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Stream) offer(cur *streamInterval, ci int, p topk.Path) {
+	if p.Length > s.l {
+		return
+	}
+	h, ok := cur.heaps[ci][p.Length]
+	if !ok {
+		h = topk.NewK(s.k)
+		cur.heaps[ci][p.Length] = h
+	}
+	s.stats.HeapConsiders++
+	h.Consider(p)
+	if p.Length == s.l {
+		s.stats.HeapConsiders++
+		s.global.Consider(p)
+	}
+}
+
+// TopK returns the current top-k paths, best first.
+func (s *Stream) TopK() []topk.Path { return s.global.Items() }
+
+// Stats returns the accumulated work counters.
+func (s *Stream) Stats() Stats { return s.stats }
+
+func (s *Stream) windowNodes() int {
+	n := 0
+	for _, w := range s.window {
+		n += len(w.ids)
+	}
+	return n
+}
+
+func (s *Stream) trackPeak() {
+	var n int64
+	for _, w := range s.window {
+		for _, hs := range w.heaps {
+			for _, h := range hs {
+				n += int64(h.Len())
+			}
+		}
+	}
+	if n > s.stats.PeakStatePaths {
+		s.stats.PeakStatePaths = n
+	}
+}
+
+// Replay pushes every interval of a prebuilt cluster-set sequence into
+// a fresh stream and returns it; a convenience for tests and examples
+// comparing batch and online answers.
+func Replay(sets [][]cluster.Cluster, opts StreamOptions) (*Stream, error) {
+	s, err := NewStream(opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, cs := range sets {
+		if err := s.Push(cs); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/clustergraph"
+	"repro/internal/topk"
+)
+
+// The streaming answer after consuming a prefix of intervals must equal
+// the batch BFS answer over the same prefix — the defining property of
+// Section 4.6.
+func TestStreamMatchesBatchAtEveryPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	for trial := 0; trial < 8; trial++ {
+		m := 5 + rng.Intn(3)
+		sets := randomClusterSets(rng, m, 5)
+		for _, gap := range []int{0, 1} {
+			for _, l := range []int{1, 2} {
+				s, err := NewStream(StreamOptions{K: 3, L: l, Gap: gap, Theta: 0.1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < m; i++ {
+					if err := s.Push(sets[i]); err != nil {
+						t.Fatal(err)
+					}
+					if i+1 < l+1 {
+						continue // no path of length l can exist yet
+					}
+					g, err := clustergraph.FromClusters(sets[:i+1], clustergraph.FromClustersOptions{
+						Gap: gap, Theta: 0.1,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					batch, err := BFS(g, BFSOptions{Options: Options{K: 3, L: l}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					streamW := pathWeights(s.TopK())
+					if !weightsAlmostEqual(streamW, batch.Weights()) {
+						t.Fatalf("trial %d gap %d l %d after %d intervals: stream %v != batch %v",
+							trial, gap, l, i+1, streamW, batch.Weights())
+					}
+				}
+			}
+		}
+	}
+}
+
+func pathWeights(ps []topk.Path) []float64 {
+	ws := make([]float64, len(ps))
+	for i, p := range ps {
+		ws[i] = p.Weight
+	}
+	return ws
+}
+
+func TestStreamValidation(t *testing.T) {
+	if _, err := NewStream(StreamOptions{K: 0, L: 1}); err == nil {
+		t.Error("NewStream accepted K=0")
+	}
+	if _, err := NewStream(StreamOptions{K: 1, L: 0}); err == nil {
+		t.Error("NewStream accepted L=0 (full-path queries do not stream)")
+	}
+	if _, err := NewStream(StreamOptions{K: 1, L: 1, Gap: -1}); err == nil {
+		t.Error("NewStream accepted negative gap")
+	}
+	if _, err := NewStream(StreamOptions{K: 1, L: 1, Affinity: cluster.Intersection, UseSimJoin: true}); err == nil {
+		t.Error("NewStream accepted simjoin with non-Jaccard affinity")
+	}
+}
+
+func TestStreamSimJoinMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(600))
+	sets := randomClusterSets(rng, 6, 6)
+	plain, err := Replay(sets, StreamOptions{K: 4, L: 2, Gap: 1, Theta: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := Replay(sets, StreamOptions{K: 4, L: 2, Gap: 1, Theta: 0.2, UseSimJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weightsAlmostEqual(pathWeights(plain.TopK()), pathWeights(joined.TopK())) {
+		t.Errorf("simjoin stream %v != plain %v", pathWeights(joined.TopK()), pathWeights(plain.TopK()))
+	}
+}
+
+func TestStreamRejectsUnboundedAffinity(t *testing.T) {
+	s, err := NewStream(StreamOptions{K: 1, L: 1, Theta: 1, Affinity: cluster.Intersection})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := []cluster.Cluster{cluster.New(0, 0, []string{"a", "b", "c"})}
+	if err := s.Push(big); err != nil {
+		t.Fatal(err)
+	}
+	// Intersection of 3 shared keywords has affinity 3 > 1.
+	if err := s.Push([]cluster.Cluster{cluster.New(1, 1, []string{"a", "b", "c"})}); err == nil {
+		t.Error("stream accepted affinity > 1")
+	}
+}
+
+func TestStreamEvictsOldIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	s, err := NewStream(StreamOptions{K: 2, L: 1, Gap: 0, Theta: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := randomClusterSets(rng, 10, 4)
+	for _, cs := range sets {
+		if err := s.Push(cs); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.windowNodes(); got > 4 {
+			t.Fatalf("window holds %d nodes, want <= 4 with gap 0", got)
+		}
+	}
+	if s.NumIntervals() != 10 {
+		t.Errorf("NumIntervals = %d, want 10", s.NumIntervals())
+	}
+	if s.Stats().HeapConsiders == 0 {
+		t.Error("stream did no work")
+	}
+}

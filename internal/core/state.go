@@ -1,0 +1,244 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/diskstore"
+	"repro/internal/topk"
+)
+
+// Node state persisted to secondary storage. The BFS algorithm saves
+// each node's heaps after processing its interval (Algorithm 2 line
+// 17); the DFS algorithm reads a node's state when it is pushed and
+// writes it back when popped (Algorithm 3 lines 8, 20, 24). The format
+// is a compact little-endian encoding:
+//
+//	u32 pathCount | paths…
+//	path: u32 nodeCount | i64 nodes… | u32 length | f64 weight
+//
+// Heap groupings (which h^x a path belongs to) are recoverable from the
+// path lengths, so they are not stored separately.
+
+func encodePaths(paths []topk.Path) []byte {
+	size := 4
+	for _, p := range paths {
+		size += 4 + 8*len(p.Nodes) + 4 + 8
+	}
+	buf := make([]byte, 0, size)
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:8], v)
+		buf = append(buf, tmp[:8]...)
+	}
+	put32(uint32(len(paths)))
+	for _, p := range paths {
+		put32(uint32(len(p.Nodes)))
+		for _, n := range p.Nodes {
+			put64(uint64(n))
+		}
+		put32(uint32(p.Length))
+		put64(math.Float64bits(p.Weight))
+	}
+	return buf
+}
+
+func decodePaths(b []byte) ([]topk.Path, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("core: path record too short (%d bytes)", len(b))
+	}
+	off := 0
+	get32 := func() (uint32, error) {
+		if off+4 > len(b) {
+			return 0, fmt.Errorf("core: truncated path record at offset %d", off)
+		}
+		v := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		return v, nil
+	}
+	get64 := func() (uint64, error) {
+		if off+8 > len(b) {
+			return 0, fmt.Errorf("core: truncated path record at offset %d", off)
+		}
+		v := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		return v, nil
+	}
+	n, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]topk.Path, 0, n)
+	for i := uint32(0); i < n; i++ {
+		nc, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		nodes := make([]int64, nc)
+		for j := range nodes {
+			v, err := get64()
+			if err != nil {
+				return nil, err
+			}
+			nodes[j] = int64(v)
+		}
+		length, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		wbits, err := get64()
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, topk.Path{Nodes: nodes, Length: int(length), Weight: math.Float64frombits(wbits)})
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("core: %d trailing bytes in path record", len(b)-off)
+	}
+	return paths, nil
+}
+
+// storeBackend adapts a diskstore.Store to the algorithms' node-state
+// persistence. A nil *storeBackend disables persistence.
+type storeBackend struct{ st *diskstore.Store }
+
+func newStoreBackend(st *diskstore.Store) *storeBackend {
+	if st == nil {
+		return nil
+	}
+	return &storeBackend{st: st}
+}
+
+func (s *storeBackend) save(id int64, b []byte) error {
+	if err := s.st.Put(id, b); err != nil {
+		return fmt.Errorf("core: save node %d state: %w", id, err)
+	}
+	return nil
+}
+
+func (s *storeBackend) load(id int64) ([]byte, bool, error) {
+	b, err := s.st.Get(id)
+	if errors.Is(err, diskstore.ErrNotFound) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("core: load node %d state: %w", id, err)
+	}
+	return b, true, nil
+}
+
+// heapsToPaths flattens per-length heaps into one path list for
+// persistence.
+func heapsToPaths(heaps map[int]*topk.K) []topk.Path {
+	var out []topk.Path
+	for _, h := range heaps {
+		if h != nil {
+			out = append(out, h.Items()...)
+		}
+	}
+	return out
+}
+
+// dfsState is the per-node information Algorithm 3 keeps on disk: the
+// visited flag, the maxweight annotations (best known prefix weight per
+// prefix length), and the bestpaths heaps (top-k paths of each length
+// *starting* at the node).
+type dfsState struct {
+	visited bool
+	// everPushed distinguishes first explorations from re-explorations
+	// after visited-flag unmarking (Stats.Repushes). Not persisted.
+	everPushed bool
+	maxweight  map[int]float64
+	best       map[int]*topk.K
+}
+
+func newDFSState() *dfsState {
+	return &dfsState{
+		// maxweight[0] = 0: the empty prefix always exists, i.e. a path
+		// may start at this node. This seeds the conservative x=0 case
+		// of CanPrune (see dfs.go).
+		maxweight: map[int]float64{0: 0},
+		best:      make(map[int]*topk.K),
+	}
+}
+
+// pathCount returns the number of paths held in the node's heaps (the
+// memory-footprint proxy).
+func (s *dfsState) pathCount() int64 {
+	var n int64
+	for _, h := range s.best {
+		n += int64(h.Len())
+	}
+	return n
+}
+
+// encodeDFSState serializes s:
+//
+//	u8 flags (bit0 visited) | u32 mwCount | (u32 x, f64 w)* | paths
+func encodeDFSState(s *dfsState) []byte {
+	var buf []byte
+	var flags byte
+	if s.visited {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(s.maxweight)))
+	buf = append(buf, tmp[:4]...)
+	// Deterministic order is unnecessary for correctness but keeps
+	// byte-level round-trip tests simple.
+	xs := make([]int, 0, len(s.maxweight))
+	for x := range s.maxweight {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	for _, x := range xs {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(x))
+		buf = append(buf, tmp[:4]...)
+		binary.LittleEndian.PutUint64(tmp[:8], math.Float64bits(s.maxweight[x]))
+		buf = append(buf, tmp[:8]...)
+	}
+	return append(buf, encodePaths(heapsToPaths(s.best))...)
+}
+
+// decodeDFSState reverses encodeDFSState; k is the heap capacity to
+// rebuild bestpaths with.
+func decodeDFSState(b []byte, k int) (*dfsState, error) {
+	if len(b) < 5 {
+		return nil, fmt.Errorf("core: dfs state record too short (%d bytes)", len(b))
+	}
+	s := newDFSState()
+	s.visited = b[0]&1 != 0
+	off := 1
+	mwCount := binary.LittleEndian.Uint32(b[off:])
+	off += 4
+	for i := uint32(0); i < mwCount; i++ {
+		if off+12 > len(b) {
+			return nil, fmt.Errorf("core: truncated dfs state at offset %d", off)
+		}
+		x := int(binary.LittleEndian.Uint32(b[off:]))
+		w := math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:]))
+		s.maxweight[x] = w
+		off += 12
+	}
+	paths, err := decodePaths(b[off:])
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range paths {
+		h, ok := s.best[p.Length]
+		if !ok {
+			h = topk.NewK(k)
+			s.best[p.Length] = h
+		}
+		h.Consider(p)
+	}
+	return s, nil
+}

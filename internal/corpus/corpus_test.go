@@ -1,0 +1,245 @@
+package corpus
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func smallCollection() *Collection {
+	return &Collection{Intervals: []Interval{
+		{Index: 0, Label: "d0", Docs: []Document{
+			{ID: 0, Interval: 0, Keywords: []string{"alpha", "beta"}},
+			{ID: 1, Interval: 0, Keywords: []string{"beta", "gamma"}},
+		}},
+		{Index: 1, Label: "d1", Docs: []Document{
+			{ID: 2, Interval: 1, Keywords: []string{"alpha", "gamma"}},
+		}},
+	}}
+}
+
+func TestNumDocsAndVocabulary(t *testing.T) {
+	c := smallCollection()
+	if got := c.NumDocs(); got != 3 {
+		t.Errorf("NumDocs = %d, want 3", got)
+	}
+	want := []string{"alpha", "beta", "gamma"}
+	if got := c.Vocabulary(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Vocabulary = %v, want %v", got, want)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	c := smallCollection()
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if got.NumDocs() != c.NumDocs() {
+		t.Fatalf("round trip NumDocs = %d, want %d", got.NumDocs(), c.NumDocs())
+	}
+	for i := range c.Intervals {
+		if !reflect.DeepEqual(got.Intervals[i].Docs, c.Intervals[i].Docs) {
+			t.Errorf("interval %d docs differ: got %v want %v", i, got.Intervals[i].Docs, c.Intervals[i].Docs)
+		}
+	}
+}
+
+func TestWriteJSONLDetectsMisfiledDocument(t *testing.T) {
+	c := smallCollection()
+	c.Intervals[0].Docs[0].Interval = 1 // misfile
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err == nil {
+		t.Fatal("WriteJSONL accepted a misfiled document")
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("ReadJSONL accepted garbage")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"id":1,"interval":-3}` + "\n")); err == nil {
+		t.Fatal("ReadJSONL accepted negative interval")
+	}
+}
+
+func TestReadJSONLSkipsBlankLinesAndFillsEmptyIntervals(t *testing.T) {
+	in := `{"id":1,"interval":0,"keywords":["a","b"]}
+
+{"id":2,"interval":2,"keywords":["c","d"]}
+`
+	c, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(c.Intervals) != 3 {
+		t.Fatalf("got %d intervals, want 3", len(c.Intervals))
+	}
+	if len(c.Intervals[1].Docs) != 0 {
+		t.Errorf("interval 1 should be empty, has %d docs", len(c.Intervals[1].Docs))
+	}
+}
+
+func TestDayLabels(t *testing.T) {
+	start := time.Date(2007, 1, 6, 0, 0, 0, 0, time.UTC)
+	got := DayLabels(start, 3)
+	want := []string{"Jan 6 2007", "Jan 7 2007", "Jan 8 2007"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DayLabels = %v, want %v", got, want)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GeneratorConfig{
+		Seed: 42, NumIntervals: 3, BackgroundPosts: 50,
+		BackgroundVocab: 200, WordsPerPost: 5,
+		Events: []Event{{Name: "e", Phases: []Phase{{
+			Keywords: []string{"foo", "bar", "baz"}, Intervals: []int{1}, Posts: 20,
+		}}}},
+	}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different corpora")
+	}
+	if a.NumDocs() != 3*50+20 {
+		t.Errorf("NumDocs = %d, want %d", a.NumDocs(), 3*50+20)
+	}
+}
+
+func TestGenerateEventSignal(t *testing.T) {
+	cfg := GeneratorConfig{
+		Seed: 7, NumIntervals: 2, BackgroundPosts: 100,
+		BackgroundVocab: 500, WordsPerPost: 6,
+		Events: []Event{{Name: "e", Phases: []Phase{{
+			Keywords: []string{"foo", "bar"}, Intervals: []int{0}, Posts: 40, KeywordProb: 0.95,
+		}}}},
+	}
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Count posts in interval 0 containing both foo and bar.
+	both := 0
+	for _, d := range c.Intervals[0].Docs {
+		hasFoo, hasBar := false, false
+		for _, k := range d.Keywords {
+			if k == "foo" {
+				hasFoo = true
+			}
+			if k == "bar" {
+				hasBar = true
+			}
+		}
+		if hasFoo && hasBar {
+			both++
+		}
+	}
+	if both < 25 {
+		t.Errorf("only %d posts contain both event keywords, want >= 25", both)
+	}
+	// Interval 1 must contain no event keywords at all.
+	for _, d := range c.Intervals[1].Docs {
+		for _, k := range d.Keywords {
+			if k == "foo" || k == "bar" {
+				t.Fatalf("event keyword %q leaked into inactive interval", k)
+			}
+		}
+	}
+}
+
+func TestGenerateDocsHaveDistinctKeywords(t *testing.T) {
+	c, err := Generate(GeneratorConfig{
+		Seed: 3, NumIntervals: 2, BackgroundPosts: 80,
+		BackgroundVocab: 100, WordsPerPost: 8,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for _, iv := range c.Intervals {
+		for _, d := range iv.Docs {
+			seen := map[string]struct{}{}
+			for _, k := range d.Keywords {
+				if _, dup := seen[k]; dup {
+					t.Fatalf("doc %d repeats keyword %q", d.ID, k)
+				}
+				seen[k] = struct{}{}
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GeneratorConfig{
+		{NumIntervals: 0, BackgroundVocab: 10, WordsPerPost: 2},
+		{NumIntervals: 1, BackgroundVocab: 0, WordsPerPost: 2},
+		{NumIntervals: 1, BackgroundVocab: 10, WordsPerPost: 0},
+		{NumIntervals: 1, BackgroundVocab: 2, WordsPerPost: 5},
+		{NumIntervals: 1, BackgroundVocab: 10, WordsPerPost: 2, ZipfS: 0.5},
+		{NumIntervals: 1, BackgroundVocab: 10, WordsPerPost: 2,
+			Events: []Event{{Name: "x", Phases: []Phase{{Keywords: []string{"only"}, Intervals: []int{0}}}}}},
+		{NumIntervals: 1, BackgroundVocab: 10, WordsPerPost: 2,
+			Events: []Event{{Name: "x", Phases: []Phase{{Keywords: []string{"a", "b"}, Intervals: []int{5}}}}}},
+		{NumIntervals: 1, BackgroundVocab: 10, WordsPerPost: 2,
+			Events: []Event{{Name: "x", Phases: []Phase{{Keywords: []string{"a", "b"}, Intervals: []int{0}, KeywordProb: 1.5}}}}},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d: Generate accepted invalid config", i)
+		}
+	}
+}
+
+func TestNewsWeekShape(t *testing.T) {
+	cfg := NewsWeek(1, 200)
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate(NewsWeek): %v", err)
+	}
+	if len(c.Intervals) != 7 {
+		t.Fatalf("NewsWeek intervals = %d, want 7", len(c.Intervals))
+	}
+	// Somalia keywords must appear in every interval; beckham only on the last.
+	hasKeyword := func(iv Interval, kw string) bool {
+		for _, d := range iv.Docs {
+			for _, k := range d.Keywords {
+				if k == kw {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for i, iv := range c.Intervals {
+		if !hasKeyword(iv, "somalia") {
+			t.Errorf("interval %d missing persistent event keyword somalia", i)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if hasKeyword(c.Intervals[i], "beckham") {
+			t.Errorf("beckham appears on day %d, want only day 6", i)
+		}
+	}
+	if !hasKeyword(c.Intervals[6], "beckham") {
+		t.Error("beckham missing from day 6")
+	}
+	// FA cup gap: liverpool present day 0, 3, 4; absent day 1, 2.
+	wantDays := map[int]bool{0: true, 1: false, 2: false, 3: true, 4: true}
+	for d, want := range wantDays {
+		if got := hasKeyword(c.Intervals[d], "liverpool"); got != want {
+			t.Errorf("liverpool on day %d = %t, want %t", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The synthetic generator stands in for the BlogScope crawl (75M posts)
+// that the paper uses and that we do not have. It produces the same
+// statistical structure the algorithms exploit:
+//
+//   - a large background vocabulary with Zipf-distributed usage, giving
+//     heavy but *independent* co-occurrence that the χ² / ρ filters must
+//     prune, and
+//   - injected events: sets of keywords that co-occur in many posts over
+//     chosen intervals, optionally drifting (keyword sets change between
+//     phases, as in the paper's iPhone→Cisco-lawsuit example) or gapped
+//     (active intervals are non-contiguous, as in the FA-cup example).
+//
+// Everything is driven by a seeded *rand.Rand, so corpora are fully
+// reproducible.
+
+// Phase is one temporal stage of an Event: while active, posts mentioning
+// the phase's keyword set are injected into each listed interval.
+type Phase struct {
+	// Keywords are the correlated keywords of this phase. They should
+	// already be in analyzed (stemmed) form.
+	Keywords []string
+	// Intervals lists the interval indices the phase is active in. Gaps
+	// are expressed by omitting intervals.
+	Intervals []int
+	// Posts is the number of injected posts per active interval.
+	Posts int
+	// KeywordProb is the probability that each keyword of the phase
+	// appears in an injected post. Values near 1 produce very strong
+	// pair-wise correlations; the default (when 0) is 0.9.
+	KeywordProb float64
+}
+
+// Event is a named story in the synthetic blogosphere, made of one or
+// more phases. A single-phase event is a burst; multi-phase events model
+// topic drift.
+type Event struct {
+	Name   string
+	Phases []Phase
+}
+
+// GeneratorConfig parameterizes a synthetic corpus.
+type GeneratorConfig struct {
+	// Seed makes the corpus reproducible.
+	Seed int64
+	// NumIntervals is m, the number of temporal intervals.
+	NumIntervals int
+	// BackgroundPosts is the number of background (event-free) posts per
+	// interval.
+	BackgroundPosts int
+	// BackgroundVocab is the number of distinct background words.
+	BackgroundVocab int
+	// WordsPerPost is the number of distinct background words per post.
+	WordsPerPost int
+	// ZipfS is the Zipf exponent for background word frequencies
+	// (must be > 1; default 1.4 — blog text is heavy-tailed).
+	ZipfS float64
+	// Events are the injected stories.
+	Events []Event
+}
+
+// Validate reports the first configuration error.
+func (cfg *GeneratorConfig) Validate() error {
+	if cfg.NumIntervals <= 0 {
+		return fmt.Errorf("corpus: NumIntervals must be positive, got %d", cfg.NumIntervals)
+	}
+	if cfg.BackgroundVocab <= 0 {
+		return fmt.Errorf("corpus: BackgroundVocab must be positive, got %d", cfg.BackgroundVocab)
+	}
+	if cfg.WordsPerPost <= 0 {
+		return fmt.Errorf("corpus: WordsPerPost must be positive, got %d", cfg.WordsPerPost)
+	}
+	if cfg.WordsPerPost > cfg.BackgroundVocab {
+		return fmt.Errorf("corpus: WordsPerPost (%d) exceeds BackgroundVocab (%d)", cfg.WordsPerPost, cfg.BackgroundVocab)
+	}
+	if cfg.ZipfS != 0 && cfg.ZipfS <= 1 {
+		return fmt.Errorf("corpus: ZipfS must be > 1, got %g", cfg.ZipfS)
+	}
+	for _, ev := range cfg.Events {
+		for pi, ph := range ev.Phases {
+			if len(ph.Keywords) < 2 {
+				return fmt.Errorf("corpus: event %q phase %d needs at least 2 keywords", ev.Name, pi)
+			}
+			for _, iv := range ph.Intervals {
+				if iv < 0 || iv >= cfg.NumIntervals {
+					return fmt.Errorf("corpus: event %q phase %d references interval %d outside [0,%d)", ev.Name, pi, iv, cfg.NumIntervals)
+				}
+			}
+			if ph.KeywordProb < 0 || ph.KeywordProb > 1 {
+				return fmt.Errorf("corpus: event %q phase %d keyword probability %g outside [0,1]", ev.Name, pi, ph.KeywordProb)
+			}
+		}
+	}
+	return nil
+}
+
+// Generate builds the synthetic collection described by cfg.
+func Generate(cfg GeneratorConfig) (*Collection, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := cfg.ZipfS
+	if s == 0 {
+		s = 1.4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, s, 1, uint64(cfg.BackgroundVocab-1))
+
+	vocab := make([]string, cfg.BackgroundVocab)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("bg%05d", i)
+	}
+
+	c := &Collection{Intervals: make([]Interval, cfg.NumIntervals)}
+	var nextID int64
+	backgroundWords := func() []string {
+		seen := map[string]struct{}{}
+		words := make([]string, 0, cfg.WordsPerPost)
+		for len(words) < cfg.WordsPerPost {
+			w := vocab[zipf.Uint64()]
+			if _, dup := seen[w]; dup {
+				continue
+			}
+			seen[w] = struct{}{}
+			words = append(words, w)
+		}
+		return words
+	}
+
+	for i := 0; i < cfg.NumIntervals; i++ {
+		iv := Interval{Index: i}
+		for p := 0; p < cfg.BackgroundPosts; p++ {
+			iv.Docs = append(iv.Docs, Document{ID: nextID, Interval: i, Keywords: backgroundWords()})
+			nextID++
+		}
+		for _, ev := range cfg.Events {
+			for _, ph := range ev.Phases {
+				if !containsInt(ph.Intervals, i) {
+					continue
+				}
+				prob := ph.KeywordProb
+				if prob == 0 {
+					prob = 0.9
+				}
+				for p := 0; p < ph.Posts; p++ {
+					kws := make([]string, 0, len(ph.Keywords)+2)
+					for _, k := range ph.Keywords {
+						if rng.Float64() < prob {
+							kws = append(kws, k)
+						}
+					}
+					// Guarantee at least two event keywords so the post
+					// actually contributes co-occurrence signal.
+					for len(kws) < 2 {
+						k := ph.Keywords[rng.Intn(len(ph.Keywords))]
+						if !containsStr(kws, k) {
+							kws = append(kws, k)
+						}
+					}
+					// Mix in background chatter, as real posts do.
+					for _, w := range backgroundWords()[:min(2, cfg.WordsPerPost)] {
+						if !containsStr(kws, w) {
+							kws = append(kws, w)
+						}
+					}
+					iv.Docs = append(iv.Docs, Document{ID: nextID, Interval: i, Keywords: kws})
+					nextID++
+				}
+			}
+		}
+		c.Intervals[i] = iv
+	}
+	return c, nil
+}
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func containsStr(s []string, x string) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// NewsWeek returns a preset configuration mirroring the paper's
+// qualitative week (Jan 6–12 2007): five events with the same temporal
+// signatures as the figures, over seven daily intervals.
+//
+//	Figure 1  — stem-cell discovery: single-day burst (Jan 8).
+//	Figure 2  — Beckham to LA Galaxy: single-day burst (Jan 12).
+//	Figure 4  — FA-cup soccer: active Jan 6, gap Jan 7–8, active Jan 9–10.
+//	Figure 15 — iPhone: features (Jan 9–10) drifting to Cisco lawsuit (Jan 11–12).
+//	Figure 16 — Somalia: persistent all seven days, swelling on Jan 9.
+func NewsWeek(seed int64, backgroundPosts int) GeneratorConfig {
+	day := func(d int) int { return d - 6 } // Jan 6 == interval 0
+	return GeneratorConfig{
+		Seed:            seed,
+		NumIntervals:    7,
+		BackgroundPosts: backgroundPosts,
+		BackgroundVocab: 4000,
+		WordsPerPost:    8,
+		Events: []Event{
+			{Name: "stemcell", Phases: []Phase{{
+				Keywords:  []string{"stem", "cell", "amniot", "fluid", "embryon", "wake", "forest", "atala"},
+				Intervals: []int{day(8)},
+				Posts:     160,
+			}}},
+			{Name: "beckham", Phases: []Phase{{
+				Keywords:  []string{"beckham", "galaxi", "madrid", "soccer", "mls", "real"},
+				Intervals: []int{day(12)},
+				Posts:     170,
+			}}},
+			{Name: "facup", Phases: []Phase{{
+				Keywords:  []string{"liverpool", "arsenal", "anfield", "rosicki", "goal", "cup"},
+				Intervals: []int{day(6), day(9), day(10)},
+				Posts:     120,
+			}}},
+			{Name: "iphone", Phases: []Phase{
+				{
+					Keywords:  []string{"iphon", "appl", "macworld", "touch", "screen", "featur"},
+					Intervals: []int{day(9), day(10)},
+					Posts:     150,
+				},
+				{
+					Keywords:  []string{"iphon", "appl", "cisco", "lawsuit", "trademark", "infring"},
+					Intervals: []int{day(11), day(12)},
+					Posts:     150,
+				},
+			}},
+			{Name: "somalia", Phases: []Phase{{
+				Keywords:  []string{"somalia", "mogadishu", "ethiopian", "islamist", "kamboni", "yusuf", "gunship"},
+				Intervals: []int{day(6), day(7), day(8), day(9), day(10), day(11), day(12)},
+				Posts:     110,
+			}}},
+		},
+	}
+}

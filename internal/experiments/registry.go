@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper artifact at the given scale.
+type Runner func(Scale) (*Table, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"table1":      Table1,
+	"fig6":        Fig6,
+	"qualitative": Qualitative,
+	"table3":      Table3,
+	"fig7":        Fig7,
+	"fig8":        Fig8,
+	"fig9":        Fig9,
+	"fig10":       Fig10,
+	"fig11":       Fig11,
+	"fig12":       Fig12,
+	"fig13":       Fig13,
+	"fig14":       Fig14,
+	"ksens":       KSensitivity,
+	"memory":      Memory,
+}
+
+// IDs returns the known experiment ids, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id.
+func Run(id string, scale Scale) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("experiments: scale must be in (0,1], got %g", float64(scale))
+	}
+	return r(scale)
+}

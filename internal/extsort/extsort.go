@@ -1,0 +1,264 @@
+// Package extsort implements external-memory merge sort over string
+// records.
+//
+// Section 3 of the paper sorts the file of emitted keyword pairs
+// "lexicography (using external memory merge sort) such that all
+// identical keyword pairs appear together". This package provides that
+// primitive: records are buffered in memory up to a budget, spilled as
+// sorted runs to temporary files, and merged with a k-way heap merge.
+// The same code path is exercised whether or not a spill happens, so
+// tests can force tiny budgets while production callers use large ones.
+package extsort
+
+import (
+	"bufio"
+	"container/heap"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Stats describes the I/O behaviour of one sort.
+type Stats struct {
+	// Records is the number of records added.
+	Records int
+	// Runs is the number of sorted runs spilled to disk. Zero means the
+	// sort completed entirely in memory.
+	Runs int
+	// SpilledBytes counts bytes written to run files.
+	SpilledBytes int64
+}
+
+// Sorter accumulates records and then streams them back in sorted order.
+// The zero value is not usable; call New.
+type Sorter struct {
+	dir       string // temp dir holding run files; "" until first spill
+	maxBytes  int    // in-memory budget before spilling
+	buf       []string
+	bufBytes  int
+	runFiles  []string
+	stats     Stats
+	finalized bool
+}
+
+// DefaultMemoryBudget is the in-memory buffer budget used when New is
+// given a non-positive budget (64 MiB).
+const DefaultMemoryBudget = 64 << 20
+
+// New returns a Sorter that buffers up to maxBytes of record data in
+// memory before spilling a sorted run to a temporary file.
+func New(maxBytes int) *Sorter {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMemoryBudget
+	}
+	return &Sorter{maxBytes: maxBytes}
+}
+
+// Add appends one record. Records must not contain '\n'.
+func (s *Sorter) Add(rec string) error {
+	if s.finalized {
+		return fmt.Errorf("extsort: Add after Sort")
+	}
+	for i := 0; i < len(rec); i++ {
+		if rec[i] == '\n' {
+			return fmt.Errorf("extsort: record contains newline: %q", rec)
+		}
+	}
+	s.buf = append(s.buf, rec)
+	s.bufBytes += len(rec)
+	s.stats.Records++
+	if s.bufBytes >= s.maxBytes {
+		return s.spill()
+	}
+	return nil
+}
+
+func (s *Sorter) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	if s.dir == "" {
+		dir, err := os.MkdirTemp("", "extsort-")
+		if err != nil {
+			return fmt.Errorf("extsort: create temp dir: %w", err)
+		}
+		s.dir = dir
+	}
+	sort.Strings(s.buf)
+	name := filepath.Join(s.dir, fmt.Sprintf("run-%06d", len(s.runFiles)))
+	f, err := os.Create(name)
+	if err != nil {
+		return fmt.Errorf("extsort: create run file: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, rec := range s.buf {
+		n, err := w.WriteString(rec)
+		if err == nil {
+			err = w.WriteByte('\n')
+		}
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("extsort: write run: %w", err)
+		}
+		s.stats.SpilledBytes += int64(n) + 1
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("extsort: flush run: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("extsort: close run: %w", err)
+	}
+	s.runFiles = append(s.runFiles, name)
+	s.stats.Runs++
+	s.buf = s.buf[:0]
+	s.bufBytes = 0
+	return nil
+}
+
+// Sort finalizes the sorter and returns an iterator over all records in
+// ascending order. The caller must Close the iterator, which also
+// removes any temporary files.
+func (s *Sorter) Sort() (*Iterator, error) {
+	if s.finalized {
+		return nil, fmt.Errorf("extsort: Sort called twice")
+	}
+	s.finalized = true
+	if len(s.runFiles) == 0 {
+		// Pure in-memory path.
+		sort.Strings(s.buf)
+		return &Iterator{mem: s.buf}, nil
+	}
+	// Spill the tail so the merge only deals with files.
+	if err := s.spill(); err != nil {
+		return nil, err
+	}
+	it := &Iterator{dir: s.dir}
+	for _, name := range s.runFiles {
+		f, err := os.Open(name)
+		if err != nil {
+			it.Close()
+			return nil, fmt.Errorf("extsort: open run: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		src := &runSource{f: f, sc: sc}
+		if src.advance() {
+			it.h = append(it.h, src)
+		} else {
+			src.close()
+			if src.err != nil {
+				it.Close()
+				return nil, src.err
+			}
+		}
+	}
+	heap.Init(&it.h)
+	return it, nil
+}
+
+// Stats returns I/O statistics for the sort so far.
+func (s *Sorter) Stats() Stats { return s.stats }
+
+// runSource reads one sorted run file.
+type runSource struct {
+	f    *os.File
+	sc   *bufio.Scanner
+	cur  string
+	err  error
+	done bool
+}
+
+func (r *runSource) advance() bool {
+	if r.sc.Scan() {
+		r.cur = r.sc.Text()
+		return true
+	}
+	r.err = r.sc.Err()
+	r.done = true
+	return false
+}
+
+func (r *runSource) close() {
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+}
+
+// mergeHeap is a min-heap of run sources ordered by current record.
+type mergeHeap []*runSource
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].cur < h[j].cur }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*runSource)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Iterator yields records in sorted order.
+type Iterator struct {
+	// In-memory path.
+	mem []string
+	pos int
+	// Merge path.
+	dir string
+	h   mergeHeap
+	err error
+}
+
+// Next returns the next record. ok is false when the stream is
+// exhausted or an error occurred; check Err afterwards.
+func (it *Iterator) Next() (rec string, ok bool) {
+	if it.err != nil {
+		return "", false
+	}
+	if it.dir == "" {
+		if it.pos >= len(it.mem) {
+			return "", false
+		}
+		rec = it.mem[it.pos]
+		it.pos++
+		return rec, true
+	}
+	if len(it.h) == 0 {
+		return "", false
+	}
+	src := it.h[0]
+	rec = src.cur
+	if src.advance() {
+		heap.Fix(&it.h, 0)
+	} else {
+		if src.err != nil {
+			it.err = src.err
+			return "", false
+		}
+		src.close()
+		heap.Pop(&it.h)
+	}
+	return rec, true
+}
+
+// Err returns the first error encountered while iterating.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases run files and the temporary directory.
+func (it *Iterator) Close() error {
+	for _, src := range it.h {
+		src.close()
+	}
+	it.h = nil
+	if it.dir != "" {
+		if err := os.RemoveAll(it.dir); err != nil {
+			return fmt.Errorf("extsort: remove temp dir: %w", err)
+		}
+		it.dir = ""
+	}
+	return nil
+}

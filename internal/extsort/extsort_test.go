@@ -1,0 +1,220 @@
+package extsort
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func drain(t *testing.T, it *Iterator) []string {
+	t.Helper()
+	var out []string
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, rec)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("iterator error: %v", err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return out
+}
+
+func sortThrough(t *testing.T, budget int, recs []string) []string {
+	t.Helper()
+	s := New(budget)
+	for _, r := range recs {
+		if err := s.Add(r); err != nil {
+			t.Fatalf("Add(%q): %v", r, err)
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	return drain(t, it)
+}
+
+func TestInMemorySort(t *testing.T) {
+	got := sortThrough(t, 1<<20, []string{"pear", "apple", "orange", "apple"})
+	want := []string{"apple", "apple", "orange", "pear"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestSpillingSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var recs []string
+	for i := 0; i < 5000; i++ {
+		recs = append(recs, fmt.Sprintf("key-%06d", rng.Intn(2000)))
+	}
+	s := New(256) // force many spills
+	for _, r := range recs {
+		if err := s.Add(r); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if s.Stats().Runs == 0 {
+		t.Fatal("expected spills with a 256-byte budget")
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	got := drain(t, it)
+	want := append([]string(nil), recs...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEmptySort(t *testing.T) {
+	got := sortThrough(t, 1024, nil)
+	if len(got) != 0 {
+		t.Errorf("got %v, want empty", got)
+	}
+}
+
+func TestRejectsNewlines(t *testing.T) {
+	s := New(1024)
+	if err := s.Add("bad\nrecord"); err == nil {
+		t.Fatal("Add accepted a record with a newline")
+	}
+}
+
+func TestSortTwiceFails(t *testing.T) {
+	s := New(1024)
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatalf("first Sort: %v", err)
+	}
+	it.Close()
+	if _, err := s.Sort(); err == nil {
+		t.Fatal("second Sort succeeded")
+	}
+	if err := s.Add("x"); err == nil {
+		t.Fatal("Add after Sort succeeded")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := New(8)
+	for _, r := range []string{"aaaa", "bbbb", "cccc"} {
+		if err := s.Add(r); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	st := s.Stats()
+	if st.Records != 3 {
+		t.Errorf("Records = %d, want 3", st.Records)
+	}
+	if st.Runs == 0 {
+		t.Error("expected at least one spill run")
+	}
+	if st.SpilledBytes == 0 {
+		t.Error("expected spilled bytes > 0")
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	it.Close()
+}
+
+// Property: for any record multiset and any small budget, the output is a
+// sorted permutation of the input. Runs both spilling and in-memory paths.
+func TestSortedPermutationProperty(t *testing.T) {
+	f := func(raw []string, budgetSeed uint8) bool {
+		recs := make([]string, len(raw))
+		for i, r := range raw {
+			// Sanitize: strip newlines, cap length.
+			b := []byte(r)
+			for j := range b {
+				if b[j] == '\n' {
+					b[j] = '_'
+				}
+			}
+			if len(b) > 20 {
+				b = b[:20]
+			}
+			recs[i] = string(b)
+		}
+		budget := 1 + int(budgetSeed)%64
+		s := New(budget)
+		for _, r := range recs {
+			if err := s.Add(r); err != nil {
+				return false
+			}
+		}
+		it, err := s.Sort()
+		if err != nil {
+			return false
+		}
+		var got []string
+		for {
+			rec, ok := it.Next()
+			if !ok {
+				break
+			}
+			got = append(got, rec)
+		}
+		if it.Err() != nil || it.Close() != nil {
+			return false
+		}
+		want := append([]string(nil), recs...)
+		sort.Strings(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSpillingSort(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	recs := make([]string, 20000)
+	for i := range recs {
+		recs[i] = fmt.Sprintf("pair %08d %08d", rng.Intn(4000), rng.Intn(4000))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(64 << 10)
+		for _, r := range recs {
+			if err := s.Add(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		it, err := s.Sort()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+		it.Close()
+	}
+}

@@ -1,0 +1,203 @@
+// Package index implements the keyword index underlying BlogScope, the
+// host system of the paper (Sections 1 and 3): per-interval inverted
+// posting lists over a temporally ordered document stream.
+//
+// The index answers the primitives the rest of the pipeline and the
+// search features need:
+//
+//   - A(u): how many documents of an interval contain keyword u;
+//   - A(u,v): how many contain both u and v (posting intersection);
+//   - boolean keyword search within an interval or range;
+//   - per-keyword time series across intervals (the input to burst
+//     detection, internal/burst).
+//
+// Postings are sorted document-id slices; intersections run in
+// O(|shorter| + |longer|) with a galloping fallback for very skewed
+// pairs.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/corpus"
+)
+
+// Index is an inverted keyword index over a collection's intervals.
+// Build one with New; it is immutable and safe for concurrent readers
+// afterwards.
+type Index struct {
+	intervals []intervalIndex
+	// docs counts documents per interval.
+	docs []int
+}
+
+type intervalIndex struct {
+	postings map[string][]int64 // keyword → sorted doc ids
+}
+
+// New indexes every interval of the collection. Document keywords are
+// treated as sets (duplicates within a document are counted once),
+// matching the binary per-document semantics of Section 3.
+func New(c *corpus.Collection) (*Index, error) {
+	idx := &Index{
+		intervals: make([]intervalIndex, len(c.Intervals)),
+		docs:      make([]int, len(c.Intervals)),
+	}
+	for i, iv := range c.Intervals {
+		postings := make(map[string][]int64)
+		idx.docs[i] = len(iv.Docs)
+		for _, d := range iv.Docs {
+			if d.Interval != i {
+				return nil, fmt.Errorf("index: document %d claims interval %d but lives in %d", d.ID, d.Interval, i)
+			}
+			seen := map[string]struct{}{}
+			for _, w := range d.Keywords {
+				if _, dup := seen[w]; dup {
+					continue
+				}
+				seen[w] = struct{}{}
+				postings[w] = append(postings[w], d.ID)
+			}
+		}
+		for w := range postings {
+			p := postings[w]
+			sort.Slice(p, func(a, b int) bool { return p[a] < p[b] })
+			// Document ids must be unique within an interval, or A(u)
+			// counts would double-count.
+			for j := 1; j < len(p); j++ {
+				if p[j] == p[j-1] {
+					return nil, fmt.Errorf("index: interval %d: duplicate document id %d", i, p[j])
+				}
+			}
+		}
+		idx.intervals[i].postings = postings
+	}
+	return idx, nil
+}
+
+// NumIntervals returns the number of indexed intervals.
+func (x *Index) NumIntervals() int { return len(x.intervals) }
+
+// NumDocs returns the number of documents in interval i.
+func (x *Index) NumDocs(i int) int {
+	if i < 0 || i >= len(x.docs) {
+		return 0
+	}
+	return x.docs[i]
+}
+
+// Postings returns the sorted document ids containing keyword w in
+// interval i. The returned slice is shared; callers must not modify it.
+func (x *Index) Postings(w string, i int) []int64 {
+	if i < 0 || i >= len(x.intervals) {
+		return nil
+	}
+	return x.intervals[i].postings[w]
+}
+
+// DocFreq returns A(u) for interval i.
+func (x *Index) DocFreq(w string, i int) int64 {
+	return int64(len(x.Postings(w, i)))
+}
+
+// CoDocFreq returns A(u,v) for interval i via posting intersection.
+func (x *Index) CoDocFreq(u, v string, i int) int64 {
+	return int64(len(Intersect(x.Postings(u, i), x.Postings(v, i))))
+}
+
+// Search returns the sorted ids of interval-i documents containing ALL
+// the given keywords (boolean AND). An empty keyword list matches
+// nothing.
+func (x *Index) Search(keywords []string, i int) []int64 {
+	if len(keywords) == 0 {
+		return nil
+	}
+	// Intersect rarest-first so intermediate results shrink fastest.
+	lists := make([][]int64, len(keywords))
+	for j, w := range keywords {
+		lists[j] = x.Postings(w, i)
+		if len(lists[j]) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(lists, func(a, b int) bool { return len(lists[a]) < len(lists[b]) })
+	acc := lists[0]
+	for _, l := range lists[1:] {
+		acc = Intersect(acc, l)
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	// acc may alias a posting list; copy before returning.
+	out := make([]int64, len(acc))
+	copy(out, acc)
+	return out
+}
+
+// TimeSeries returns A(w) for every interval — the document-frequency
+// trajectory burst detection consumes.
+func (x *Index) TimeSeries(w string) []int64 {
+	out := make([]int64, len(x.intervals))
+	for i := range x.intervals {
+		out[i] = x.DocFreq(w, i)
+	}
+	return out
+}
+
+// Vocabulary returns the sorted distinct keywords of interval i.
+func (x *Index) Vocabulary(i int) []string {
+	if i < 0 || i >= len(x.intervals) {
+		return nil
+	}
+	words := make([]string, 0, len(x.intervals[i].postings))
+	for w := range x.intervals[i].postings {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	return words
+}
+
+// Intersect returns the sorted intersection of two sorted id slices.
+// When one list is much shorter, it gallops (doubling binary search)
+// through the longer one.
+func Intersect(a, b []int64) []int64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return nil
+	}
+	var out []int64
+	if len(b) >= 16*len(a) {
+		// Galloping: binary-search each element of the short list.
+		lo := 0
+		for _, v := range a {
+			i := lo + sort.Search(len(b)-lo, func(j int) bool { return b[lo+j] >= v })
+			if i < len(b) && b[i] == v {
+				out = append(out, v)
+				lo = i + 1
+			} else {
+				lo = i
+			}
+			if lo >= len(b) {
+				break
+			}
+		}
+		return out
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

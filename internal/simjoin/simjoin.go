@@ -1,0 +1,191 @@
+// Package simjoin implements an all-pairs set-similarity join with
+// prefix filtering.
+//
+// Section 4 of the paper notes that when the per-interval cluster sets
+// are large, computing affinity between all cluster pairs is the
+// classic problem of finding all string (set) pairs with similarity
+// above a threshold, and that efficient solutions "can easily be
+// adapted" (ref [11], Koudas–Marathe–Srivastava). This package is that
+// adaptation for the Jaccard affinity: clusters whose Jaccard
+// similarity is at least θ are found without examining the vast
+// majority of dissimilar pairs, using the standard prefix-filtering
+// principle (order tokens by global rarity; two sets with Jaccard ≥ θ
+// must share a token within their short prefixes).
+package simjoin
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+)
+
+// Pair is one join result: indices into the left and right inputs and
+// the exact Jaccard similarity.
+type Pair struct {
+	Left, Right int
+	Sim         float64
+}
+
+// Join returns all pairs (l, r) with Jaccard(left[l], right[r]) >= theta.
+// theta must be in (0, 1]. Results are sorted by (Left, Right).
+func Join(left, right []cluster.Cluster, theta float64) ([]Pair, error) {
+	if theta <= 0 || theta > 1 {
+		return nil, fmt.Errorf("simjoin: theta must be in (0,1], got %g", theta)
+	}
+
+	// Build the global token frequency map so tokens can be ordered
+	// rarest-first; rare tokens make prefixes selective.
+	freq := map[string]int{}
+	for _, c := range left {
+		for _, w := range c.Keywords {
+			freq[w]++
+		}
+	}
+	for _, c := range right {
+		for _, w := range c.Keywords {
+			freq[w]++
+		}
+	}
+	rank := makeRanks(freq)
+
+	lrec := makeRecords(left, rank)
+	rrec := makeRecords(right, rank)
+
+	// Inverted index over the prefixes of the right side.
+	type posting struct {
+		rec int // index into rrec
+	}
+	index := map[int32][]posting{}
+	for j, r := range rrec {
+		for _, tok := range r.tokens[:prefixLen(len(r.tokens), theta)] {
+			index[tok] = append(index[tok], posting{rec: j})
+		}
+	}
+
+	var out []Pair
+	seen := make([]int, len(rrec)) // candidate de-dup stamps
+	stamp := 0
+	for i, l := range lrec {
+		stamp++
+		np := prefixLen(len(l.tokens), theta)
+		for _, tok := range l.tokens[:np] {
+			for _, p := range index[tok] {
+				if seen[p.rec] == stamp {
+					continue
+				}
+				seen[p.rec] = stamp
+				r := rrec[p.rec]
+				// Size filter: Jaccard >= theta requires
+				// theta*|l| <= |r| <= |l|/theta.
+				ls, rs := float64(len(l.tokens)), float64(len(r.tokens))
+				if rs < theta*ls || rs > ls/theta {
+					continue
+				}
+				sim := jaccardSorted(l.tokens, r.tokens)
+				if sim >= theta {
+					out = append(out, Pair{Left: i, Right: p.rec, Sim: sim})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Left != out[b].Left {
+			return out[a].Left < out[b].Left
+		}
+		return out[a].Right < out[b].Right
+	})
+	return out, nil
+}
+
+// JoinBrute is the quadratic reference join, used for verification and
+// as the faster choice for small inputs.
+func JoinBrute(left, right []cluster.Cluster, theta float64) ([]Pair, error) {
+	if theta <= 0 || theta > 1 {
+		return nil, fmt.Errorf("simjoin: theta must be in (0,1], got %g", theta)
+	}
+	var out []Pair
+	for i := range left {
+		for j := range right {
+			if sim := cluster.Jaccard(left[i], right[j]); sim >= theta {
+				out = append(out, Pair{Left: i, Right: j, Sim: sim})
+			}
+		}
+	}
+	return out, nil
+}
+
+// prefixLen is |s| − ceil(θ·|s|) + 1, the number of leading (rarest)
+// tokens that must be indexed/probed so that no qualifying pair is
+// missed.
+func prefixLen(n int, theta float64) int {
+	if n == 0 {
+		return 0
+	}
+	p := n - int(math.Ceil(theta*float64(n))) + 1
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+type record struct {
+	tokens []int32 // token ids sorted by global rank (rarest first)
+}
+
+func makeRanks(freq map[string]int) map[string]int32 {
+	words := make([]string, 0, len(freq))
+	for w := range freq {
+		words = append(words, w)
+	}
+	// Rarest first; ties broken lexicographically for determinism.
+	sort.Slice(words, func(i, j int) bool {
+		if freq[words[i]] != freq[words[j]] {
+			return freq[words[i]] < freq[words[j]]
+		}
+		return words[i] < words[j]
+	})
+	rank := make(map[string]int32, len(words))
+	for i, w := range words {
+		rank[w] = int32(i)
+	}
+	return rank
+}
+
+func makeRecords(cs []cluster.Cluster, rank map[string]int32) []record {
+	recs := make([]record, len(cs))
+	for i, c := range cs {
+		toks := make([]int32, len(c.Keywords))
+		for j, w := range c.Keywords {
+			toks[j] = rank[w]
+		}
+		sort.Slice(toks, func(a, b int) bool { return toks[a] < toks[b] })
+		recs[i] = record{tokens: toks}
+	}
+	return recs
+}
+
+func jaccardSorted(a, b []int32) float64 {
+	i, j, inter := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,115 @@
+// Package stats implements the statistical machinery of Section 3 of
+// the paper: the χ² independence test over 2×2 keyword contingency
+// tables (Equation 1) and the binary correlation coefficient ρ in its
+// single-pass form (Equation 3).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquared95 is the critical value of the χ² distribution with one
+// degree of freedom at the 95% confidence level. The paper prunes edges
+// whose χ² statistic does not exceed it.
+const ChiSquared95 = 3.84
+
+// chi2Quantiles maps confidence level → critical value for 1 degree of
+// freedom, from standard tables, so callers can pick significance levels
+// other than the paper's 95%.
+var chi2Quantiles = map[float64]float64{
+	0.90:  2.71,
+	0.95:  3.84,
+	0.975: 5.02,
+	0.99:  6.63,
+	0.995: 7.88,
+	0.999: 10.83,
+}
+
+// ChiSquaredCritical returns the critical χ² value (1 dof) for the given
+// confidence level. Supported levels are 0.90, 0.95, 0.975, 0.99, 0.995
+// and 0.999.
+func ChiSquaredCritical(confidence float64) (float64, error) {
+	if v, ok := chi2Quantiles[confidence]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("stats: unsupported confidence level %g", confidence)
+}
+
+// ChiSquared computes the χ² statistic of Equation 1 for a keyword pair:
+// au = A(u) documents contain u, av = A(v) contain v, auv = A(u,v)
+// contain both, out of n documents total. The four contingency cells
+// (uv, ūv, uv̄, ūv̄) are derived from these counts.
+//
+// Degenerate tables — a keyword appearing in no document or in every
+// document — have an expected count of zero in some cell; independence is
+// untestable there and the statistic is defined as 0 (the edge fails the
+// test), matching the filter semantics of the pipeline.
+func ChiSquared(n, au, av, auv int64) float64 {
+	if n <= 0 || au <= 0 || av <= 0 || au >= n || av >= n {
+		return 0
+	}
+	if auv > au || auv > av || auv < 0 {
+		// Inconsistent counts: treat as failing rather than panicking;
+		// upstream validation reports these separately.
+		return 0
+	}
+	fn := float64(n)
+	fau := float64(au)
+	fav := float64(av)
+
+	// Observed cells.
+	oUV := float64(auv)
+	oUnV := fav - oUV        // ū v: v without u
+	oUVn := fau - oUV        // u v̄: u without v
+	oUnVn := fn - fau - oUnV // ū v̄
+
+	// Expected cells under independence.
+	eUV := fau * fav / fn
+	eUnV := (fn - fau) * fav / fn
+	eUVn := fau * (fn - fav) / fn
+	eUnVn := (fn - fau) * (fn - fav) / fn
+
+	cell := func(o, e float64) float64 {
+		d := o - e
+		return d * d / e
+	}
+	return cell(oUV, eUV) + cell(oUnV, eUnV) + cell(oUVn, eUVn) + cell(oUnVn, eUnVn)
+}
+
+// IsCorrelated reports whether the pair passes the χ² test at the 95%
+// confidence level, i.e. χ² > 3.84 (Section 3).
+func IsCorrelated(n, au, av, auv int64) bool {
+	return ChiSquared(n, au, av, auv) > ChiSquared95
+}
+
+// Correlation computes ρ(u,v) using the paper's single-pass rewrite
+// (Equation 3):
+//
+//	ρ(u,v) = (n·A(u,v) − A(u)·A(v)) / (sqrt((n−A(u))·A(u)) · sqrt((n−A(v))·A(v)))
+//
+// valid because the per-document indicators are 0/1 (ΣA_i² = ΣA_i). The
+// result is in [−1, 1]; pairs involving a keyword that appears in no or
+// every document have undefined correlation and return 0.
+func Correlation(n, au, av, auv int64) float64 {
+	if n <= 0 || au <= 0 || av <= 0 || au >= n || av >= n {
+		return 0
+	}
+	num := float64(n)*float64(auv) - float64(au)*float64(av)
+	den := math.Sqrt(float64(n-au)*float64(au)) * math.Sqrt(float64(n-av)*float64(av))
+	if den == 0 {
+		return 0
+	}
+	rho := num / den
+	// Clamp tiny floating-point excursions outside [-1, 1].
+	if rho > 1 {
+		rho = 1
+	} else if rho < -1 {
+		rho = -1
+	}
+	return rho
+}
+
+// DefaultRhoThreshold is the correlation-coefficient pruning threshold
+// the paper uses (ρ > 0.2) to keep only strongly correlated pairs.
+const DefaultRhoThreshold = 0.2

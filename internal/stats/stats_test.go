@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChiSquaredIndependentPair(t *testing.T) {
+	// u in half the docs, v in half the docs, co-occurring in exactly a
+	// quarter: perfectly independent, χ² must be 0.
+	if got := ChiSquared(1000, 500, 500, 250); got != 0 {
+		t.Errorf("χ² of independent pair = %g, want 0", got)
+	}
+}
+
+func TestChiSquaredPerfectlyCorrelated(t *testing.T) {
+	// u and v always co-occur in 100 of 1000 docs: χ² = n for a perfect
+	// association of this shape.
+	got := ChiSquared(1000, 100, 100, 100)
+	if got < ChiSquared95 {
+		t.Errorf("χ² of perfectly correlated pair = %g, want > %g", got, ChiSquared95)
+	}
+	// Hand-computed: E(uv)=10, cells give χ² = 81*1000/(9*100) ... verify
+	// against the closed form n*(ad-bc)²/((a+b)(c+d)(a+c)(b+d)).
+	want := closedForm(1000, 100, 100, 100)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("χ² = %g, want %g (closed form)", got, want)
+	}
+}
+
+// closedForm is the standard 2x2 χ² formula used as an independent oracle:
+// χ² = n(O11·O22 − O12·O21)² / (row1·row2·col1·col2).
+func closedForm(n, au, av, auv int64) float64 {
+	o11 := float64(auv)
+	o12 := float64(au - auv)
+	o21 := float64(av - auv)
+	o22 := float64(n - au - av + auv)
+	fn := float64(n)
+	num := fn * (o11*o22 - o12*o21) * (o11*o22 - o12*o21)
+	den := (o11 + o12) * (o21 + o22) * (o11 + o21) * (o12 + o22)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Property: Equation 1 agrees with the closed-form 2×2 χ² everywhere.
+func TestChiSquaredMatchesClosedForm(t *testing.T) {
+	f := func(nSeed, auSeed, avSeed, auvSeed uint16) bool {
+		n := int64(nSeed)%5000 + 10
+		au := int64(auSeed)%(n-1) + 1
+		av := int64(avSeed)%(n-1) + 1
+		maxAuv := au
+		if av < maxAuv {
+			maxAuv = av
+		}
+		minAuv := au + av - n
+		if minAuv < 0 {
+			minAuv = 0
+		}
+		if maxAuv < minAuv {
+			return true
+		}
+		auv := minAuv + int64(auvSeed)%(maxAuv-minAuv+1)
+		got := ChiSquared(n, au, av, auv)
+		want := closedForm(n, au, av, auv)
+		return math.Abs(got-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquaredDegenerateInputs(t *testing.T) {
+	cases := []struct{ n, au, av, auv int64 }{
+		{0, 0, 0, 0},
+		{100, 0, 50, 0},
+		{100, 50, 0, 0},
+		{100, 100, 50, 50}, // u in every doc
+		{100, 50, 100, 50}, // v in every doc
+		{100, 50, 50, 60},  // inconsistent: auv > au
+		{100, 50, 50, -1},  // inconsistent: negative
+	}
+	for _, c := range cases {
+		if got := ChiSquared(c.n, c.au, c.av, c.auv); got != 0 {
+			t.Errorf("ChiSquared(%v) = %g, want 0", c, got)
+		}
+	}
+}
+
+func TestIsCorrelated(t *testing.T) {
+	if !IsCorrelated(1000, 100, 100, 100) {
+		t.Error("perfectly co-occurring pair not flagged correlated")
+	}
+	if IsCorrelated(1000, 500, 500, 250) {
+		t.Error("independent pair flagged correlated")
+	}
+}
+
+func TestCorrelationBounds(t *testing.T) {
+	// Perfect positive correlation: identical indicator vectors.
+	if got := Correlation(1000, 100, 100, 100); math.Abs(got-1) > 1e-9 {
+		t.Errorf("ρ of identical keywords = %g, want 1", got)
+	}
+	// Perfect negative correlation: u and v partition the corpus.
+	if got := Correlation(100, 50, 50, 0); math.Abs(got+1) > 1e-9 {
+		t.Errorf("ρ of complementary keywords = %g, want -1", got)
+	}
+	// Independence.
+	if got := Correlation(1000, 500, 500, 250); got != 0 {
+		t.Errorf("ρ of independent pair = %g, want 0", got)
+	}
+}
+
+// Property: ρ is always in [-1, 1] and symmetric in u and v.
+func TestCorrelationProperties(t *testing.T) {
+	f := func(nSeed, auSeed, avSeed, auvSeed uint16) bool {
+		n := int64(nSeed)%5000 + 10
+		au := int64(auSeed)%(n-1) + 1
+		av := int64(avSeed)%(n-1) + 1
+		maxAuv := au
+		if av < maxAuv {
+			maxAuv = av
+		}
+		minAuv := au + av - n
+		if minAuv < 0 {
+			minAuv = 0
+		}
+		if maxAuv < minAuv {
+			return true
+		}
+		auv := minAuv + int64(auvSeed)%(maxAuv-minAuv+1)
+		rho := Correlation(n, au, av, auv)
+		if rho < -1 || rho > 1 {
+			return false
+		}
+		return rho == Correlation(n, av, au, auv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's motivation for ρ: with lots of data, χ² flags weak but real
+// correlations that ρ correctly reports as weak.
+func TestWeakCorrelationScenario(t *testing.T) {
+	// Over a day, two terms co-occur slightly more than chance in a big
+	// corpus: n=200000, A(u)=2000, A(v)=2000, expected co-occurrence 20,
+	// observed 60.
+	n, au, av, auv := int64(200000), int64(2000), int64(2000), int64(60)
+	if !IsCorrelated(n, au, av, auv) {
+		t.Error("χ² failed to detect the weak-but-real correlation")
+	}
+	rho := Correlation(n, au, av, auv)
+	if rho <= 0 || rho >= DefaultRhoThreshold {
+		t.Errorf("ρ = %g, want weak positive below the %g pruning threshold", rho, DefaultRhoThreshold)
+	}
+}
+
+func TestChiSquaredCritical(t *testing.T) {
+	v, err := ChiSquaredCritical(0.95)
+	if err != nil || v != 3.84 {
+		t.Errorf("ChiSquaredCritical(0.95) = %g, %v; want 3.84, nil", v, err)
+	}
+	if _, err := ChiSquaredCritical(0.42); err == nil {
+		t.Error("ChiSquaredCritical accepted unsupported level")
+	}
+	if v, _ := ChiSquaredCritical(0.999); v != 10.83 {
+		t.Errorf("ChiSquaredCritical(0.999) = %g, want 10.83", v)
+	}
+}
+
+func BenchmarkChiSquaredAndCorrelation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := int64(100000 + i%100)
+		ChiSquared(n, 500, 700, 90)
+		Correlation(n, 500, 700, 90)
+	}
+}

@@ -1,0 +1,134 @@
+package synth
+
+import (
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Config{Seed: 1, M: 5, N: 40, D: 3, G: 1}
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if g.NumIntervals() != 5 || g.NumNodes() != 200 {
+		t.Fatalf("shape: %d intervals %d nodes", g.NumIntervals(), g.NumNodes())
+	}
+	// Every node in a non-final interval has between 1 and 2D children
+	// per reachable later interval.
+	for i := 0; i < 4; i++ {
+		for _, id := range g.NodesAt(i) {
+			perDist := map[int]int{}
+			for _, h := range g.Children(id) {
+				perDist[h.Length]++
+				if h.Weight <= 0 || h.Weight > 1 {
+					t.Fatalf("weight %g outside (0,1]", h.Weight)
+				}
+				if h.Length < 1 || h.Length > cfg.G+1 {
+					t.Fatalf("edge length %d outside [1,%d]", h.Length, cfg.G+1)
+				}
+			}
+			for dist, cnt := range perDist {
+				if cnt < 1 || cnt > 2*cfg.D {
+					t.Fatalf("node %d: %d edges at distance %d, want in [1,%d]", id, cnt, dist, 2*cfg.D)
+				}
+			}
+			// Every reachable distance must have at least one edge.
+			for dist := 1; dist <= cfg.G+1 && i+dist < 5; dist++ {
+				if perDist[dist] == 0 {
+					t.Fatalf("node %d has no edges at distance %d", id, dist)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 9, M: 3, N: 10, D: 2, G: 0}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for id := int64(0); id < int64(a.NumNodes()); id++ {
+		ca, cb := a.Children(id), b.Children(id)
+		if len(ca) != len(cb) {
+			t.Fatalf("node %d: child counts differ", id)
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("node %d child %d differs", id, i)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{M: 0, N: 1, D: 1},
+		{M: 1, N: 0, D: 1},
+		{M: 1, N: 1, D: 0},
+		{M: 1, N: 1, D: 1, G: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("Generate(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+func TestGenerateDegreeCappedBySmallN(t *testing.T) {
+	// N smaller than 2D must not loop forever or exceed N targets.
+	g, err := Generate(Config{Seed: 3, M: 2, N: 3, D: 5, G: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range g.NodesAt(0) {
+		if len(g.Children(id)) > 3 {
+			t.Fatalf("node %d has %d children, only 3 targets exist", id, len(g.Children(id)))
+		}
+	}
+}
+
+func TestFigure5Fixture(t *testing.T) {
+	g, ids := Figure5()
+	if g.NumIntervals() != 3 || g.NumNodes() != 9 || g.NumEdges() != 10 || g.Gap() != 1 {
+		t.Fatalf("fixture shape: %d intervals %d nodes %d edges gap %d",
+			g.NumIntervals(), g.NumNodes(), g.NumEdges(), g.Gap())
+	}
+	// Spot-check the two edges the paper's trace pivots on.
+	c13, c22, c33 := ids[0][2], ids[1][1], ids[2][2]
+	var w1322, w2233 float64
+	for _, h := range g.Children(c13) {
+		if h.Peer == c22 {
+			w1322 = h.Weight
+		}
+	}
+	for _, h := range g.Children(c22) {
+		if h.Peer == c33 {
+			w2233 = h.Weight
+		}
+	}
+	if w1322 != 0.8 || w2233 != 0.9 {
+		t.Errorf("edge weights c13-c22 = %g, c22-c33 = %g; want 0.8, 0.9", w1322, w2233)
+	}
+	// The gap edge c11-c32 must have length 2.
+	c11, c32 := ids[0][0], ids[2][1]
+	found := false
+	for _, h := range g.Children(c11) {
+		if h.Peer == c32 {
+			found = true
+			if h.Length != 2 {
+				t.Errorf("gap edge length = %d, want 2", h.Length)
+			}
+		}
+	}
+	if !found {
+		t.Error("gap edge c11-c32 missing")
+	}
+}

@@ -1,0 +1,179 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Vectors from Porter's paper and from the sample vocabulary distributed
+// with the reference implementation, plus the stemmed keywords visible in
+// the paper's figures (e.g. "galaxi", "madr" appear in Figure 2).
+func TestStemVectors(t *testing.T) {
+	cases := map[string]string{
+		// Step 1a.
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// Step 1b.
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// Step 1c.
+		"happy": "happi",
+		"sky":   "sky",
+		// Step 2.
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// Step 3.
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electriciti": "electr",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		// Step 4.
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"gyroscopic":  "gyroscop",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"homologou":   "homolog",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// Step 5.
+		"probate":  "probat",
+		"rate":     "rate",
+		"cease":    "ceas",
+		"controll": "control",
+		"roll":     "roll",
+		// Words from the paper's figures.
+		"galaxy":  "galaxi",
+		"madrid":  "madrid",
+		"soccer":  "soccer",
+		"beckham": "beckham",
+		"iphone":  "iphon",
+		"somalia": "somalia",
+		// Misc regression checks.
+		"running":     "run",
+		"generation":  "gener",
+		"generically": "gener",
+		"stemming":    "stem",
+		"algorithms":  "algorithm",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemLeavesShortAndNonASCIIAlone(t *testing.T) {
+	for _, w := range []string{"", "a", "it", "héllo", "a1c", "日本"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+// Porter stems are fixed points: stemming a stem must not change it for
+// the overwhelming majority of words. (True idempotence does not hold for
+// every English word under Porter — e.g. rare -ion interactions — so the
+// property is asserted on the curated vector set, all of which are fixed
+// points.)
+func TestStemIdempotentOnVectors(t *testing.T) {
+	words := []string{
+		"caress", "poni", "plaster", "motor", "hop", "relat", "digit",
+		"oper", "triplic", "reviv", "adjust", "depend", "control",
+		"galaxi", "iphon", "run", "gener", "stem", "algorithm",
+	}
+	for _, w := range words {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want fixed point", w, got)
+		}
+	}
+}
+
+// Property: Stem never panics and never grows a word.
+func TestStemNeverGrows(t *testing.T) {
+	f := func(raw string) bool {
+		// Constrain to plausible tokens: lower-case ASCII.
+		var b []byte
+		for i := 0; i < len(raw) && len(b) < 30; i++ {
+			c := raw[i]
+			b = append(b, 'a'+c%26)
+		}
+		w := string(b)
+		s := Stem(w)
+		return len(s) <= len(w)+1 // step1b can append 'e'
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	cases := map[string]int{
+		"tr": 0, "ee": 0, "tree": 0, "y": 0, "by": 0,
+		"trouble": 1, "oats": 1, "trees": 1, "ivy": 1,
+		"troubles": 2, "private": 2, "oaten": 2, "orrery": 2,
+	}
+	for w, want := range cases {
+		if got := measure([]byte(w), len(w)); got != want {
+			t.Errorf("measure(%q) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"generalization", "running", "troubles", "iphone", "relational", "stability"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}

@@ -1,0 +1,58 @@
+package text
+
+import "strings"
+
+// stopWordList is a standard English stop-word inventory (articles,
+// pronouns, auxiliaries, prepositions, conjunctions, common adverbs and
+// high-frequency web/blog boilerplate). The paper removes stop words
+// before keyword pairs are generated; without this the co-occurrence
+// graph is dominated by function words that co-occur with everything.
+const stopWordList = `
+a about above after again against all also although always am an and any
+are aren arent as at back be because been before being below between both
+but by came can cannot cant com could couldnt day did didnt do does doesnt
+doing dont down during each even ever every few first for from further get
+go going good got had hadnt has hasnt have havent having he hed hell her
+here heres hers herself hes him himself his how hows however i id if ill im
+in into is isnt it its itself ive just know last like ll long made make
+many may me might more most much must my myself never new no nor not now of
+off on once one only or other ought our ours ourselves out over own people
+re really right said same say see she shed shell shes should shouldnt since
+so some something still such take than that thats the their theirs them
+themselves then there theres these they theyd theyll theyre theyve thing
+think this those through time to too two under until up upon us use used
+very want was wasnt way we wed well were werent weve what whats when
+whens where wheres which while who whom whos why whys will with without
+wont would wouldnt yes yet you youd youll your youre yours yourself
+yourselves youve
+`
+
+// DefaultStopWords is the stop-word set used by NewAnalyzer. Keys are the
+// raw (unstemmed) lower-case forms.
+var DefaultStopWords = buildStopWords()
+
+func buildStopWords() map[string]struct{} {
+	m := make(map[string]struct{}, 256)
+	for _, w := range strings.Fields(stopWordList) {
+		if isASCIILower(w) {
+			m[w] = struct{}{}
+		}
+	}
+	return m
+}
+
+func isASCIILower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 'a' || s[i] > 'z' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// IsStopWord reports whether w (lower-case) is in the default stop-word
+// set.
+func IsStopWord(w string) bool {
+	_, ok := DefaultStopWords[w]
+	return ok
+}

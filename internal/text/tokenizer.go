@@ -1,0 +1,120 @@
+// Package text provides the lexical substrate of the pipeline: a
+// Unicode-aware tokenizer, an English stop-word list and a from-scratch
+// implementation of the Porter stemming algorithm.
+//
+// Section 3 of the paper processes each blog post by tokenizing it,
+// stemming every keyword and removing stop words before keyword pairs
+// are emitted. Analyzer bundles those three steps.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// MinTokenLen is the minimum length (in runes) of a token that survives
+// analysis. One- and two-letter fragments carry almost no topical signal
+// and would otherwise dominate the co-occurrence graph.
+const MinTokenLen = 3
+
+// MaxTokenLen caps pathological tokens (base64 blobs, URLs that slipped
+// through markup stripping) so they cannot bloat the keyword index.
+const MaxTokenLen = 40
+
+// Tokenize splits s into lower-cased word tokens. A token is a maximal
+// run of letters or digits. Apostrophes act as separators, so "don't"
+// yields "don" and "t"; the short fragment is later removed by the
+// Analyzer's length filter. Everything else (punctuation, markup
+// leftovers) separates tokens too.
+func Tokenize(s string) []string {
+	tokens := make([]string, 0, len(s)/6)
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Analyzer converts raw post text into the bag of keywords used by the
+// co-occurrence stage: tokenize, drop stop words, stem, drop tokens that
+// are too short or too long, and de-duplicate (a document is a set of
+// keywords for the purposes of A(u,v); see Section 3: AD(u,v) is 0/1).
+type Analyzer struct {
+	// Stem disables stemming when false. The paper always stems; the
+	// switch exists for ablation and tests.
+	Stem bool
+	// StopWords is the active stop-word set. Nil means DefaultStopWords.
+	StopWords map[string]struct{}
+	// KeepNumbers retains pure-digit tokens when true. Bare numbers are
+	// dropped by default: "2007" style tokens co-occur with everything
+	// and add noise without topical value.
+	KeepNumbers bool
+}
+
+// NewAnalyzer returns an Analyzer configured the way the paper's
+// pipeline is described: stemming on, default stop words, numbers
+// dropped.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{Stem: true}
+}
+
+// Keywords returns the sorted-free (insertion-ordered) set of analyzed
+// keywords in s. Each keyword appears once regardless of its frequency
+// inside the document.
+func (a *Analyzer) Keywords(s string) []string {
+	stop := a.StopWords
+	if stop == nil {
+		stop = DefaultStopWords
+	}
+	seen := make(map[string]struct{})
+	var out []string
+	for _, tok := range Tokenize(s) {
+		if len(tok) < MinTokenLen || len(tok) > MaxTokenLen {
+			continue
+		}
+		if !a.KeepNumbers && isAllDigits(tok) {
+			continue
+		}
+		if _, ok := stop[tok]; ok {
+			continue
+		}
+		if a.Stem {
+			tok = Stem(tok)
+		}
+		if len(tok) < MinTokenLen {
+			continue
+		}
+		// Stemming can map a non-stop word onto a stop word
+		// ("being" -> "be" would, if "be" were produced); re-check.
+		if _, ok := stop[tok]; ok {
+			continue
+		}
+		if _, dup := seen[tok]; dup {
+			continue
+		}
+		seen[tok] = struct{}{}
+		out = append(out, tok)
+	}
+	return out
+}
+
+func isAllDigits(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,197 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendCopies(t *testing.T) {
+	base := Path{Nodes: []int64{1}, Length: 0, Weight: 0}
+	a := base.Append(2, 1, 0.5)
+	b := base.Append(3, 2, 0.7)
+	if !reflect.DeepEqual(a.Nodes, []int64{1, 2}) {
+		t.Errorf("a.Nodes = %v", a.Nodes)
+	}
+	if !reflect.DeepEqual(b.Nodes, []int64{1, 3}) {
+		t.Errorf("b.Nodes = %v (aliasing?)", b.Nodes)
+	}
+	if a.Length != 1 || b.Length != 2 {
+		t.Errorf("lengths = %d, %d; want 1, 2", a.Length, b.Length)
+	}
+	if a.Weight != 0.5 || b.Weight != 0.7 {
+		t.Errorf("weights = %g, %g", a.Weight, b.Weight)
+	}
+}
+
+func TestStability(t *testing.T) {
+	p := Path{Nodes: []int64{1, 2, 3}, Length: 2, Weight: 1.0}
+	if got := p.Stability(); got != 0.5 {
+		t.Errorf("Stability = %g, want 0.5", got)
+	}
+	if got := (Path{}).Stability(); got != 0 {
+		t.Errorf("zero-length Stability = %g, want 0", got)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	p := Path{Nodes: []int64{1, 5}, Length: 1, Weight: 0.25}
+	if got, want := p.String(), "c1→c5 (w=0.250, l=1)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestBetterOrdering(t *testing.T) {
+	heavy := Path{Nodes: []int64{9}, Weight: 2}
+	light := Path{Nodes: []int64{1}, Weight: 1}
+	if !Better(heavy, light) || Better(light, heavy) {
+		t.Error("weight ordering broken")
+	}
+	// Tie: smaller node sequence wins.
+	a := Path{Nodes: []int64{1, 2}, Weight: 1}
+	b := Path{Nodes: []int64{1, 3}, Weight: 1}
+	if !Better(a, b) || Better(b, a) {
+		t.Error("tie-break ordering broken")
+	}
+	// Prefix ties: shorter sequence is smaller.
+	c := Path{Nodes: []int64{1}, Weight: 1}
+	if !Better(c, a) {
+		t.Error("prefix tie-break broken")
+	}
+}
+
+func TestNewKPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewK(0) did not panic")
+		}
+	}()
+	NewK(0)
+}
+
+func TestConsiderKeepsTopK(t *testing.T) {
+	k := NewK(3)
+	weights := []float64{0.5, 0.1, 0.9, 0.7, 0.3, 0.8}
+	for i, w := range weights {
+		k.Consider(Path{Nodes: []int64{int64(i)}, Weight: w})
+	}
+	got := k.Weights()
+	want := []float64{0.9, 0.8, 0.7}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Weights = %v, want %v", got, want)
+	}
+	if k.Len() != 3 || k.Cap() != 3 {
+		t.Errorf("Len/Cap = %d/%d, want 3/3", k.Len(), k.Cap())
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	k := NewK(2)
+	if got := k.Threshold(); !math.IsInf(got, -1) {
+		t.Errorf("empty Threshold = %g, want -Inf", got)
+	}
+	k.Consider(Path{Nodes: []int64{1}, Weight: 5})
+	if got := k.Threshold(); !math.IsInf(got, -1) {
+		t.Errorf("not-full Threshold = %g, want -Inf", got)
+	}
+	k.Consider(Path{Nodes: []int64{2}, Weight: 3})
+	if got := k.Threshold(); got != 3 {
+		t.Errorf("full Threshold = %g, want 3", got)
+	}
+	k.Consider(Path{Nodes: []int64{3}, Weight: 4})
+	if got := k.Threshold(); got != 4 {
+		t.Errorf("after eviction Threshold = %g, want 4", got)
+	}
+}
+
+func TestConsiderSuppressesDuplicates(t *testing.T) {
+	k := NewK(3)
+	p := Path{Nodes: []int64{1, 2}, Length: 1, Weight: 0.5}
+	if !k.Consider(p) {
+		t.Fatal("first offer rejected")
+	}
+	if k.Consider(p) {
+		t.Error("duplicate offer retained")
+	}
+	if k.Len() != 1 {
+		t.Errorf("Len = %d, want 1", k.Len())
+	}
+	// Same weight, different nodes is not a duplicate.
+	if !k.Consider(Path{Nodes: []int64{1, 3}, Length: 1, Weight: 0.5}) {
+		t.Error("distinct path rejected as duplicate")
+	}
+}
+
+func TestConsiderReportsRetention(t *testing.T) {
+	k := NewK(1)
+	if !k.Consider(Path{Nodes: []int64{1}, Weight: 1}) {
+		t.Error("first Consider not retained")
+	}
+	if k.Consider(Path{Nodes: []int64{2}, Weight: 0.5}) {
+		t.Error("worse path retained")
+	}
+	if !k.Consider(Path{Nodes: []int64{3}, Weight: 2}) {
+		t.Error("better path not retained")
+	}
+}
+
+// Property: Items() always equals the brute-force top-k of everything
+// offered, under the Better order.
+func TestTopKMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, kSeed uint8, nSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		kk := int(kSeed)%10 + 1
+		n := int(nSeed)%100 + 1
+		col := NewK(kk)
+		var all []Path
+		seen := map[[2]int64]struct{}{}
+		for i := 0; i < n; i++ {
+			a, b := int64(rng.Intn(20)), int64(rng.Intn(20))
+			// Weight is a function of the node sequence, as for real
+			// paths: rediscoveries carry the same weight.
+			p := Path{Nodes: []int64{a, b}, Weight: float64((a*7+b*3)%11) / 4}
+			col.Consider(p)
+			// The collector identifies paths by node sequence; the
+			// oracle must dedupe the same way.
+			key := [2]int64{a, b}
+			if _, dup := seen[key]; !dup {
+				seen[key] = struct{}{}
+				all = append(all, p)
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return Better(all[i], all[j]) })
+		want := all
+		if len(want) > kk {
+			want = want[:kk]
+		}
+		got := col.Items()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Weight != want[i].Weight {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkConsider(b *testing.B) {
+	k := NewK(5)
+	rng := rand.New(rand.NewSource(1))
+	paths := make([]Path, 1024)
+	for i := range paths {
+		paths[i] = Path{Nodes: []int64{int64(i)}, Weight: rng.Float64()}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Consider(paths[i%len(paths)])
+	}
+}

@@ -1,0 +1,32 @@
+# Build, verification and benchmark entry points. `make check` is the
+# tier-1 gate; `make bench` appends a perf sample to BENCH_table1.json
+# so successive PRs have a trajectory to compare against.
+
+GO ?= go
+
+.PHONY: all build check vet test race bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet test race
+
+# Keyword-graph construction perf: Table 1 plus the ablation benches,
+# 3 samples each, in test2json format (one JSON object per line).
+bench:
+	$(GO) test -run '^$$' -bench 'Table1|Ablation' -benchmem -count 3 -json . > BENCH_table1.json
+	@echo "wrote BENCH_table1.json ($$(grep -c '"Action":"output"' BENCH_table1.json) output events)"
+
+clean:
+	rm -f BENCH_table1.json

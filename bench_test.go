@@ -348,6 +348,38 @@ func BenchmarkAblationBFSFullPathFastPath(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationParallelBuild: the sharded parallel keyword-graph
+// pipeline (Parallelism 0 = GOMAXPROCS) vs the sequential ablation path
+// (Parallelism 1), plus the budget-forced spill route, on the Table 1
+// workload. The parallel and sequential variants produce identical
+// graphs (see internal/cooccur equivalence tests); this measures the
+// cost of that interchangeability.
+func BenchmarkAblationParallelBuild(b *testing.B) {
+	col := benchCorpus(b, 800)
+	variants := []struct {
+		name string
+		opts cooccur.BuildOptions
+	}{
+		{"sequential", cooccur.BuildOptions{Parallelism: 1}},
+		{"parallel", cooccur.BuildOptions{}},
+		{"parallelSpill", cooccur.BuildOptions{MemBudget: 64 << 10}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g, err := cooccur.Build(col, 0, 0, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.NumEdges() == 0 {
+					b.Fatal("empty graph")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationSimJoin: prefix-filter similarity join vs the
 // quadratic loop for cluster-graph edges.
 func BenchmarkAblationSimJoin(b *testing.B) {

@@ -85,12 +85,20 @@ type ClusterOptions struct {
 	RhoThreshold float64
 	// MinClusterSize drops clusters with fewer keywords; default 2.
 	MinClusterSize int
-	// SortMemoryBudget bounds the external sorter's in-memory buffer;
-	// 0 means the 64 MiB default.
+	// SortMemoryBudget bounds the byte size of each sorted run spilled
+	// to the external sorter; 0 spills runs whole.
 	SortMemoryBudget int
 	// MinPairCount drops keyword pairs seen in fewer documents before
 	// statistics run; 0 keeps everything.
 	MinPairCount int64
+	// Parallelism is the worker count for the sharded keyword-graph
+	// pipeline (counting, merge, statistics, pruning). 0 means
+	// GOMAXPROCS; 1 selects the sequential path.
+	Parallelism int
+	// MemBudget bounds the resident bytes of the pair-counting hash
+	// tables across shards; shards over their share spill sorted runs
+	// to disk. 0 means the 256 MiB default.
+	MemBudget int
 }
 
 func (o ClusterOptions) withDefaults() ClusterOptions {
@@ -115,6 +123,8 @@ func IntervalClusters(c *Collection, interval int, opts ClusterOptions) ([]Clust
 	kg, err := cooccur.Build(c, interval, interval, cooccur.BuildOptions{
 		SortMemoryBudget: opts.SortMemoryBudget,
 		MinPairCount:     opts.MinPairCount,
+		Parallelism:      opts.Parallelism,
+		MemBudget:        opts.MemBudget,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("blogclusters: interval %d keyword graph: %w", interval, err)

@@ -33,6 +33,8 @@ func main() {
 		query    = flag.String("query", "", "query keyword (required)")
 		interval = flag.Int("interval", -1, "interval for cluster/correlation detail (-1 = the keyword's peak)")
 		topN     = flag.Int("top", 5, "number of correlations to show")
+		par      = flag.Int("parallelism", 0, "keyword-graph worker count; 0 = GOMAXPROCS, 1 = sequential")
+		memBud   = flag.Int("membudget", 0, "pair-table memory budget in bytes; 0 = default")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -89,7 +91,7 @@ func main() {
 	}
 
 	// Strongest correlations on the chosen day.
-	kg, err := cooccur.Build(col, day, day, cooccur.BuildOptions{})
+	kg, err := cooccur.Build(col, day, day, cooccur.BuildOptions{Parallelism: *par, MemBudget: *memBud})
 	if err != nil {
 		log.Fatalf("keyword graph: %v", err)
 	}
@@ -101,7 +103,7 @@ func main() {
 	}
 
 	// Cluster membership + refinement.
-	clusters, err := blogclusters.IntervalClusters(col, day, blogclusters.ClusterOptions{})
+	clusters, err := blogclusters.IntervalClusters(col, day, blogclusters.ClusterOptions{Parallelism: *par, MemBudget: *memBud})
 	if err != nil {
 		log.Fatalf("clusters: %v", err)
 	}

@@ -8,6 +8,7 @@
 //
 //	experiments -exp table3            # one experiment at default scale
 //	experiments -exp all -scale 1.0    # the full suite at paper scale
+//	experiments -exp table1 -parallelism 1   # sequential ablation
 //	experiments -list                  # list experiment ids
 package main
 
@@ -24,6 +25,8 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id, or 'all'")
 	scale := flag.Float64("scale", 0.25, "workload scale in (0,1]; 1.0 = the paper's parameters")
+	parallelism := flag.Int("parallelism", 0, "keyword-graph worker count; 0 = GOMAXPROCS, 1 = sequential ablation path")
+	memBudget := flag.Int("membudget", 0, "pair-table memory budget in bytes before shards spill; 0 = default (256 MiB)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -31,18 +34,24 @@ func main() {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
 		return
 	}
+	cfg := experiments.Config{
+		Scale:       experiments.Scale(*scale),
+		Parallelism: *parallelism,
+		MemBudget:   *memBudget,
+	}
+	fmt.Printf("keyword-graph workers: %d\n", cfg.Workers())
 	ids := experiments.IDs()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
 	start := time.Now()
 	for _, id := range ids {
-		t, err := experiments.Run(strings.TrimSpace(id), experiments.Scale(*scale))
+		t, err := experiments.RunConfig(strings.TrimSpace(id), cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(t.Render())
 	}
-	fmt.Printf("total: %s (scale %.2f)\n", time.Since(start).Round(time.Millisecond), *scale)
+	fmt.Printf("total: %s (scale %.2f, workers %d)\n", time.Since(start).Round(time.Millisecond), *scale, cfg.Workers())
 }

@@ -1,24 +1,42 @@
 // Package cooccur builds the keyword co-occurrence graph of Section 3.
 //
-// A single pass over the documents of a temporal interval emits every
-// keyword pair (u,v) present in each document, plus (u,u) pairs so the
-// per-keyword document counts A(u) are produced by the same machinery.
-// The pair stream is sorted with external-memory merge sort
-// (internal/extsort) so identical pairs become adjacent, and a second
-// single pass aggregates them into triplets (u, v, A(u,v)) — exactly the
-// methodology the paper describes for BlogScope-scale data.
+// The paper's pipeline makes a single pass over the documents of a
+// temporal interval emitting every keyword pair (u,v) present in each
+// document — plus (u,u) pairs so the per-keyword document counts A(u)
+// are produced by the same machinery — then external-merge-sorts the
+// pair stream so identical pairs become adjacent, and aggregates them
+// into triplets (u, v, A(u,v)).
 //
-// The resulting Graph carries A(u), A(u,v) and n, from which the χ² and
-// ρ statistics (internal/stats) annotate and prune edges, yielding G'.
+// This implementation keeps that shape but shards it for parallel
+// hardware (see DESIGN.md, "Sharded keyword-graph construction"):
+//
+//   - documents are partitioned across BuildOptions.Parallelism worker
+//     goroutines, each counting pairs into a private open-addressing
+//     hash table keyed by the packed id pair uint64(u)<<32|v;
+//   - a shard whose table exceeds its share of BuildOptions.MemBudget
+//     spills the table as one sorted run through internal/extsort;
+//     when nothing spills — the common case for per-interval graphs —
+//     the shard tables are merged entirely in memory with a parallel,
+//     range-partitioned fold, and the sort path is never touched;
+//   - if any shard spilled, all shards drain through the external
+//     sorter and a single pass over the globally sorted run stream
+//     aggregates the counts, exactly the paper's merge.
+//
+// Either way the resulting Graph is canonical — keyword ids are ranks
+// in the sorted vocabulary and edges are sorted by (U, V) — so the
+// sequential (Parallelism: 1) and parallel paths are bit-for-bit
+// interchangeable. From A(u), A(u,v) and n, the χ² and ρ statistics
+// (internal/stats) annotate and prune edges in parallel over edge
+// ranges, yielding G'.
 package cooccur
 
 import (
-	"fmt"
+	"runtime"
+	"slices"
 	"sort"
 	"strings"
+	"sync"
 
-	"repro/internal/corpus"
-	"repro/internal/extsort"
 	"repro/internal/stats"
 )
 
@@ -35,7 +53,8 @@ type Edge struct {
 type Graph struct {
 	// N is the number of documents the graph was built from.
 	N int64
-	// Keywords maps keyword id → keyword string.
+	// Keywords maps keyword id → keyword string, sorted
+	// lexicographically by Build.
 	Keywords []string
 	// DocCount maps keyword id → A(u), the number of documents
 	// containing the keyword.
@@ -44,6 +63,7 @@ type Graph struct {
 	Edges []Edge
 
 	index map[string]int32
+	par   int // worker count inherited from BuildOptions.Parallelism
 }
 
 // KeywordID returns the id of keyword w.
@@ -58,158 +78,74 @@ func (g *Graph) NumVertices() int { return len(g.Keywords) }
 // NumEdges returns the number of co-occurrence edges.
 func (g *Graph) NumEdges() int { return len(g.Edges) }
 
-// BuildOptions configures graph construction.
-type BuildOptions struct {
-	// SortMemoryBudget is the in-memory budget handed to the external
-	// sorter. Zero means extsort.DefaultMemoryBudget.
-	SortMemoryBudget int
-	// MinPairCount drops triplets with A(u,v) below this value before
-	// statistics are computed. The paper's graphs keep everything
-	// (threshold 1); larger corpora benefit from dropping singleton
-	// noise pairs early. Zero means 1.
-	MinPairCount int64
+// parallelism resolves the graph's worker count for the statistics and
+// pruning passes.
+func (g *Graph) parallelism() int {
+	if g.par > 0 {
+		return g.par
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
-// pairSep separates the two keywords in a sort record. It cannot occur
-// inside an analyzed keyword (the tokenizer emits only letters/digits).
-const pairSep = " "
+// parallelEdgeThreshold is the edge count below which the statistics
+// and pruning passes stay single-threaded: goroutine fan-out costs more
+// than it saves on tiny graphs.
+const parallelEdgeThreshold = 1 << 12
 
-// Build constructs the keyword graph for the documents of intervals
-// [from, to] of c (inclusive; pass the same value twice for a single
-// day, as in Table 1).
-func Build(c *corpus.Collection, from, to int, opts BuildOptions) (*Graph, error) {
-	if from < 0 || to >= len(c.Intervals) || from > to {
-		return nil, fmt.Errorf("cooccur: interval range [%d,%d] outside collection of %d intervals", from, to, len(c.Intervals))
+// forEachEdgeChunk runs fn over contiguous chunks of g.Edges, fanning
+// out to the graph's worker count when the edge list is large enough.
+func (g *Graph) forEachEdgeChunk(fn func(lo, hi int)) {
+	par := g.parallelism()
+	if par <= 1 || len(g.Edges) < parallelEdgeThreshold {
+		fn(0, len(g.Edges))
+		return
 	}
-	minCount := opts.MinPairCount
-	if minCount <= 0 {
-		minCount = 1
+	chunk := (len(g.Edges) + par - 1) / par
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(g.Edges); lo += chunk {
+		hi := min(lo+chunk, len(g.Edges))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
 	}
-
-	// Pass 1: emit keyword pairs (including (u,u)) for every document.
-	sorter := extsort.New(opts.SortMemoryBudget)
-	var n int64
-	for i := from; i <= to; i++ {
-		for _, d := range c.Intervals[i].Docs {
-			n++
-			kws := d.Keywords
-			for a := 0; a < len(kws); a++ {
-				if strings.Contains(kws[a], pairSep) {
-					return nil, fmt.Errorf("cooccur: keyword %q contains separator", kws[a])
-				}
-				if err := sorter.Add(kws[a] + pairSep + kws[a]); err != nil {
-					return nil, err
-				}
-				for b := a + 1; b < len(kws); b++ {
-					u, v := kws[a], kws[b]
-					if u > v {
-						u, v = v, u
-					}
-					if err := sorter.Add(u + pairSep + v); err != nil {
-						return nil, err
-					}
-				}
-			}
-		}
-	}
-
-	it, err := sorter.Sort()
-	if err != nil {
-		return nil, err
-	}
-	defer it.Close()
-
-	// Pass 2: aggregate runs of identical pairs into triplets.
-	g := &Graph{N: n, index: make(map[string]int32)}
-	intern := func(w string) int32 {
-		if id, ok := g.index[w]; ok {
-			return id
-		}
-		id := int32(len(g.Keywords))
-		g.index[w] = id
-		g.Keywords = append(g.Keywords, w)
-		g.DocCount = append(g.DocCount, 0)
-		return id
-	}
-	var cur string
-	var count int64
-	emit := func() error {
-		if count == 0 {
-			return nil
-		}
-		i := strings.Index(cur, pairSep)
-		if i < 0 {
-			return fmt.Errorf("cooccur: malformed pair record %q", cur)
-		}
-		u, v := cur[:i], cur[i+1:]
-		if u == v {
-			g.DocCount[intern(u)] = count
-			return nil
-		}
-		if count >= minCount {
-			g.Edges = append(g.Edges, Edge{U: intern(u), V: intern(v), Count: count})
-		}
-		return nil
-	}
-	for {
-		rec, ok := it.Next()
-		if !ok {
-			break
-		}
-		if rec == cur {
-			count++
-			continue
-		}
-		if err := emit(); err != nil {
-			return nil, err
-		}
-		cur, count = rec, 1
-	}
-	if err := it.Err(); err != nil {
-		return nil, err
-	}
-	if err := emit(); err != nil {
-		return nil, err
-	}
-
-	// (u,u) records sort before (u,x) for every x>u but after pairs led
-	// by earlier keywords, so interning order is not id-sorted; normalize
-	// edge endpoints to U < V by id for a canonical representation.
-	for i := range g.Edges {
-		if g.Edges[i].U > g.Edges[i].V {
-			g.Edges[i].U, g.Edges[i].V = g.Edges[i].V, g.Edges[i].U
-		}
-	}
-	sort.Slice(g.Edges, func(i, j int) bool {
-		if g.Edges[i].U != g.Edges[j].U {
-			return g.Edges[i].U < g.Edges[j].U
-		}
-		return g.Edges[i].V < g.Edges[j].V
-	})
-	return g, nil
+	wg.Wait()
 }
 
 // AnnotateStats fills in the χ² and ρ fields of every edge in one pass,
 // as the paper prescribes ("this test can be computed with a single pass
-// of the edges of G").
+// of the edges of G"). The pass runs in parallel over edge ranges; each
+// edge's statistics depend only on that edge and the shared counts, so
+// the result is identical at any worker count.
 func (g *Graph) AnnotateStats() {
-	for i := range g.Edges {
-		e := &g.Edges[i]
-		au := g.DocCount[e.U]
-		av := g.DocCount[e.V]
-		e.Chi2 = stats.ChiSquared(g.N, au, av, e.Count)
-		e.Rho = stats.Correlation(g.N, au, av, e.Count)
-	}
+	g.forEachEdgeChunk(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := &g.Edges[i]
+			au := g.DocCount[e.U]
+			av := g.DocCount[e.V]
+			e.Chi2 = stats.ChiSquared(g.N, au, av, e.Count)
+			e.Rho = stats.Correlation(g.N, au, av, e.Count)
+		}
+	})
 }
 
 // Prune returns G': the subgraph with only edges passing the χ² test at
 // the given critical value AND with ρ above rhoThreshold. Vertices with
 // no surviving edges are dropped and ids are re-packed. AnnotateStats
-// must have been called.
+// must have been called. The threshold tests run in parallel over edge
+// ranges; the deterministic id re-packing stays sequential.
 func (g *Graph) Prune(chi2Critical, rhoThreshold float64) *Graph {
-	out := &Graph{N: g.N, index: make(map[string]int32)}
+	keep := make([]bool, len(g.Edges))
+	g.forEachEdgeChunk(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := &g.Edges[i]
+			keep[i] = e.Chi2 > chi2Critical && e.Rho > rhoThreshold
+		}
+	})
+	out := &Graph{N: g.N, index: make(map[string]int32), par: g.par}
 	remap := make(map[int32]int32)
-	keep := func(old int32) int32 {
+	renumber := func(old int32) int32 {
 		if id, ok := remap[old]; ok {
 			return id
 		}
@@ -220,23 +156,26 @@ func (g *Graph) Prune(chi2Critical, rhoThreshold float64) *Graph {
 		out.index[g.Keywords[old]] = id
 		return id
 	}
-	for _, e := range g.Edges {
-		if e.Chi2 <= chi2Critical || e.Rho <= rhoThreshold {
+	for i, e := range g.Edges {
+		if !keep[i] {
 			continue
 		}
-		ne := Edge{U: keep(e.U), V: keep(e.V), Count: e.Count, Chi2: e.Chi2, Rho: e.Rho}
+		ne := Edge{U: renumber(e.U), V: renumber(e.V), Count: e.Count, Chi2: e.Chi2, Rho: e.Rho}
 		if ne.U > ne.V {
 			ne.U, ne.V = ne.V, ne.U
 		}
 		out.Edges = append(out.Edges, ne)
 	}
-	sort.Slice(out.Edges, func(i, j int) bool {
-		if out.Edges[i].U != out.Edges[j].U {
-			return out.Edges[i].U < out.Edges[j].U
-		}
-		return out.Edges[i].V < out.Edges[j].V
-	})
+	slices.SortFunc(out.Edges, compareEdges)
 	return out
+}
+
+// compareEdges orders edges by (U, V).
+func compareEdges(a, b Edge) int {
+	if a.U != b.U {
+		return int(a.U) - int(b.U)
+	}
+	return int(a.V) - int(b.V)
 }
 
 // Adjacency materializes adjacency lists (neighbor ids per vertex).
@@ -280,11 +219,14 @@ func (g *Graph) StrongestCorrelations(w string, n int) []Correlated {
 		}
 		out = append(out, Correlated{Keyword: g.Keywords[other], Rho: e.Rho, Count: e.Count})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Rho != out[j].Rho {
-			return out[i].Rho > out[j].Rho
+	slices.SortFunc(out, func(a, b Correlated) int {
+		if a.Rho != b.Rho {
+			if a.Rho > b.Rho {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Keyword < out[j].Keyword
+		return strings.Compare(a.Keyword, b.Keyword)
 	})
 	if len(out) > n {
 		out = out[:n]

@@ -128,12 +128,14 @@ func TestMinPairCount(t *testing.T) {
 }
 
 func TestBuildWithTinySortBudgetMatches(t *testing.T) {
-	// Forcing spills must not change the result.
+	// Forcing spills must not change the result. MemBudget pushes every
+	// shard through the spill path; SortMemoryBudget splits each spill
+	// into many one-record runs.
 	big, err := Build(tinyCollection(), 0, 0, BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	small, err := Build(tinyCollection(), 0, 0, BuildOptions{SortMemoryBudget: 4})
+	small, err := Build(tinyCollection(), 0, 0, BuildOptions{MemBudget: 64, SortMemoryBudget: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,193 @@
+package cooccur
+
+import (
+	"fmt"
+	"slices"
+	"strconv"
+)
+
+// pairKey packs an ordered keyword-id pair (u ≤ v) into one uint64 so
+// the counting tables and spill records never materialize strings on
+// the hot path. Diagonal keys (u == u) carry the per-keyword document
+// counts A(u); off-diagonal keys carry A(u,v).
+func pairKey(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+func splitPairKey(key uint64) (u, v int32) {
+	return int32(key >> 32), int32(uint32(key))
+}
+
+// pairEntry is one (key, count) pair extracted from a table.
+type pairEntry struct {
+	key   uint64
+	count int64
+}
+
+// pairEntryBytes is the per-entry footprint used for memory budgeting
+// (one uint64 slot + one int64 count).
+const pairEntryBytes = 16
+
+const minTableSlots = 1 << 10 // power of two
+
+// pairTable is an open-addressing (linear probing) hash table from
+// packed pair key to count. Slots store key+1 so zero marks an empty
+// slot; the maximum packed key is below 1<<63, so the increment cannot
+// wrap. Capacity is always a power of two and grows at 3/4 load.
+type pairTable struct {
+	slots  []uint64
+	counts []int64
+	n      int
+}
+
+func newPairTable() *pairTable {
+	return &pairTable{
+		slots:  make([]uint64, minTableSlots),
+		counts: make([]int64, minTableSlots),
+	}
+}
+
+// mix is the 64-bit finalizer of MurmurHash3: packed keys are highly
+// regular (vocab ids in both halves), so they need real mixing before
+// masking down to a table index.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// add increments key's count by delta, growing the table as needed.
+func (t *pairTable) add(key uint64, delta int64) {
+	if 4*(t.n+1) > 3*len(t.slots) {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	k := key + 1
+	for i := mix(key) & mask; ; i = (i + 1) & mask {
+		switch t.slots[i] {
+		case k:
+			t.counts[i] += delta
+			return
+		case 0:
+			t.slots[i] = k
+			t.counts[i] = delta
+			t.n++
+			return
+		}
+	}
+}
+
+func (t *pairTable) grow() {
+	oldSlots, oldCounts := t.slots, t.counts
+	t.slots = make([]uint64, 2*len(oldSlots))
+	t.counts = make([]int64, 2*len(oldCounts))
+	mask := uint64(len(t.slots) - 1)
+	for i, k := range oldSlots {
+		if k == 0 {
+			continue
+		}
+		j := mix(k-1) & mask
+		for t.slots[j] != 0 {
+			j = (j + 1) & mask
+		}
+		t.slots[j] = k
+		t.counts[j] = oldCounts[i]
+	}
+}
+
+// entryBytes is the resident footprint charged against the shard's
+// memory budget (occupied entries only — the spill trigger, unlike the
+// capacity, must track what a sorted spill would have to write).
+func (t *pairTable) entryBytes() int { return t.n * pairEntryBytes }
+
+// appendEntries appends all occupied entries to dst and returns it.
+func (t *pairTable) appendEntries(dst []pairEntry) []pairEntry {
+	if cap(dst)-len(dst) < t.n {
+		grown := make([]pairEntry, len(dst), len(dst)+t.n)
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, k := range t.slots {
+		if k != 0 {
+			dst = append(dst, pairEntry{key: k - 1, count: t.counts[i]})
+		}
+	}
+	return dst
+}
+
+// reset empties the table, shrinking it back to the minimum size so a
+// shard that just spilled returns to its small-footprint state.
+func (t *pairTable) reset() {
+	if len(t.slots) > minTableSlots {
+		t.slots = make([]uint64, minTableSlots)
+		t.counts = make([]int64, minTableSlots)
+	} else {
+		clear(t.slots)
+		clear(t.counts)
+	}
+	t.n = 0
+}
+
+// sortEntries orders entries by ascending key, i.e. by (u, v).
+func sortEntries(entries []pairEntry) {
+	slices.SortFunc(entries, func(a, b pairEntry) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		}
+		return 0
+	})
+}
+
+// --- spill record codec ---
+//
+// Spilled entries travel through internal/extsort as text records of
+// the form "<16 lowercase hex digits of key> <decimal count>". The
+// fixed-width key prefix makes lexicographic record order equal to
+// numeric key order, so identical keys from different shards are
+// adjacent in the merged stream and can be aggregated in one pass.
+
+const hexDigits = "0123456789abcdef"
+
+func appendSpillRecord(b []byte, key uint64, count int64) []byte {
+	var kb [16]byte
+	for i := 15; i >= 0; i-- {
+		kb[i] = hexDigits[key&0xf]
+		key >>= 4
+	}
+	b = append(b, kb[:]...)
+	b = append(b, ' ')
+	return strconv.AppendInt(b, count, 10)
+}
+
+func parseSpillRecord(rec string) (key uint64, count int64, err error) {
+	if len(rec) < 18 || rec[16] != ' ' {
+		return 0, 0, fmt.Errorf("cooccur: malformed spill record %q", rec)
+	}
+	for i := 0; i < 16; i++ {
+		c := rec[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, 0, fmt.Errorf("cooccur: malformed spill key in %q", rec)
+		}
+		key = key<<4 | d
+	}
+	count, perr := strconv.ParseInt(rec[17:], 10, 64)
+	if perr != nil {
+		return 0, 0, fmt.Errorf("cooccur: malformed spill count in %q: %w", rec, perr)
+	}
+	return key, count, nil
+}

@@ -36,10 +36,16 @@ func dayCorpus(scale Scale, seed int64) (*corpus.Collection, error) {
 	})
 }
 
+// buildOptions translates the experiment configuration into the
+// keyword-graph pipeline knobs.
+func buildOptions(cfg Config) cooccur.BuildOptions {
+	return cooccur.BuildOptions{Parallelism: cfg.Parallelism, MemBudget: cfg.MemBudget}
+}
+
 // Table1 reproduces Table 1: keyword-graph sizes for two consecutive
 // days (keywords, edges, plus the bytes the triplet file would occupy).
-func Table1(scale Scale) (*Table, error) {
-	col, err := dayCorpus(scale, 1)
+func Table1(cfg Config) (*Table, error) {
+	col, err := dayCorpus(cfg.Scale, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +56,7 @@ func Table1(scale Scale) (*Table, error) {
 		Notes:  "synthetic corpus at laptop scale; expect edges >> keywords, stable across days",
 	}
 	for day := 0; day < 2; day++ {
-		g, err := cooccur.Build(col, day, day, cooccur.BuildOptions{})
+		g, err := cooccur.Build(col, day, day, buildOptions(cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -72,8 +78,8 @@ func Table1(scale Scale) (*Table, error) {
 // Fig6 reproduces Figure 6: running time of the full cluster-generation
 // procedure (read, χ² test, ρ pruning, Art algorithm) as the ρ pruning
 // threshold increases. Time must fall sharply with ρ.
-func Fig6(scale Scale) (*Table, error) {
-	col, err := dayCorpus(scale, 2)
+func Fig6(cfg Config) (*Table, error) {
+	col, err := dayCorpus(cfg.Scale, 2)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +92,7 @@ func Fig6(scale Scale) (*Table, error) {
 	// The raw keyword graph is built and annotated once; the paper's
 	// ρ-dependent cost is the pruning plus the secondary-storage Art
 	// run over what survives.
-	g, err := cooccur.Build(col, 0, 0, cooccur.BuildOptions{})
+	g, err := cooccur.Build(col, 0, 0, buildOptions(cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -128,9 +134,9 @@ func Fig6(scale Scale) (*Table, error) {
 // per-day clusters for the figures' events, and the counts the paper
 // reports (1100–1500 clusters per day at BlogScope scale; proportional
 // here).
-func Qualitative(scale Scale) (*Table, error) {
-	cfg := corpus.NewsWeek(2007, scale.nodes(600))
-	col, err := corpus.Generate(cfg)
+func Qualitative(cfg Config) (*Table, error) {
+	gen := corpus.NewsWeek(2007, cfg.Scale.nodes(600))
+	col, err := corpus.Generate(gen)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +148,7 @@ func Qualitative(scale Scale) (*Table, error) {
 	}
 	probe := map[int]string{0: "liverpool", 2: "stem", 3: "iphon", 5: "cisco", 6: "beckham"}
 	for day := 0; day < 7; day++ {
-		g, err := cooccur.Build(col, day, day, cooccur.BuildOptions{})
+		g, err := cooccur.Build(col, day, day, buildOptions(cfg))
 		if err != nil {
 			return nil, err
 		}

@@ -2,28 +2,56 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 )
 
-// Runner regenerates one paper artifact at the given scale.
-type Runner func(Scale) (*Table, error)
+// Config carries the workload scale plus the keyword-graph pipeline
+// knobs threaded down from cmd/experiments, so full-scale sweeps
+// exercise the sharded parallel build.
+type Config struct {
+	// Scale shrinks workloads; 1.0 is the paper's parameters.
+	Scale Scale
+	// Parallelism is the keyword-graph worker count; 0 = GOMAXPROCS,
+	// 1 = the sequential ablation path.
+	Parallelism int
+	// MemBudget bounds the pair-counting tables in bytes; 0 = default.
+	MemBudget int
+}
+
+// Workers reports the effective keyword-graph worker count.
+func (c Config) Workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Runner regenerates one paper artifact for the given configuration.
+type Runner func(Config) (*Table, error)
+
+// scaled adapts the solver-side experiments, which only depend on the
+// workload scale, to the Runner signature.
+func scaled(f func(Scale) (*Table, error)) Runner {
+	return func(cfg Config) (*Table, error) { return f(cfg.Scale) }
+}
 
 // registry maps experiment ids to runners.
 var registry = map[string]Runner{
 	"table1":      Table1,
 	"fig6":        Fig6,
 	"qualitative": Qualitative,
-	"table3":      Table3,
-	"fig7":        Fig7,
-	"fig8":        Fig8,
-	"fig9":        Fig9,
-	"fig10":       Fig10,
-	"fig11":       Fig11,
-	"fig12":       Fig12,
-	"fig13":       Fig13,
-	"fig14":       Fig14,
-	"ksens":       KSensitivity,
-	"memory":      Memory,
+	"table3":      scaled(Table3),
+	"fig7":        scaled(Fig7),
+	"fig8":        scaled(Fig8),
+	"fig9":        scaled(Fig9),
+	"fig10":       scaled(Fig10),
+	"fig11":       scaled(Fig11),
+	"fig12":       scaled(Fig12),
+	"fig13":       scaled(Fig13),
+	"fig14":       scaled(Fig14),
+	"ksens":       scaled(KSensitivity),
+	"memory":      scaled(Memory),
 }
 
 // IDs returns the known experiment ids, sorted.
@@ -36,14 +64,20 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes one experiment by id.
+// Run executes one experiment by id at the given scale with default
+// pipeline knobs.
 func Run(id string, scale Scale) (*Table, error) {
+	return RunConfig(id, Config{Scale: scale})
+}
+
+// RunConfig executes one experiment by id.
+func RunConfig(id string, cfg Config) (*Table, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 	}
-	if scale <= 0 || scale > 1 {
-		return nil, fmt.Errorf("experiments: scale must be in (0,1], got %g", float64(scale))
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		return nil, fmt.Errorf("experiments: scale must be in (0,1], got %g", float64(cfg.Scale))
 	}
-	return r(scale)
+	return r(cfg)
 }

@@ -8,15 +8,34 @@
 // sorted runs to temporary files, and merged with a k-way heap merge.
 // The same code path is exercised whether or not a spill happens, so
 // tests can force tiny budgets while production callers use large ones.
+//
+// Two extensions serve the sharded keyword-graph pipeline
+// (internal/cooccur, see DESIGN.md):
+//
+//   - AddSortedRun accepts an already-sorted batch of records and spills
+//     it directly as a run, bypassing the Add buffer. It is safe for
+//     concurrent use, so parallel shards can spill into one Sorter.
+//   - When the number of runs exceeds the merge fan-in, groups of runs
+//     are pre-merged concurrently (one goroutine per group, capped by
+//     Options.Parallelism) into longer runs before the final streaming
+//     heap merge, keeping the final merge cheap even after thousands of
+//     tiny spills.
+//
+// File readers and writers draw their buffers from sync.Pools so
+// repeated sorts do not reallocate I/O buffers.
 package extsort
 
 import (
 	"bufio"
 	"container/heap"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
-	"sort"
+	"runtime"
+	"slices"
+	"strings"
+	"sync"
 )
 
 // Stats describes the I/O behaviour of one sort.
@@ -26,124 +45,248 @@ type Stats struct {
 	// Runs is the number of sorted runs spilled to disk. Zero means the
 	// sort completed entirely in memory.
 	Runs int
-	// SpilledBytes counts bytes written to run files.
+	// SpilledBytes counts bytes written to run files (pre-merge passes
+	// excluded; this measures what the producers spilled).
 	SpilledBytes int64
 }
 
+// Options configures a Sorter.
+type Options struct {
+	// MemoryBudget is the in-memory buffer budget before Add spills a
+	// sorted run. Non-positive means DefaultMemoryBudget.
+	MemoryBudget int
+	// Parallelism caps the goroutines used to pre-merge runs when their
+	// count exceeds FanIn. Non-positive means GOMAXPROCS.
+	Parallelism int
+	// FanIn is the maximum number of runs the final streaming merge
+	// reads at once; more runs than this are first pre-merged in
+	// parallel groups of FanIn. Non-positive means DefaultFanIn.
+	FanIn int
+}
+
 // Sorter accumulates records and then streams them back in sorted order.
-// The zero value is not usable; call New.
+// The zero value is not usable; call New or NewWithOptions.
+//
+// Add is intended for a single producing goroutine; AddSortedRun may be
+// called from many goroutines concurrently (also concurrently with one
+// Add producer).
 type Sorter struct {
-	dir       string // temp dir holding run files; "" until first spill
-	maxBytes  int    // in-memory budget before spilling
-	buf       []string
-	bufBytes  int
-	runFiles  []string
-	stats     Stats
-	finalized bool
+	opts       Options
+	buf        []string
+	bufBytes   int
+	addRecords int // Add-path record count; owned by the producer
+
+	mu            sync.Mutex // guards dir, runFiles, stats, finalized
+	dir           string     // temp dir holding run files; "" until first spill
+	runFiles      []string
+	stats         Stats
+	finalized     bool
+	iteratorTaken bool
 }
 
 // DefaultMemoryBudget is the in-memory buffer budget used when New is
 // given a non-positive budget (64 MiB).
 const DefaultMemoryBudget = 64 << 20
 
+// DefaultFanIn is the maximum fan-in of the final streaming merge.
+const DefaultFanIn = 16
+
 // New returns a Sorter that buffers up to maxBytes of record data in
 // memory before spilling a sorted run to a temporary file.
 func New(maxBytes int) *Sorter {
-	if maxBytes <= 0 {
-		maxBytes = DefaultMemoryBudget
+	return NewWithOptions(Options{MemoryBudget: maxBytes})
+}
+
+// NewWithOptions returns a Sorter configured by opts.
+func NewWithOptions(opts Options) *Sorter {
+	if opts.MemoryBudget <= 0 {
+		opts.MemoryBudget = DefaultMemoryBudget
 	}
-	return &Sorter{maxBytes: maxBytes}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if opts.FanIn <= 1 {
+		opts.FanIn = DefaultFanIn
+	}
+	return &Sorter{opts: opts}
 }
 
 // Add appends one record. Records must not contain '\n'.
+//
+// Add is single-producer and never concurrent with Sort, so the hot
+// path reads finalized and counts records without taking the mutex;
+// only spills synchronize.
 func (s *Sorter) Add(rec string) error {
 	if s.finalized {
 		return fmt.Errorf("extsort: Add after Sort")
 	}
-	for i := 0; i < len(rec); i++ {
-		if rec[i] == '\n' {
-			return fmt.Errorf("extsort: record contains newline: %q", rec)
-		}
+	if strings.IndexByte(rec, '\n') >= 0 {
+		return fmt.Errorf("extsort: record contains newline: %q", rec)
 	}
 	s.buf = append(s.buf, rec)
 	s.bufBytes += len(rec)
-	s.stats.Records++
-	if s.bufBytes >= s.maxBytes {
+	s.addRecords++
+	if s.bufBytes >= s.opts.MemoryBudget {
 		return s.spill()
 	}
 	return nil
+}
+
+// AddSortedRun spills recs, which must already be in ascending order, as
+// one run. The records are written out immediately; recs may be reused
+// by the caller afterwards. Safe for concurrent use. Records must not
+// contain '\n'.
+func (s *Sorter) AddSortedRun(recs []string) error {
+	if s.isFinalized() {
+		return fmt.Errorf("extsort: AddSortedRun after Sort")
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	for i, rec := range recs {
+		if strings.IndexByte(rec, '\n') >= 0 {
+			return fmt.Errorf("extsort: record contains newline: %q", rec)
+		}
+		if i > 0 && recs[i-1] > rec {
+			return fmt.Errorf("extsort: AddSortedRun records out of order at %d (%q > %q)", i, recs[i-1], rec)
+		}
+	}
+	if err := s.writeRun(recs); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stats.Records += len(recs)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Sorter) isFinalized() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.finalized
 }
 
 func (s *Sorter) spill() error {
 	if len(s.buf) == 0 {
 		return nil
 	}
+	slices.Sort(s.buf)
+	if err := s.writeRun(s.buf); err != nil {
+		return err
+	}
+	s.buf = s.buf[:0]
+	s.bufBytes = 0
+	return nil
+}
+
+// tempDir lazily creates the run directory. Callers must not hold mu.
+func (s *Sorter) tempDir() (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.dir == "" {
 		dir, err := os.MkdirTemp("", "extsort-")
 		if err != nil {
-			return fmt.Errorf("extsort: create temp dir: %w", err)
+			return "", fmt.Errorf("extsort: create temp dir: %w", err)
 		}
 		s.dir = dir
 	}
-	sort.Strings(s.buf)
-	name := filepath.Join(s.dir, fmt.Sprintf("run-%06d", len(s.runFiles)))
+	return s.dir, nil
+}
+
+// registerRun reserves the next run filename.
+func (s *Sorter) registerRun(dir string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := filepath.Join(dir, fmt.Sprintf("run-%06d", len(s.runFiles)))
+	s.runFiles = append(s.runFiles, name)
+	s.stats.Runs++
+	return name
+}
+
+// writeRun streams one sorted batch to a fresh run file.
+func (s *Sorter) writeRun(recs []string) error {
+	dir, err := s.tempDir()
+	if err != nil {
+		return err
+	}
+	name := s.registerRun(dir)
 	f, err := os.Create(name)
 	if err != nil {
 		return fmt.Errorf("extsort: create run file: %w", err)
 	}
-	w := bufio.NewWriter(f)
-	for _, rec := range s.buf {
+	w := getWriter(f)
+	var written int64
+	for _, rec := range recs {
 		n, err := w.WriteString(rec)
 		if err == nil {
 			err = w.WriteByte('\n')
 		}
 		if err != nil {
+			putWriter(w)
 			f.Close()
 			return fmt.Errorf("extsort: write run: %w", err)
 		}
-		s.stats.SpilledBytes += int64(n) + 1
+		written += int64(n) + 1
 	}
-	if err := w.Flush(); err != nil {
+	err = w.Flush()
+	putWriter(w)
+	if err != nil {
 		f.Close()
 		return fmt.Errorf("extsort: flush run: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("extsort: close run: %w", err)
 	}
-	s.runFiles = append(s.runFiles, name)
-	s.stats.Runs++
-	s.buf = s.buf[:0]
-	s.bufBytes = 0
+	s.mu.Lock()
+	s.stats.SpilledBytes += written
+	s.mu.Unlock()
 	return nil
 }
 
 // Sort finalizes the sorter and returns an iterator over all records in
 // ascending order. The caller must Close the iterator, which also
-// removes any temporary files.
+// removes any temporary files. Sort must not be called concurrently
+// with Add or AddSortedRun.
 func (s *Sorter) Sort() (*Iterator, error) {
+	s.mu.Lock()
 	if s.finalized {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("extsort: Sort called twice")
 	}
 	s.finalized = true
-	if len(s.runFiles) == 0 {
+	spilled := len(s.runFiles) > 0
+	s.mu.Unlock()
+
+	if !spilled {
 		// Pure in-memory path.
-		sort.Strings(s.buf)
+		slices.Sort(s.buf)
 		return &Iterator{mem: s.buf}, nil
 	}
 	// Spill the tail so the merge only deals with files.
-	if err := s.spill(); err != nil {
-		return nil, err
+	if len(s.buf) > 0 {
+		slices.Sort(s.buf)
+		if err := s.writeRun(s.buf); err != nil {
+			return nil, err
+		}
+		s.buf = nil
+	}
+	runs := s.runFiles
+	// Pre-merge in parallel until the final merge's fan-in is modest.
+	for len(runs) > s.opts.FanIn {
+		merged, err := s.preMerge(runs)
+		if err != nil {
+			os.RemoveAll(s.dir)
+			return nil, err
+		}
+		runs = merged
 	}
 	it := &Iterator{dir: s.dir}
-	for _, name := range s.runFiles {
-		f, err := os.Open(name)
+	for _, name := range runs {
+		src, err := openRunSource(name)
 		if err != nil {
 			it.Close()
-			return nil, fmt.Errorf("extsort: open run: %w", err)
+			return nil, err
 		}
-		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-		src := &runSource{f: f, sc: sc}
 		if src.advance() {
 			it.h = append(it.h, src)
 		} else {
@@ -155,32 +298,217 @@ func (s *Sorter) Sort() (*Iterator, error) {
 		}
 	}
 	heap.Init(&it.h)
+	s.mu.Lock()
+	s.iteratorTaken = true
+	s.mu.Unlock()
 	return it, nil
 }
 
-// Stats returns I/O statistics for the sort so far.
-func (s *Sorter) Stats() Stats { return s.stats }
+// Discard releases the sorter's temporary files when its iterator was
+// never obtained — the cleanup for error paths that abandon a sorter
+// after spills. Once Sort has succeeded the Iterator owns the files
+// (Close removes them) and Discard is a no-op. Safe to call more than
+// once; afterwards the sorter is finalized.
+func (s *Sorter) Discard() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finalized = true
+	if s.iteratorTaken {
+		return
+	}
+	if s.dir != "" {
+		os.RemoveAll(s.dir)
+		s.dir = ""
+		s.runFiles = nil
+	}
+}
+
+// preMerge merges groups of up to FanIn runs concurrently, each group
+// into one longer run, and removes the source files. Group g holds
+// runs[g*FanIn : (g+1)*FanIn], so the relative order of records across
+// the returned files is preserved for the final merge.
+func (s *Sorter) preMerge(runs []string) ([]string, error) {
+	fanIn := s.opts.FanIn
+	groups := (len(runs) + fanIn - 1) / fanIn
+	out := make([]string, groups)
+	errs := make([]error, groups)
+	sem := make(chan struct{}, s.opts.Parallelism)
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		lo, hi := g*fanIn, (g+1)*fanIn
+		if hi > len(runs) {
+			hi = len(runs)
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(g int, group []string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[g], errs[g] = mergeRuns(s.dir, fmt.Sprintf("merge-%06d-%06d", len(runs), g), group)
+		}(g, runs[lo:hi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// mergeRuns streams the heap merge of the given run files into a single
+// new run file and deletes the inputs.
+func mergeRuns(dir, name string, runs []string) (string, error) {
+	if len(runs) == 1 {
+		return runs[0], nil
+	}
+	var h mergeHeap
+	closeAll := func() {
+		for _, src := range h {
+			src.close()
+		}
+	}
+	for _, rn := range runs {
+		src, err := openRunSource(rn)
+		if err != nil {
+			closeAll()
+			return "", err
+		}
+		if src.advance() {
+			h = append(h, src)
+		} else {
+			src.close()
+			if src.err != nil {
+				closeAll()
+				return "", src.err
+			}
+		}
+	}
+	heap.Init(&h)
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		closeAll()
+		return "", fmt.Errorf("extsort: create merged run: %w", err)
+	}
+	w := getWriter(f)
+	fail := func(err error) (string, error) {
+		putWriter(w)
+		f.Close()
+		closeAll()
+		return "", err
+	}
+	for len(h) > 0 {
+		src := h[0]
+		if _, err := w.WriteString(src.cur); err != nil {
+			return fail(fmt.Errorf("extsort: write merged run: %w", err))
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return fail(fmt.Errorf("extsort: write merged run: %w", err))
+		}
+		if src.advance() {
+			heap.Fix(&h, 0)
+		} else {
+			if src.err != nil {
+				return fail(src.err)
+			}
+			src.close()
+			heap.Pop(&h)
+		}
+	}
+	err = w.Flush()
+	putWriter(w)
+	if err != nil {
+		f.Close()
+		return "", fmt.Errorf("extsort: flush merged run: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("extsort: close merged run: %w", err)
+	}
+	for _, rn := range runs {
+		os.Remove(rn)
+	}
+	return path, nil
+}
+
+// Stats returns I/O statistics for the sort so far. Like Sort, it must
+// not be called concurrently with Add.
+func (s *Sorter) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Records += s.addRecords
+	return st
+}
+
+// --- pooled buffered I/O ---
+
+const ioBufSize = 256 << 10
+
+var writerPool = sync.Pool{
+	New: func() any { return bufio.NewWriterSize(io.Discard, ioBufSize) },
+}
+
+func getWriter(w io.Writer) *bufio.Writer {
+	bw := writerPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	return bw
+}
+
+func putWriter(bw *bufio.Writer) {
+	bw.Reset(io.Discard)
+	writerPool.Put(bw)
+}
+
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, ioBufSize) },
+}
 
 // runSource reads one sorted run file.
 type runSource struct {
 	f    *os.File
-	sc   *bufio.Scanner
+	br   *bufio.Reader
 	cur  string
 	err  error
 	done bool
 }
 
+func openRunSource(name string) (*runSource, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("extsort: open run: %w", err)
+	}
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(f)
+	return &runSource{f: f, br: br}, nil
+}
+
 func (r *runSource) advance() bool {
-	if r.sc.Scan() {
-		r.cur = r.sc.Text()
+	line, err := r.br.ReadString('\n')
+	if err == nil {
+		r.cur = line[:len(line)-1]
 		return true
 	}
-	r.err = r.sc.Err()
+	if err == io.EOF {
+		if len(line) > 0 {
+			// Final record without trailing newline (not produced by our
+			// writers, but tolerated).
+			r.cur = line
+			return true
+		}
+	} else {
+		r.err = err
+	}
 	r.done = true
 	return false
 }
 
 func (r *runSource) close() {
+	if r.br != nil {
+		r.br.Reset(nil)
+		readerPool.Put(r.br)
+		r.br = nil
+	}
 	if r.f != nil {
 		r.f.Close()
 		r.f = nil

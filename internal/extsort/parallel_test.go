@@ -1,0 +1,163 @@
+package extsort
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"testing"
+)
+
+// TestAddSortedRun spills pre-sorted batches from several goroutines
+// concurrently with a regular Add producer and checks the merged stream.
+func TestAddSortedRun(t *testing.T) {
+	s := NewWithOptions(Options{MemoryBudget: 64, FanIn: 4})
+	var want []string
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for w := 0; w < 4; w++ {
+		batch := make([]string, 0, 50)
+		for i := 0; i < 50; i++ {
+			batch = append(batch, fmt.Sprintf("run%d-%04d", w, i))
+		}
+		mu.Lock()
+		want = append(want, batch...)
+		mu.Unlock()
+		wg.Add(1)
+		go func(batch []string) {
+			defer wg.Done()
+			if err := s.AddSortedRun(batch); err != nil {
+				t.Errorf("AddSortedRun: %v", err)
+			}
+		}(batch)
+	}
+	for i := 0; i < 100; i++ {
+		rec := fmt.Sprintf("add-%04d", i%37)
+		want = append(want, rec)
+		if err := s.Add(rec); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	wg.Wait()
+
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	got := drain(t, it)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Fatalf("merged stream mismatch: got %d records, want %d", len(got), len(want))
+	}
+	if st := s.Stats(); st.Records != len(want) {
+		t.Errorf("Records = %d, want %d", st.Records, len(want))
+	}
+}
+
+func TestAddSortedRunRejectsUnsorted(t *testing.T) {
+	s := New(1024)
+	if err := s.AddSortedRun([]string{"b", "a"}); err == nil {
+		t.Fatal("unsorted run accepted")
+	}
+	if err := s.AddSortedRun([]string{"a", "bad\nrec"}); err == nil {
+		t.Fatal("run with newline accepted")
+	}
+	if err := s.AddSortedRun(nil); err != nil {
+		t.Fatalf("empty run rejected: %v", err)
+	}
+}
+
+// TestParallelPreMerge forces far more runs than the final fan-in so the
+// grouped parallel pre-merge path runs, possibly over multiple passes.
+func TestParallelPreMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewWithOptions(Options{MemoryBudget: 64, FanIn: 3, Parallelism: 4})
+	var want []string
+	for i := 0; i < 3000; i++ {
+		rec := fmt.Sprintf("key-%05d", rng.Intn(1500))
+		want = append(want, rec)
+		if err := s.Add(rec); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	runs := s.Stats().Runs
+	if runs <= 3 {
+		t.Fatalf("expected many runs, got %d", runs)
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatalf("Sort: %v", err)
+	}
+	got := drain(t, it)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Fatalf("pre-merged stream is not the sorted input (got %d, want %d records)", len(got), len(want))
+	}
+}
+
+// TestDiscardRemovesSpills covers the error-path cleanup: a sorter
+// abandoned after spills must not leave run files behind, while a
+// sorter whose iterator was taken leaves ownership with the iterator.
+func TestDiscardRemovesSpills(t *testing.T) {
+	countDirs := func() int {
+		m, err := filepath.Glob(filepath.Join(os.TempDir(), "extsort-*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(m)
+	}
+	before := countDirs()
+	s := New(8)
+	for _, r := range []string{"aaaa", "bbbb", "cccc"} {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if countDirs() != before+1 {
+		t.Fatalf("expected one new temp dir after spills")
+	}
+	s.Discard()
+	s.Discard() // idempotent
+	if countDirs() != before {
+		t.Fatalf("Discard left temp dirs behind")
+	}
+	if err := s.Add("x"); err == nil {
+		t.Fatal("Add after Discard succeeded")
+	}
+
+	// After Sort, Discard must not pull files out from under the
+	// iterator.
+	s2 := New(8)
+	for _, r := range []string{"dddd", "eeee", "ffff"} {
+		if err := s2.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s2.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Discard()
+	got := drain(t, it)
+	if len(got) != 3 {
+		t.Fatalf("drained %d records, want 3", len(got))
+	}
+	if countDirs() != before {
+		t.Fatalf("iterator Close left temp dirs behind")
+	}
+}
+
+func TestAddSortedRunAfterSortFails(t *testing.T) {
+	s := New(1024)
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	if err := s.AddSortedRun([]string{"x"}); err == nil {
+		t.Fatal("AddSortedRun after Sort succeeded")
+	}
+}

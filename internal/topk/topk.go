@@ -12,7 +12,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -93,7 +93,7 @@ func NewK(k int) *K {
 	if k <= 0 {
 		panic(fmt.Sprintf("topk: k must be positive, got %d", k))
 	}
-	return &K{k: k}
+	return &K{k: k, items: make(pathHeap, 0, k)}
 }
 
 // Consider offers p; it is retained iff it ranks among the k best seen
@@ -165,8 +165,19 @@ func (t *K) Threshold() float64 {
 func (t *K) Items() []Path {
 	out := make([]Path, len(t.items))
 	copy(out, t.items)
-	sort.Slice(out, func(i, j int) bool { return Better(out[i], out[j]) })
+	slices.SortFunc(out, comparePaths)
 	return out
+}
+
+// comparePaths orders paths best first under Better.
+func comparePaths(a, b Path) int {
+	if Better(a, b) {
+		return -1
+	}
+	if Better(b, a) {
+		return 1
+	}
+	return 0
 }
 
 // Weights returns the retained weights, best first.

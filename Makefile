@@ -1,10 +1,19 @@
 # Build, verification and benchmark entry points. `make check` is the
 # tier-1 gate; `make bench` appends a perf sample to BENCH_table1.json
 # so successive PRs have a trajectory to compare against.
+#
+# CI (.github/workflows/ci.yml) runs these same targets — build/vet/test
+# on a Go version matrix, `race` and `fmt-check` as separate jobs, and a
+# bench smoke run (`make bench BENCH_COUNT=1`) whose BENCH_table1.json
+# is uploaded as a workflow artifact. Keep local and CI invocations
+# identical by changing the targets here, not the workflow.
 
 GO ?= go
 
-.PHONY: all build check vet test race bench clean
+# Benchmark sample count; CI's bench-smoke job overrides this to 1.
+BENCH_COUNT ?= 3
+
+.PHONY: all build check vet test race fmt-check bench clean
 
 all: check
 
@@ -20,12 +29,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Fails when any file is not gofmt-formatted (prints the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 check: build vet test race
 
-# Keyword-graph construction perf: Table 1 plus the ablation benches,
-# 3 samples each, in test2json format (one JSON object per line).
+# Perf trajectory: Table 1 keyword-graph construction, the ablation
+# benches, and the Section 4 cluster-graph/simjoin benches, in
+# test2json format (one JSON object per line).
 bench:
-	$(GO) test -run '^$$' -bench 'Table1|Ablation' -benchmem -count 3 -json . > BENCH_table1.json
+	$(GO) test -run '^$$' -bench 'Table1|Ablation|ClusterGraph|SimJoin' -benchmem -count $(BENCH_COUNT) -json . > BENCH_table1.json
 	@echo "wrote BENCH_table1.json ($$(grep -c '"Action":"output"' BENCH_table1.json) output events)"
 
 clean:

@@ -414,6 +414,128 @@ func kwSet(seed, n int) []string {
 	return kws
 }
 
+// benchClusterSets builds per-interval cluster sets with controlled
+// cross-interval overlap for the Section 4 construction benchmarks.
+func benchClusterSets(m, perInterval, kw int) [][]cluster.Cluster {
+	sets := make([][]cluster.Cluster, m)
+	for i := 0; i < m; i++ {
+		cs := make([]cluster.Cluster, perInterval)
+		for j := 0; j < perInterval; j++ {
+			cs[j] = cluster.New(int64(j), i, kwSet(i*37+j, kw))
+		}
+		sets[i] = cs
+	}
+	return sets
+}
+
+// BenchmarkClusterGraph measures cluster-graph construction (Section
+// 4.1): the quadratic pair loop vs the prefix-filter simjoin, each
+// sequential (Parallelism 1, the ablation baseline) and sharded by
+// (interval, gap-offset) pair. All variants build the identical graph.
+func BenchmarkClusterGraph(b *testing.B) {
+	sets := benchClusterSets(8, 200, 6)
+	variants := []struct {
+		name string
+		opts clustergraph.FromClustersOptions
+	}{
+		{"quadSeq", clustergraph.FromClustersOptions{Gap: 1, Theta: 0.3, Parallelism: 1}},
+		{"quadPar", clustergraph.FromClustersOptions{Gap: 1, Theta: 0.3}},
+		{"simjoinSeq", clustergraph.FromClustersOptions{Gap: 1, Theta: 0.3, UseSimJoin: true, Parallelism: 1}},
+		{"simjoinPar", clustergraph.FromClustersOptions{Gap: 1, Theta: 0.3, UseSimJoin: true}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g, err := clustergraph.FromClusters(sets, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if g.NumEdges() == 0 {
+					b.Fatal("edgeless graph")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimJoin measures the similarity join itself: rebuilding the
+// token vocabulary per call (the old Join behavior) vs interning it
+// once and reusing records across calls, sequential and with
+// partitioned probes.
+func BenchmarkSimJoin(b *testing.B) {
+	var left, right []cluster.Cluster
+	for i := 0; i < 600; i++ {
+		left = append(left, cluster.New(int64(i), 0, kwSet(i, 6)))
+		right = append(right, cluster.New(int64(i), 1, kwSet(i+300, 6)))
+	}
+	b.Run("rebuildVocab", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := simjoin.Join(left, right, 0.3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	v := simjoin.NewVocab(left, right)
+	lrec, err := v.Records(left)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rrec, err := v.Records(right)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("reuseVocabSeq", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := v.JoinRecords(lrec, rrec, 0.3, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reuseVocabPar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := v.JoinRecords(lrec, rrec, 0.3, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationParallelClusters: interval-level fan-out of
+// AllIntervalClusters (Parallelism 0 = GOMAXPROCS) vs the sequential
+// loop, including the split-budget spill route.
+func BenchmarkAblationParallelClusters(b *testing.B) {
+	col, err := GenerateCorpus(NewsWeekCorpus(2007, 120))
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		opts ClusterOptions
+	}{
+		{"sequential", ClusterOptions{Parallelism: 1}},
+		{"parallel", ClusterOptions{}},
+		{"parallelSplitBudget", ClusterOptions{MemBudget: 256 << 10}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sets, err := AllIntervalClusters(col, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sets) != 7 {
+					b.Fatalf("want 7 interval sets, got %d", len(sets))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkQualitativePipeline runs the full Section 5.3 pipeline end
 // to end on a small news week.
 func BenchmarkQualitativePipeline(b *testing.B) {

@@ -23,6 +23,7 @@ package blogclusters
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"repro/internal/bicc"
 	"repro/internal/burst"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/index"
+	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/text"
 	"repro/internal/topk"
@@ -92,12 +94,16 @@ type ClusterOptions struct {
 	// statistics run; 0 keeps everything.
 	MinPairCount int64
 	// Parallelism is the worker count for the sharded keyword-graph
-	// pipeline (counting, merge, statistics, pruning). 0 means
-	// GOMAXPROCS; 1 selects the sequential path.
+	// pipeline (counting, merge, statistics, pruning) and, in
+	// AllIntervalClusters, for the interval-level worker pool that runs
+	// whole interval builds concurrently. 0 means GOMAXPROCS; 1 selects
+	// the fully sequential path.
 	Parallelism int
 	// MemBudget bounds the resident bytes of the pair-counting hash
 	// tables across shards; shards over their share spill sorted runs
-	// to disk. 0 means the 256 MiB default.
+	// to disk. AllIntervalClusters splits the budget across concurrent
+	// interval builds so total residency stays bounded regardless of
+	// how many intervals are in flight. 0 means the 256 MiB default.
 	MemBudget int
 }
 
@@ -149,14 +155,57 @@ func IntervalClusters(c *Collection, interval int, opts ClusterOptions) ([]Clust
 }
 
 // AllIntervalClusters runs IntervalClusters for every interval.
+// Intervals are independent, so with Parallelism != 1 they run on a
+// bounded worker pool: up to min(Parallelism, m) interval builds are in
+// flight at once, each granted an equal share of MemBudget (so total
+// residency stays within the budget) and an equal share of the
+// remaining worker count for its internal keyword-graph pipeline. The
+// per-interval cluster sets are identical at any worker count;
+// Parallelism: 1 keeps the plain sequential loop as the ablation
+// baseline.
 func AllIntervalClusters(c *Collection, opts ClusterOptions) ([][]Cluster, error) {
-	sets := make([][]Cluster, len(c.Intervals))
-	for i := range c.Intervals {
-		cs, err := IntervalClusters(c, i, opts)
-		if err != nil {
-			return nil, err
+	m := len(c.Intervals)
+	width := opts.Parallelism
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	if width == 1 || m <= 1 {
+		sets := make([][]Cluster, m)
+		for i := range c.Intervals {
+			cs, err := IntervalClusters(c, i, opts)
+			if err != nil {
+				return nil, err
+			}
+			sets[i] = cs
 		}
-		sets[i] = cs
+		return sets, nil
+	}
+
+	workers := width
+	if m < workers {
+		workers = m
+	}
+	inner := opts
+	inner.Parallelism = width / workers
+	if inner.Parallelism < 1 {
+		inner.Parallelism = 1
+	}
+	budget := opts.MemBudget
+	if budget <= 0 {
+		budget = cooccur.DefaultMemBudget
+	}
+	inner.MemBudget = budget / workers
+	if inner.MemBudget < 1 {
+		inner.MemBudget = 1
+	}
+
+	sets := make([][]Cluster, m)
+	if err := par.ForEach(m, workers, func(i int) error {
+		var err error
+		sets[i], err = IntervalClusters(c, i, inner)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	return sets, nil
 }
@@ -183,8 +232,15 @@ type GraphOptions struct {
 	// "intersection" or "overlap".
 	Affinity string
 	// UseSimJoin computes Jaccard edges with the prefix-filter
-	// similarity join instead of the quadratic pair loop.
+	// similarity join instead of the quadratic pair loop. The join's
+	// token vocabulary is interned once for the whole run.
 	UseSimJoin bool
+	// Parallelism is the edge-generation worker count: work is sharded
+	// by (interval, gap-offset) pair, with leftover workers
+	// partitioning probes inside each similarity join. 0 means
+	// GOMAXPROCS; 1 selects the sequential path. The graph is identical
+	// at any worker count.
+	Parallelism int
 }
 
 // BuildClusterGraph links per-interval cluster sets into the cluster
@@ -201,11 +257,12 @@ func BuildClusterGraph(sets [][]Cluster, opts GraphOptions) (*ClusterGraph, erro
 		normalize = true // intersection weights exceed 1
 	}
 	return clustergraph.FromClusters(sets, clustergraph.FromClustersOptions{
-		Gap:        opts.Gap,
-		Theta:      opts.Theta,
-		Affinity:   aff,
-		UseSimJoin: opts.UseSimJoin,
-		Normalize:  normalize,
+		Gap:         opts.Gap,
+		Theta:       opts.Theta,
+		Affinity:    aff,
+		UseSimJoin:  opts.UseSimJoin,
+		Normalize:   normalize,
+		Parallelism: opts.Parallelism,
 	})
 }
 

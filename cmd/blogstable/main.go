@@ -10,6 +10,7 @@
 //	blogstable -input posts.jsonl -k 5 -l 3   # your own corpus
 //	blogstable -input posts.jsonl -normalized -lmin 2
 //	blogstable -input posts.jsonl -raw        # analyze raw text first
+//	blogstable -demo -simjoin -parallelism 8  # sharded Section 4 pipeline
 //
 // With -raw, each JSONL document's keywords are treated as raw text
 // fragments and run through the tokenizer/stemmer/stop-word filter.
@@ -43,6 +44,9 @@ func main() {
 		minSize    = flag.Int("mincluster", 2, "minimum keywords per cluster")
 		normalized = flag.Bool("normalized", false, "solve the normalized problem instead (stability = weight/length)")
 		lmin       = flag.Int("lmin", 2, "minimum length for -normalized")
+		simjoin    = flag.Bool("simjoin", false, "build cluster-graph edges with the prefix-filter similarity join (jaccard affinity only)")
+		par        = flag.Int("parallelism", 0, "worker count for cluster generation and edge generation; 0 = GOMAXPROCS, 1 = sequential")
+		memBud     = flag.Int("membudget", 0, "pair-table memory budget in bytes, split across concurrent interval builds; 0 = default")
 		quiet      = flag.Bool("quiet", false, "suppress per-interval cluster listings")
 		saveSets   = flag.String("saveclusters", "", "write per-interval clusters to this JSONL file")
 		loadSets   = flag.String("clusters", "", "skip cluster generation and load clusters from this JSONL file")
@@ -72,6 +76,8 @@ func main() {
 		sets, err = blogclusters.AllIntervalClusters(col, blogclusters.ClusterOptions{
 			RhoThreshold:   *rho,
 			MinClusterSize: *minSize,
+			Parallelism:    *par,
+			MemBudget:      *memBud,
 		})
 		if err != nil {
 			log.Fatalf("cluster generation: %v", err)
@@ -110,6 +116,7 @@ func main() {
 
 	g, err := blogclusters.BuildClusterGraph(sets, blogclusters.GraphOptions{
 		Gap: *gap, Theta: *theta, Affinity: *affinity,
+		UseSimJoin: *simjoin, Parallelism: *par,
 	})
 	if err != nil {
 		log.Fatalf("cluster graph: %v", err)

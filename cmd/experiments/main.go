@@ -9,6 +9,7 @@
 //	experiments -exp table3            # one experiment at default scale
 //	experiments -exp all -scale 1.0    # the full suite at paper scale
 //	experiments -exp table1 -parallelism 1   # sequential ablation
+//	experiments -exp clustergraph      # Section 4.1 quadratic vs simjoin
 //	experiments -list                  # list experiment ids
 package main
 

@@ -12,9 +12,11 @@ package clustergraph
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/par"
 	"repro/internal/simjoin"
 )
 
@@ -207,6 +209,13 @@ type FromClustersOptions struct {
 	// Normalize rescales weights into (0,1] when an affinity (e.g.
 	// intersection) produces weights above 1.
 	Normalize bool
+	// Parallelism is the worker count for edge generation. The work is
+	// sharded by (interval, gap-offset) pair — each pair of linked
+	// intervals is one task — and, on the simjoin path, leftover
+	// parallelism partitions the probe records inside each join. 0
+	// means GOMAXPROCS; 1 selects the sequential path. The graph is
+	// identical at any worker count.
+	Parallelism int
 }
 
 // FromClusters builds the cluster graph from per-interval cluster sets
@@ -240,28 +249,76 @@ func FromClusters(sets [][]cluster.Cluster, opts FromClustersOptions) (*Graph, e
 			ids[i][j] = id
 		}
 	}
+
+	// Edge generation is sharded by (interval, gap-offset): each pair
+	// of linked intervals is one independent task producing a private
+	// (Left, Right)-sorted edge buffer. Buffers are merged into the
+	// builder in task order, so the AddEdge sequence — and therefore
+	// the graph — is identical to the sequential loop's at any worker
+	// count.
+	type task struct{ i, j int }
+	var tasks []task
 	for i := 0; i < m; i++ {
 		for j := i + 1; j <= i+opts.Gap+1 && j < m; j++ {
-			if opts.UseSimJoin {
-				pairs, err := simjoin.Join(sets[i], sets[j], theta)
-				if err != nil {
-					return nil, err
-				}
-				for _, p := range pairs {
-					if err := b.AddEdge(ids[i][p.Left], ids[j][p.Right], p.Sim); err != nil {
-						return nil, err
-					}
-				}
-				continue
+			tasks = append(tasks, task{i, j})
+		}
+	}
+	width := opts.Parallelism
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	workers := min(width, len(tasks))
+	if workers < 1 {
+		workers = 1
+	}
+
+	// On the simjoin path the vocabulary is interned once for the whole
+	// run (every interval joins against up to gap+1 partners; the
+	// per-call frequency pass used to dominate) and leftover
+	// parallelism partitions the probes inside each join.
+	var (
+		vocab    *simjoin.Vocab
+		recs     [][]simjoin.Record
+		innerPar = 1
+	)
+	if opts.UseSimJoin {
+		vocab = simjoin.NewVocab(sets...)
+		recs = make([][]simjoin.Record, m)
+		for i, cs := range sets {
+			if recs[i], err = vocab.Records(cs); err != nil {
+				return nil, err
 			}
-			for a, ca := range sets[i] {
-				for bj, cb := range sets[j] {
-					if w := aff(ca, cb); w >= theta && w > 0 {
-						if err := b.AddEdge(ids[i][a], ids[j][bj], w); err != nil {
-							return nil, err
-						}
-					}
+		}
+		innerPar = max(1, width/workers)
+	}
+
+	run := func(t task) ([]simjoin.Pair, error) {
+		if opts.UseSimJoin {
+			return vocab.JoinRecords(recs[t.i], recs[t.j], theta, innerPar)
+		}
+		var out []simjoin.Pair
+		for a, ca := range sets[t.i] {
+			for bj, cb := range sets[t.j] {
+				if w := aff(ca, cb); w >= theta && w > 0 {
+					out = append(out, simjoin.Pair{Left: a, Right: bj, Sim: w})
 				}
+			}
+		}
+		return out, nil
+	}
+
+	results := make([][]simjoin.Pair, len(tasks))
+	if err := par.ForEach(len(tasks), workers, func(ti int) error {
+		var err error
+		results[ti], err = run(tasks[ti])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for ti, t := range tasks {
+		for _, p := range results[ti] {
+			if err := b.AddEdge(ids[t.i][p.Left], ids[t.j][p.Right], p.Sim); err != nil {
+				return nil, err
 			}
 		}
 	}

@@ -1,0 +1,121 @@
+package clustergraph
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// randClusterSets builds deterministic per-interval cluster sets with
+// enough cross-interval keyword overlap to produce real edges.
+func randClusterSets(seed int64, m, perInterval, vocab, kw int) [][]cluster.Cluster {
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([][]cluster.Cluster, m)
+	for i := range sets {
+		cs := make([]cluster.Cluster, perInterval)
+		for j := range cs {
+			n := 2 + rng.Intn(kw)
+			words := make([]string, n)
+			for k := range words {
+				words[k] = fmt.Sprintf("w%03d", rng.Intn(vocab))
+			}
+			cs[j] = cluster.New(int64(j), i, words)
+		}
+		sets[i] = cs
+	}
+	return sets
+}
+
+// fingerprint serializes everything observable about a graph so two
+// graphs compare bit for bit: shape, per-node interval and cluster,
+// and both half-edge lists with exact weights.
+func fingerprint(g *Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "m=%d gap=%d nodes=%d edges=%d max=%b\n",
+		g.NumIntervals(), g.Gap(), g.NumNodes(), g.NumEdges(), g.MaxWeight())
+	for id := int64(0); id < int64(g.NumNodes()); id++ {
+		fmt.Fprintf(&b, "n%d t%d %v\n", id, g.Interval(id), g.Cluster(id).Keywords)
+		for _, h := range g.Children(id) {
+			fmt.Fprintf(&b, " c%d w%b l%d\n", h.Peer, h.Weight, h.Length)
+		}
+		for _, h := range g.Parents(id) {
+			fmt.Fprintf(&b, " p%d w%b l%d\n", h.Peer, h.Weight, h.Length)
+		}
+	}
+	return b.String()
+}
+
+// TestFromClustersParallelEquivalence: the sharded edge generation
+// produces a graph identical to the sequential path's at worker counts
+// 2 and 8, on both the quadratic and simjoin paths, at gap 0 and
+// gap 2.
+func TestFromClustersParallelEquivalence(t *testing.T) {
+	sets := randClusterSets(11, 6, 50, 90, 8)
+	for _, gap := range []int{0, 2} {
+		for _, simjoin := range []bool{false, true} {
+			opts := FromClustersOptions{Gap: gap, Theta: 0.25, UseSimJoin: simjoin, Parallelism: 1}
+			base, err := FromClusters(sets, opts)
+			if err != nil {
+				t.Fatalf("gap %d simjoin %v sequential: %v", gap, simjoin, err)
+			}
+			if base.NumEdges() == 0 {
+				t.Fatalf("gap %d simjoin %v: no edges; workload too sparse to be a real test", gap, simjoin)
+			}
+			want := fingerprint(base)
+			for _, par := range []int{2, 8} {
+				opts.Parallelism = par
+				g, err := FromClusters(sets, opts)
+				if err != nil {
+					t.Fatalf("gap %d simjoin %v parallelism %d: %v", gap, simjoin, par, err)
+				}
+				if got := fingerprint(g); got != want {
+					t.Fatalf("gap %d simjoin %v parallelism %d: graph differs from sequential", gap, simjoin, par)
+				}
+			}
+		}
+	}
+}
+
+// TestFromClustersSimJoinMatchesQuadratic: the prefix-filter path and
+// the quadratic pair loop build the same graph (both default Jaccard).
+func TestFromClustersSimJoinMatchesQuadratic(t *testing.T) {
+	sets := randClusterSets(23, 5, 60, 100, 9)
+	for _, gap := range []int{0, 1} {
+		quad, err := FromClusters(sets, FromClustersOptions{Gap: gap, Theta: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sj, err := FromClusters(sets, FromClustersOptions{Gap: gap, Theta: 0.2, UseSimJoin: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fingerprint(quad) != fingerprint(sj) {
+			t.Fatalf("gap %d: simjoin graph (%d edges) differs from quadratic (%d edges)",
+				gap, sj.NumEdges(), quad.NumEdges())
+		}
+	}
+}
+
+// TestFromClustersParallelIntersectionAffinity covers the non-Jaccard
+// (normalized) path under parallel edge generation.
+func TestFromClustersParallelIntersectionAffinity(t *testing.T) {
+	sets := randClusterSets(5, 4, 40, 80, 7)
+	mk := func(par int) string {
+		g, err := FromClusters(sets, FromClustersOptions{
+			Gap: 1, Theta: 1, Affinity: cluster.Intersection, Normalize: true, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fingerprint(g)
+	}
+	want := mk(1)
+	for _, par := range []int{2, 8} {
+		if got := mk(par); got != want {
+			t.Fatalf("parallelism %d: intersection-affinity graph differs from sequential", par)
+		}
+	}
+}

@@ -135,8 +135,7 @@ func Fig6(cfg Config) (*Table, error) {
 // reports (1100–1500 clusters per day at BlogScope scale; proportional
 // here).
 func Qualitative(cfg Config) (*Table, error) {
-	gen := corpus.NewsWeek(2007, cfg.Scale.nodes(600))
-	col, err := corpus.Generate(gen)
+	sets, err := weekSets(cfg, 2007)
 	if err != nil {
 		return nil, err
 	}
@@ -147,26 +146,13 @@ func Qualitative(cfg Config) (*Table, error) {
 		Notes:  "paper: 1100-1500 clusters/day, 42 full-week paths at BlogScope scale",
 	}
 	probe := map[int]string{0: "liverpool", 2: "stem", 3: "iphon", 5: "cisco", 6: "beckham"}
-	for day := 0; day < 7; day++ {
-		g, err := cooccur.Build(col, day, day, buildOptions(cfg))
-		if err != nil {
-			return nil, err
-		}
-		g.AnnotateStats()
-		pruned := g.Prune(stats.ChiSquared95, stats.DefaultRhoThreshold)
-		bg := bicc.NewGraph(pruned.NumVertices())
-		for _, e := range pruned.Edges {
-			bg.AddEdge(e.U, e.V)
-		}
-		clusters := bicc.Decompose(bg).Clusters(2)
+	for day, clusters := range sets {
 		found := "-"
 		if kw, ok := probe[day]; ok {
 			found = fmt.Sprintf("%s: no", kw)
-			for _, comp := range clusters {
-				for _, v := range comp {
-					if pruned.Keywords[v] == kw {
-						found = fmt.Sprintf("%s: yes (cluster of %d keywords)", kw, len(comp))
-					}
+			for _, c := range clusters {
+				if c.Contains(kw) {
+					found = fmt.Sprintf("%s: yes (cluster of %d keywords)", kw, c.Size())
 				}
 			}
 		}

@@ -102,6 +102,21 @@ func TestFig12Runs(t *testing.T) {
 // scale so the table plumbing is covered; the real measurements run via
 // cmd/experiments. Table 3 and Figure 14 are excluded: the TA column
 // and the normalized smallpaths are exponential in m regardless of n.
+func TestClusterGraphShape(t *testing.T) {
+	tbl := runExp(t, "clustergraph", 0.05)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("clustergraph rows = %d, want 4 (quadratic/simjoin × seq/parallel)", len(tbl.Rows))
+	}
+	// All four variants must report the identical graph.
+	nodes, edges := cellInt(t, tbl, 0, 2), cellInt(t, tbl, 0, 3)
+	for i := 1; i < len(tbl.Rows); i++ {
+		if cellInt(t, tbl, i, 2) != nodes || cellInt(t, tbl, i, 3) != edges {
+			t.Errorf("row %d graph (%s/%s nodes/edges) differs from row 0 (%d/%d)",
+				i, tbl.Rows[i][2], tbl.Rows[i][3], nodes, edges)
+		}
+	}
+}
+
 func TestTimingSweepsTinyScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing sweeps skipped in short mode")
@@ -113,8 +128,8 @@ func TestTimingSweepsTinyScale(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 14 {
-		t.Errorf("registry has %d experiments, want 14: %v", len(ids), ids)
+	if len(ids) != 15 {
+		t.Errorf("registry has %d experiments, want 15: %v", len(ids), ids)
 	}
 	if _, err := Run("nope", 0.5); err == nil {
 		t.Error("unknown experiment accepted")

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/bicc"
+	"repro/internal/cluster"
+	"repro/internal/clustergraph"
+	"repro/internal/cooccur"
+	"repro/internal/corpus"
+	"repro/internal/stats"
+)
+
+// weekSets runs the Section 3 pipeline over every day of the news-week
+// corpus and returns the per-interval cluster sets that feed Section 4.
+func weekSets(cfg Config, seed int64) ([][]cluster.Cluster, error) {
+	col, err := corpus.Generate(corpus.NewsWeek(seed, cfg.Scale.nodes(600)))
+	if err != nil {
+		return nil, err
+	}
+	sets := make([][]cluster.Cluster, len(col.Intervals))
+	for day := range col.Intervals {
+		g, err := cooccur.Build(col, day, day, buildOptions(cfg))
+		if err != nil {
+			return nil, err
+		}
+		g.AnnotateStats()
+		pruned := g.Prune(stats.ChiSquared95, stats.DefaultRhoThreshold)
+		bg := bicc.NewGraph(pruned.NumVertices())
+		for _, e := range pruned.Edges {
+			bg.AddEdge(e.U, e.V)
+		}
+		for _, comp := range bicc.Decompose(bg).Clusters(2) {
+			kws := make([]string, len(comp))
+			for i, v := range comp {
+				kws[i] = pruned.Keywords[v]
+			}
+			sets[day] = append(sets[day], cluster.New(int64(len(sets[day])), day, kws))
+		}
+	}
+	return sets, nil
+}
+
+// ClusterGraph measures Section 4.1 cluster-graph construction over the
+// news week: the quadratic pair loop against the prefix-filter
+// similarity join, each sequential and sharded across cfg workers. All
+// four variants build the identical graph (the equivalence tests assert
+// it); this table records what that interchangeability costs.
+func ClusterGraph(cfg Config) (*Table, error) {
+	sets, err := weekSets(cfg, 2007)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "clustergraph",
+		Title:  "cluster-graph construction: quadratic vs prefix-filter simjoin, sequential vs sharded (Section 4.1)",
+		Header: []string{"variant", "workers", "nodes", "edges", "seconds"},
+		Notes:  "identical graphs by construction; simjoin interns the token vocabulary once per run",
+	}
+	variants := []struct {
+		name string
+		opts clustergraph.FromClustersOptions
+	}{
+		{"quadratic", clustergraph.FromClustersOptions{Gap: 1, Theta: 0.1, Parallelism: 1}},
+		{"quadratic", clustergraph.FromClustersOptions{Gap: 1, Theta: 0.1, Parallelism: cfg.Parallelism}},
+		{"simjoin", clustergraph.FromClustersOptions{Gap: 1, Theta: 0.1, UseSimJoin: true, Parallelism: 1}},
+		{"simjoin", clustergraph.FromClustersOptions{Gap: 1, Theta: 0.1, UseSimJoin: true, Parallelism: cfg.Parallelism}},
+	}
+	for _, v := range variants {
+		workers := v.opts.Parallelism
+		if workers <= 0 {
+			workers = cfg.Workers()
+		}
+		start := time.Now()
+		g, err := clustergraph.FromClusters(sets, v.opts)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name,
+			itoa(workers),
+			itoa(g.NumNodes()),
+			itoa(g.NumEdges()),
+			fmtDur(time.Since(start)),
+		})
+	}
+	return t, nil
+}

@@ -38,20 +38,21 @@ func scaled(f func(Scale) (*Table, error)) Runner {
 
 // registry maps experiment ids to runners.
 var registry = map[string]Runner{
-	"table1":      Table1,
-	"fig6":        Fig6,
-	"qualitative": Qualitative,
-	"table3":      scaled(Table3),
-	"fig7":        scaled(Fig7),
-	"fig8":        scaled(Fig8),
-	"fig9":        scaled(Fig9),
-	"fig10":       scaled(Fig10),
-	"fig11":       scaled(Fig11),
-	"fig12":       scaled(Fig12),
-	"fig13":       scaled(Fig13),
-	"fig14":       scaled(Fig14),
-	"ksens":       scaled(KSensitivity),
-	"memory":      scaled(Memory),
+	"table1":       Table1,
+	"fig6":         Fig6,
+	"qualitative":  Qualitative,
+	"clustergraph": ClusterGraph,
+	"table3":       scaled(Table3),
+	"fig7":         scaled(Fig7),
+	"fig8":         scaled(Fig8),
+	"fig9":         scaled(Fig9),
+	"fig10":        scaled(Fig10),
+	"fig11":        scaled(Fig11),
+	"fig12":        scaled(Fig12),
+	"fig13":        scaled(Fig13),
+	"fig14":        scaled(Fig14),
+	"ksens":        scaled(KSensitivity),
+	"memory":       scaled(Memory),
 }
 
 // IDs returns the known experiment ids, sorted.

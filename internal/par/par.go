@@ -1,0 +1,61 @@
+// Package par provides the bounded worker-pool primitive shared by the
+// parallel pipeline stages (interval-cluster builds, cluster-graph edge
+// tasks, similarity-join probe chunks). Callers slot results into
+// index-addressed slices, which keeps outputs canonical at any worker
+// count.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines and returns the lowest-index error, or nil. After any task
+// fails no new task is started (in-flight tasks finish), so a failure
+// on a long run does not burn through the remaining work. workers <= 1
+// (or n <= 1) runs sequentially on the calling goroutine, stopping at
+// the first error — the no-goroutine ablation path.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	indexCh := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indexCh {
+				if failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		indexCh <- i
+	}
+	close(indexCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

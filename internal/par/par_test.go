@@ -1,0 +1,71 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		const n = 37
+		var hits [n]atomic.Int32
+		if err := ForEach(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers %d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	err := ForEach(10, 1, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("sequential error = %v, want %v", err, errA)
+	}
+}
+
+func TestForEachStopsIssuingAfterFailure(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	err := ForEach(1000, 2, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		// Slow the survivors so the failure flag is up long before the
+		// pool could drain the full range.
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Exact counts depend on scheduling, but after the first task fails
+	// the pool must stop issuing new ones.
+	if got := ran.Load(); got > 100 {
+		t.Fatalf("pool ran %d tasks despite an early failure", got)
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

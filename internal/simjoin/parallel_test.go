@@ -1,0 +1,131 @@
+package simjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// randSets builds deterministic random cluster sets with enough token
+// overlap that joins return real matches.
+func randSets(seed int64, nSets, perSet, vocab, kw int) [][]cluster.Cluster {
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([][]cluster.Cluster, nSets)
+	for s := range sets {
+		cs := make([]cluster.Cluster, perSet)
+		for i := range cs {
+			n := 2 + rng.Intn(kw)
+			words := make([]string, n)
+			for j := range words {
+				words[j] = fmt.Sprintf("w%03d", rng.Intn(vocab))
+			}
+			cs[i] = cluster.New(int64(i), s, words)
+		}
+		sets[s] = cs
+	}
+	return sets
+}
+
+// TestVocabReuseMatchesJoin: a vocabulary interned once over all sets
+// and reused across JoinRecords calls returns exactly what the
+// throwaway per-call Join and the quadratic reference return.
+func TestVocabReuseMatchesJoin(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		sets := randSets(seed, 4, 60, 120, 8)
+		v := NewVocab(sets...)
+		recs := make([][]Record, len(sets))
+		for i, cs := range sets {
+			var err error
+			if recs[i], err = v.Records(cs); err != nil {
+				t.Fatalf("seed %d: Records(%d): %v", seed, i, err)
+			}
+		}
+		for _, theta := range []float64{0.2, 0.5, 0.9} {
+			for i := 0; i < len(sets); i++ {
+				for j := i + 1; j < len(sets); j++ {
+					want, err := JoinBrute(sets[i], sets[j], theta)
+					if err != nil {
+						t.Fatal(err)
+					}
+					oneShot, err := Join(sets[i], sets[j], theta)
+					if err != nil {
+						t.Fatal(err)
+					}
+					reused, err := v.JoinRecords(recs[i], recs[j], theta, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !pairsEqual(oneShot, want) {
+						t.Fatalf("seed %d theta %g (%d,%d): Join disagrees with brute\n got %v\nwant %v",
+							seed, theta, i, j, oneShot, want)
+					}
+					if !pairsEqual(reused, want) {
+						t.Fatalf("seed %d theta %g (%d,%d): reused vocab disagrees with brute\n got %v\nwant %v",
+							seed, theta, i, j, reused, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJoinRecordsParallelEquivalence: partitioned probing returns the
+// identical pair list at worker counts 1, 2 and 8.
+func TestJoinRecordsParallelEquivalence(t *testing.T) {
+	sets := randSets(3, 2, 300, 200, 10)
+	v := NewVocab(sets...)
+	lrec, err := v.Records(sets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrec, err := v.Records(sets[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []float64{0.2, 0.4, 0.7} {
+		base, err := v.JoinRecords(lrec, rrec, theta, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if theta <= 0.3 && len(base) == 0 {
+			t.Fatalf("theta %g: no matches; workload too sparse to be a real test", theta)
+		}
+		for _, par := range []int{2, 8} {
+			got, err := v.JoinRecords(lrec, rrec, theta, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pairsEqual(got, base) {
+				t.Fatalf("theta %g parallelism %d: %d pairs, want %d (or order differs)",
+					theta, par, len(got), len(base))
+			}
+		}
+	}
+}
+
+func TestRecordsUnknownKeyword(t *testing.T) {
+	known := []cluster.Cluster{cluster.New(0, 0, []string{"a", "b"})}
+	v := NewVocab(known)
+	if _, err := v.Records([]cluster.Cluster{cluster.New(1, 0, []string{"a", "zzz"})}); err == nil {
+		t.Fatal("Records accepted a keyword the vocabulary has never seen")
+	}
+}
+
+func TestJoinRecordsThetaValidation(t *testing.T) {
+	v := NewVocab([]cluster.Cluster{cluster.New(0, 0, []string{"a"})})
+	for _, theta := range []float64{0, -1, 1.5} {
+		if _, err := v.JoinRecords(nil, nil, theta, 1); err == nil {
+			t.Errorf("JoinRecords accepted theta=%g", theta)
+		}
+	}
+}
+
+func pairsEqual(a, b []Pair) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}

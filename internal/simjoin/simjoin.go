@@ -11,14 +11,26 @@
 // majority of dissimilar pairs, using the standard prefix-filtering
 // principle (order tokens by global rarity; two sets with Jaccard ≥ θ
 // must share a token within their short prefixes).
+//
+// The join works on interned records: a Vocab maps every keyword to a
+// dense int32 rank once per run, records are rank-sorted id slices,
+// and the inverted index over the probe prefixes is a slice-backed CSR
+// layout — no string comparisons and no map lookups on the hot path.
+// Callers joining many set pairs (the cluster-graph construction joins
+// each interval against the next gap+1 intervals) build one Vocab for
+// all sets and reuse it across JoinRecords calls; Join remains the
+// one-shot two-set convenience wrapper.
 package simjoin
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
+	"slices"
+	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/par"
 )
 
 // Pair is one join result: indices into the left and right inputs and
@@ -28,74 +40,214 @@ type Pair struct {
 	Sim         float64
 }
 
+// Vocab is a reusable interned vocabulary: every keyword of the sets
+// it was built from maps to a dense int32 rank, ordered rarest-first
+// (ties broken lexicographically) so record prefixes are maximally
+// selective. Build it once per run and share it read-only across
+// Records and JoinRecords calls.
+type Vocab struct {
+	dict *cluster.Dict
+	rank []int32 // dict id → global rarity rank
+}
+
+// NewVocab interns the keywords of every given cluster set and ranks
+// them by global rarity. The frequency is the number of clusters
+// containing the keyword, summed over all sets.
+func NewVocab(sets ...[]cluster.Cluster) *Vocab {
+	d := cluster.NewDict()
+	var freq []int64
+	for _, cs := range sets {
+		for _, c := range cs {
+			for _, w := range c.Keywords {
+				id := d.Intern(w)
+				if int(id) == len(freq) {
+					freq = append(freq, 0)
+				}
+				freq[id]++
+			}
+		}
+	}
+	// Rarest first; ties broken lexicographically for determinism.
+	order := make([]int32, len(freq))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(a, b int32) int {
+		if freq[a] != freq[b] {
+			if freq[a] < freq[b] {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(d.Word(a), d.Word(b))
+	})
+	rank := make([]int32, len(freq))
+	for r, id := range order {
+		rank[id] = int32(r)
+	}
+	return &Vocab{dict: d, rank: rank}
+}
+
+// NumTokens returns the number of distinct interned keywords.
+func (v *Vocab) NumTokens() int { return len(v.rank) }
+
+// Record is one cluster's keyword set as rank-sorted token ids
+// (rarest token first).
+type Record struct {
+	Tokens []int32
+}
+
+// Records interns the clusters' keyword sets against the vocabulary.
+// Every keyword must have been seen by NewVocab; an unknown keyword is
+// an error (it would silently corrupt the rarity ranking).
+func (v *Vocab) Records(cs []cluster.Cluster) ([]Record, error) {
+	recs := make([]Record, len(cs))
+	for i, c := range cs {
+		toks := make([]int32, len(c.Keywords))
+		for j, w := range c.Keywords {
+			id, ok := v.dict.ID(w)
+			if !ok {
+				return nil, fmt.Errorf("simjoin: keyword %q of cluster %d not in vocabulary", w, c.ID)
+			}
+			toks[j] = v.rank[id]
+		}
+		slices.Sort(toks)
+		recs[i] = Record{Tokens: toks}
+	}
+	return recs, nil
+}
+
 // Join returns all pairs (l, r) with Jaccard(left[l], right[r]) >= theta.
 // theta must be in (0, 1]. Results are sorted by (Left, Right).
+//
+// Join builds a throwaway two-set vocabulary on every call; callers
+// joining the same sets against successive partners should build one
+// Vocab + Records up front and call JoinRecords instead.
 func Join(left, right []cluster.Cluster, theta float64) ([]Pair, error) {
 	if theta <= 0 || theta > 1 {
 		return nil, fmt.Errorf("simjoin: theta must be in (0,1], got %g", theta)
 	}
-
-	// Build the global token frequency map so tokens can be ordered
-	// rarest-first; rare tokens make prefixes selective.
-	freq := map[string]int{}
-	for _, c := range left {
-		for _, w := range c.Keywords {
-			freq[w]++
-		}
+	v := NewVocab(left, right)
+	lrec, err := v.Records(left)
+	if err != nil {
+		return nil, err
 	}
-	for _, c := range right {
-		for _, w := range c.Keywords {
-			freq[w]++
-		}
+	rrec, err := v.Records(right)
+	if err != nil {
+		return nil, err
 	}
-	rank := makeRanks(freq)
+	return v.JoinRecords(lrec, rrec, theta, 1)
+}
 
-	lrec := makeRecords(left, rank)
-	rrec := makeRecords(right, rank)
-
-	// Inverted index over the prefixes of the right side.
-	type posting struct {
-		rec int // index into rrec
+// JoinRecords joins pre-interned records: all pairs (l, r) with
+// Jaccard(lrec[l], rrec[r]) >= theta, sorted by (Left, Right). Both
+// record slices must come from this Vocab's Records. parallelism is
+// the probe worker count (0 = GOMAXPROCS, 1 = sequential); the output
+// is identical at any worker count.
+func (v *Vocab) JoinRecords(lrec, rrec []Record, theta float64, parallelism int) ([]Pair, error) {
+	if theta <= 0 || theta > 1 {
+		return nil, fmt.Errorf("simjoin: theta must be in (0,1], got %g", theta)
 	}
-	index := map[int32][]posting{}
-	for j, r := range rrec {
-		for _, tok := range r.tokens[:prefixLen(len(r.tokens), theta)] {
-			index[tok] = append(index[tok], posting{rec: j})
-		}
+	width := parallelism
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
 	}
 
-	var out []Pair
-	seen := make([]int, len(rrec)) // candidate de-dup stamps
-	stamp := 0
-	for i, l := range lrec {
-		stamp++
-		np := prefixLen(len(l.tokens), theta)
-		for _, tok := range l.tokens[:np] {
-			for _, p := range index[tok] {
-				if seen[p.rec] == stamp {
-					continue
-				}
-				seen[p.rec] = stamp
-				r := rrec[p.rec]
-				// Size filter: Jaccard >= theta requires
-				// theta*|l| <= |r| <= |l|/theta.
-				ls, rs := float64(len(l.tokens)), float64(len(r.tokens))
-				if rs < theta*ls || rs > ls/theta {
-					continue
-				}
-				sim := jaccardSorted(l.tokens, r.tokens)
-				if sim >= theta {
-					out = append(out, Pair{Left: i, Right: p.rec, Sim: sim})
-				}
+	// CSR inverted index over the prefixes of the right side: token →
+	// the right records indexing it, in ascending record order. The
+	// index is sized by the largest token the right prefixes actually
+	// use, not the whole vocabulary — with a shared per-run Vocab each
+	// interval-pair join touches only its own token subset, and the
+	// scratch should cost accordingly.
+	maxTok := int32(-1)
+	for _, r := range rrec {
+		for _, tok := range r.Tokens[:prefixLen(len(r.Tokens), theta)] {
+			if tok > maxTok {
+				maxTok = tok
 			}
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Left != out[b].Left {
-			return out[a].Left < out[b].Left
+	n := int(maxTok) + 1
+	counts := make([]int32, n)
+	for _, r := range rrec {
+		for _, tok := range r.Tokens[:prefixLen(len(r.Tokens), theta)] {
+			counts[tok]++
 		}
-		return out[a].Right < out[b].Right
+	}
+	starts := make([]int32, n+1)
+	for i, c := range counts {
+		starts[i+1] = starts[i] + c
+	}
+	posts := make([]int32, starts[n])
+	fill := make([]int32, n)
+	copy(fill, starts[:n])
+	for j, r := range rrec {
+		for _, tok := range r.Tokens[:prefixLen(len(r.Tokens), theta)] {
+			posts[fill[tok]] = int32(j)
+			fill[tok]++
+		}
+	}
+
+	// Probe: each worker owns a contiguous left chunk plus private
+	// de-dup stamps and output buffer. Matches of one left record are
+	// sorted by Right, and chunks concatenate in left order, so the
+	// result is globally (Left, Right)-sorted with no final sort.
+	probe := func(lo, hi int) []Pair {
+		var out []Pair
+		seen := make([]int32, len(rrec))
+		for i := range seen {
+			seen[i] = -1
+		}
+		for i := lo; i < hi; i++ {
+			l := lrec[i]
+			from := len(out)
+			for _, tok := range l.Tokens[:prefixLen(len(l.Tokens), theta)] {
+				if int(tok) >= n {
+					// Tokens are rank-sorted ascending; nothing past
+					// the index's range can have postings.
+					break
+				}
+				for _, rj := range posts[starts[tok]:starts[tok+1]] {
+					if seen[rj] == int32(i) {
+						continue
+					}
+					seen[rj] = int32(i)
+					r := rrec[rj]
+					// Size filter: Jaccard >= theta requires
+					// theta*|l| <= |r| <= |l|/theta.
+					ls, rs := float64(len(l.Tokens)), float64(len(r.Tokens))
+					if rs < theta*ls || rs > ls/theta {
+						continue
+					}
+					if sim := jaccardSorted(l.Tokens, r.Tokens); sim >= theta {
+						out = append(out, Pair{Left: i, Right: int(rj), Sim: sim})
+					}
+				}
+			}
+			slices.SortFunc(out[from:], func(a, b Pair) int { return a.Right - b.Right })
+		}
+		return out
+	}
+
+	if width == 1 || len(lrec) < 2*width {
+		return probe(0, len(lrec)), nil
+	}
+	chunk := (len(lrec) + width - 1) / width
+	nChunks := (len(lrec) + chunk - 1) / chunk
+	parts := make([][]Pair, nChunks)
+	par.ForEach(nChunks, width, func(slot int) error {
+		lo := slot * chunk
+		parts[slot] = probe(lo, min(lo+chunk, len(lrec)))
+		return nil
 	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]Pair, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
 	return out, nil
 }
 
@@ -131,42 +283,6 @@ func prefixLen(n int, theta float64) int {
 		p = n
 	}
 	return p
-}
-
-type record struct {
-	tokens []int32 // token ids sorted by global rank (rarest first)
-}
-
-func makeRanks(freq map[string]int) map[string]int32 {
-	words := make([]string, 0, len(freq))
-	for w := range freq {
-		words = append(words, w)
-	}
-	// Rarest first; ties broken lexicographically for determinism.
-	sort.Slice(words, func(i, j int) bool {
-		if freq[words[i]] != freq[words[j]] {
-			return freq[words[i]] < freq[words[j]]
-		}
-		return words[i] < words[j]
-	})
-	rank := make(map[string]int32, len(words))
-	for i, w := range words {
-		rank[w] = int32(i)
-	}
-	return rank
-}
-
-func makeRecords(cs []cluster.Cluster, rank map[string]int32) []record {
-	recs := make([]record, len(cs))
-	for i, c := range cs {
-		toks := make([]int32, len(c.Keywords))
-		for j, w := range c.Keywords {
-			toks[j] = rank[w]
-		}
-		sort.Slice(toks, func(a, b int) bool { return toks[a] < toks[b] })
-		recs[i] = record{tokens: toks}
-	}
-	return recs
 }
 
 func jaccardSorted(a, b []int32) float64 {

@@ -1,0 +1,119 @@
+package blogclusters
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// setsFingerprint serializes per-interval cluster sets for exact
+// comparison across worker counts.
+func setsFingerprint(sets [][]Cluster) string {
+	var b strings.Builder
+	for i, cs := range sets {
+		fmt.Fprintf(&b, "t%d n%d\n", i, len(cs))
+		for _, c := range cs {
+			fmt.Fprintf(&b, " %d@%d %v\n", c.ID, c.Interval, c.Keywords)
+		}
+	}
+	return b.String()
+}
+
+// graphFingerprint serializes a cluster graph for exact comparison.
+func graphFingerprint(g *ClusterGraph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "m=%d gap=%d nodes=%d edges=%d max=%b\n",
+		g.NumIntervals(), g.Gap(), g.NumNodes(), g.NumEdges(), g.MaxWeight())
+	for id := int64(0); id < int64(g.NumNodes()); id++ {
+		fmt.Fprintf(&b, "n%d t%d %v\n", id, g.Interval(id), g.Cluster(id).Keywords)
+		for _, h := range g.Children(id) {
+			fmt.Fprintf(&b, " c%d w%b l%d\n", h.Peer, h.Weight, h.Length)
+		}
+		for _, h := range g.Parents(id) {
+			fmt.Fprintf(&b, " p%d w%b l%d\n", h.Peer, h.Weight, h.Length)
+		}
+	}
+	return b.String()
+}
+
+// TestSection4ParallelEquivalence runs the whole Section 4 pipeline —
+// AllIntervalClusters then BuildClusterGraph on both the quadratic and
+// simjoin paths, with a gap — at Parallelism 1, 2 and 8, and asserts
+// each stage's output is identical to the sequential baseline's.
+func TestSection4ParallelEquivalence(t *testing.T) {
+	c := endToEndCorpus(t)
+
+	baseSets, err := AllIntervalClusters(c, ClusterOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("AllIntervalClusters sequential: %v", err)
+	}
+	wantSets := setsFingerprint(baseSets)
+	total := 0
+	for _, cs := range baseSets {
+		total += len(cs)
+	}
+	if total == 0 {
+		t.Fatal("no clusters; corpus too sparse to be a real test")
+	}
+
+	graphVariants := []struct {
+		name string
+		opts GraphOptions
+	}{
+		{"quadratic_gap0", GraphOptions{Gap: 0, Theta: 0.1}},
+		{"quadratic_gap2", GraphOptions{Gap: 2, Theta: 0.1}},
+		{"simjoin_gap2", GraphOptions{Gap: 2, Theta: 0.1, UseSimJoin: true}},
+	}
+	wantGraphs := make([]string, len(graphVariants))
+	for vi, v := range graphVariants {
+		opts := v.opts
+		opts.Parallelism = 1
+		g, err := BuildClusterGraph(baseSets, opts)
+		if err != nil {
+			t.Fatalf("BuildClusterGraph %s sequential: %v", v.name, err)
+		}
+		if g.NumEdges() == 0 {
+			t.Fatalf("BuildClusterGraph %s: no edges; workload too sparse to be a real test", v.name)
+		}
+		wantGraphs[vi] = graphFingerprint(g)
+	}
+
+	for _, par := range []int{2, 8} {
+		sets, err := AllIntervalClusters(c, ClusterOptions{Parallelism: par})
+		if err != nil {
+			t.Fatalf("AllIntervalClusters parallelism %d: %v", par, err)
+		}
+		if got := setsFingerprint(sets); got != wantSets {
+			t.Fatalf("AllIntervalClusters parallelism %d: cluster sets differ from sequential", par)
+		}
+		for vi, v := range graphVariants {
+			opts := v.opts
+			opts.Parallelism = par
+			g, err := BuildClusterGraph(sets, opts)
+			if err != nil {
+				t.Fatalf("BuildClusterGraph %s parallelism %d: %v", v.name, par, err)
+			}
+			if got := graphFingerprint(g); got != wantGraphs[vi] {
+				t.Fatalf("BuildClusterGraph %s parallelism %d: graph differs from sequential", v.name, par)
+			}
+		}
+	}
+}
+
+// TestAllIntervalClustersBudgetSplit: a tiny memory budget split across
+// interval workers forces the spill path inside concurrent interval
+// builds and must still reproduce the sequential output.
+func TestAllIntervalClustersBudgetSplit(t *testing.T) {
+	c := endToEndCorpus(t)
+	base, err := AllIntervalClusters(c, ClusterOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AllIntervalClusters(c, ClusterOptions{Parallelism: 4, MemBudget: 64 << 10})
+	if err != nil {
+		t.Fatalf("AllIntervalClusters with split budget: %v", err)
+	}
+	if setsFingerprint(got) != setsFingerprint(base) {
+		t.Fatal("split-budget parallel cluster sets differ from sequential")
+	}
+}

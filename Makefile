@@ -13,7 +13,11 @@ GO ?= go
 # Benchmark sample count; CI's bench-smoke job overrides this to 1.
 BENCH_COUNT ?= 3
 
-.PHONY: all build check vet test race fmt-check bench clean
+# Pinned staticcheck build for `make staticcheck` (and CI's lint job);
+# fetched through the module cache, never added to go.mod.
+STATICCHECK_VERSION ?= 2025.1.1
+
+.PHONY: all build check vet test race fmt-check staticcheck bench bench-gate fuzz-smoke clean
 
 all: check
 
@@ -33,14 +37,46 @@ race:
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
+# Pinned staticcheck over the whole tree. `go run pkg@version` fetches
+# the tool from the module proxy into GOMODCACHE when it is not
+# already there (the pin is never added to go.mod, so a fresh CI
+# runner whose restored cache predates the pin pays one download).
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
 check: build vet test race
 
 # Perf trajectory: Table 1 keyword-graph construction, the ablation
-# benches, and the Section 4 cluster-graph/simjoin benches, in
-# test2json format (one JSON object per line).
+# benches, the Section 4 cluster-graph/simjoin benches and the index
+# backend benches, in test2json format (one JSON object per line).
+# BENCH_OUT redirects the dump (bench-gate writes an untracked file so
+# the committed trajectory is never clobbered).
+BENCH_OUT ?= BENCH_table1.json
 bench:
-	$(GO) test -run '^$$' -bench 'Table1|Ablation|ClusterGraph|SimJoin' -benchmem -count $(BENCH_COUNT) -json . > BENCH_table1.json
-	@echo "wrote BENCH_table1.json ($$(grep -c '"Action":"output"' BENCH_table1.json) output events)"
+	$(GO) test -run '^$$' -bench 'Table1|Ablation|ClusterGraph|SimJoin|DiskIndex' -benchmem -count $(BENCH_COUNT) -json . > $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT) ($$(grep -c '"Action":"output"' $(BENCH_OUT)) output events)"
+
+# Regression gate: rerun the bench set once into the untracked
+# BENCH_fresh.json and compare against the committed BENCH_table1.json
+# baseline, failing on a >BENCH_THRESHOLDx slowdown of any benchmark
+# present in both dumps (cmd/benchdiff). Idempotent: the tracked
+# baseline is never overwritten, so repeated local runs keep comparing
+# against the same reference. CI's bench-smoke job runs this and
+# uploads both files. The baseline was recorded on a different machine
+# than the CI runner, so the threshold is deliberately loose (it
+# catches order-of-magnitude regressions, not percent drift); if
+# runner hardware ever wedges the gate, bump BENCH_THRESHOLD or
+# re-record the baseline with `make bench`.
+BENCH_THRESHOLD ?= 2.0
+bench-gate:
+	$(MAKE) bench BENCH_COUNT=1 BENCH_OUT=BENCH_fresh.json
+	$(GO) run ./cmd/benchdiff -old BENCH_table1.json -new BENCH_fresh.json -threshold $(BENCH_THRESHOLD)
+
+# Native fuzz targets, ~60s each — the nightly fuzz job's entry point.
+FUZZTIME ?= 60s
+fuzz-smoke:
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzSolverEquivalence -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/index -run '^$$' -fuzz FuzzDiskIndexRoundTrip -fuzztime $(FUZZTIME)
 
 clean:
-	rm -f BENCH_table1.json
+	rm -f BENCH_table1.json BENCH_fresh.json

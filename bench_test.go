@@ -7,6 +7,7 @@ package blogclusters
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/bicc"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/cooccur"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/index"
 	"repro/internal/simjoin"
 	"repro/internal/stats"
 	"repro/internal/synth"
@@ -530,6 +532,94 @@ func BenchmarkAblationParallelClusters(b *testing.B) {
 				}
 				if len(sets) != 7 {
 					b.Fatalf("want 7 interval sets, got %d", len(sets))
+				}
+			}
+		})
+	}
+}
+
+// benchIndexCorpus is the corpus behind the index-backend benches: a
+// few intervals, a mid-size vocabulary, enough postings that the disk
+// layout spans many blocks.
+func benchIndexCorpus(b *testing.B) *corpus.Collection {
+	b.Helper()
+	col, err := corpus.Generate(corpus.GeneratorConfig{
+		Seed: 3, NumIntervals: 3, BackgroundPosts: 2500,
+		BackgroundVocab: 1500, WordsPerPost: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return col
+}
+
+// BenchmarkDiskIndexBuild measures building the keyword index: the
+// resident map layout vs streaming the postings through extsort into
+// the on-disk segment.
+func BenchmarkDiskIndexBuild(b *testing.B) {
+	col := benchIndexCorpus(b)
+	b.Run("mem", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := index.New(col); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("disk", func(b *testing.B) {
+		dir := b.TempDir()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			path := filepath.Join(dir, fmt.Sprintf("seg-%d", i%4))
+			if err := index.BuildDisk(col, path, index.DiskOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDiskIndexSearch measures two-keyword boolean search on both
+// backends; the disk variants differ in block-cache budget (the warm
+// path serves from the LRU, the cold path pays block reads).
+func BenchmarkDiskIndexSearch(b *testing.B) {
+	col := benchIndexCorpus(b)
+	x, err := index.New(col)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vocab := x.Vocabulary(0)
+	if len(vocab) < 2 {
+		b.Fatal("tiny vocabulary")
+	}
+	path := filepath.Join(b.TempDir(), "seg")
+	if err := index.BuildDisk(col, path, index.DiskOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("mem", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			x.Search([]string{vocab[i%len(vocab)], vocab[(i*7)%len(vocab)]}, i%3)
+		}
+	})
+	for _, v := range []struct {
+		name   string
+		budget int
+	}{
+		{"diskWarm", 0},        // default 8 MiB cache: everything stays resident
+		{"diskCold", 16 << 10}, // 16 KiB cache: most lookups hit disk
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			d, err := index.OpenDiskOptions(path, index.OpenOptions{MemBudget: v.budget})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Search([]string{vocab[i%len(vocab)], vocab[(i*7)%len(vocab)]}, i%3); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -23,6 +23,7 @@ package blogclusters
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 
 	"repro/internal/bicc"
@@ -317,6 +318,87 @@ type Index = index.Index
 // BuildIndex indexes every interval of the collection.
 func BuildIndex(c *Collection) (*Index, error) { return index.New(c) }
 
+// IndexReader is the backend-neutral keyword-index interface: the
+// in-memory index and the disk-backed segment layout answer the same
+// primitives through it.
+type IndexReader = index.Reader
+
+// IndexOptions selects and configures the index backend.
+type IndexOptions struct {
+	// Backend is "mem" (default: everything resident) or "disk" (the
+	// EMBANKS-style segment file: resident dictionaries, postings on
+	// disk behind an LRU block cache).
+	Backend string
+	// Path is where the disk backend's segment file lives. Empty means
+	// a private temporary file, removed when the reader is closed.
+	Path string
+	// MemBudget bounds the disk backend's block-cache bytes (same
+	// convention as ClusterOptions.MemBudget); 0 means the default.
+	MemBudget int
+	// SortMemoryBudget bounds the external sorter used while building
+	// the disk segment; 0 means the extsort default.
+	SortMemoryBudget int
+}
+
+// OpenIndexReader indexes the collection with the selected backend.
+// Close the reader when done; the mem backend's Close is a no-op, the
+// disk backend's closes (and for temporary segments removes) the file.
+func OpenIndexReader(c *Collection, opts IndexOptions) (IndexReader, error) {
+	switch opts.Backend {
+	case "", "mem":
+		x, err := index.New(c)
+		if err != nil {
+			return nil, err
+		}
+		return x.Reader(), nil
+	case "disk":
+		path := opts.Path
+		temp := false
+		if path == "" {
+			f, err := os.CreateTemp("", "blogclusters-idx-*.seg")
+			if err != nil {
+				return nil, fmt.Errorf("blogclusters: temp segment: %w", err)
+			}
+			path = f.Name()
+			f.Close()
+			temp = true
+		}
+		if err := index.BuildDisk(c, path, index.DiskOptions{SortMemoryBudget: opts.SortMemoryBudget}); err != nil {
+			if temp {
+				os.Remove(path)
+			}
+			return nil, err
+		}
+		d, err := index.OpenDiskOptions(path, index.OpenOptions{MemBudget: opts.MemBudget})
+		if err != nil {
+			if temp {
+				os.Remove(path)
+			}
+			return nil, err
+		}
+		if temp {
+			return &tempIndexReader{IndexReader: d, path: path}, nil
+		}
+		return d, nil
+	default:
+		return nil, fmt.Errorf("blogclusters: unknown index backend %q (want mem or disk)", opts.Backend)
+	}
+}
+
+// tempIndexReader removes its private segment file on Close.
+type tempIndexReader struct {
+	IndexReader
+	path string
+}
+
+func (r *tempIndexReader) Close() error {
+	err := r.IndexReader.Close()
+	if rmErr := os.Remove(r.path); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
 // KeywordBurst is one bursty stretch of intervals for a keyword.
 type KeywordBurst = burst.Burst
 
@@ -325,10 +407,20 @@ type KeywordBurst = burst.Burst
 // detector is Kleinberg's two-state automaton; see internal/burst for
 // the z-score alternative and tuning knobs.
 func DetectBursts(x *Index, w string) ([]KeywordBurst, error) {
-	counts := x.TimeSeries(w)
-	totals := make([]int64, x.NumIntervals())
+	return DetectBurstsIn(x.Reader(), w)
+}
+
+// DetectBurstsIn is DetectBursts over any index backend: the keyword's
+// document-frequency trajectory comes straight from the reader's
+// resident term statistics (no posting I/O on the disk backend).
+func DetectBurstsIn(r IndexReader, w string) ([]KeywordBurst, error) {
+	counts, err := r.TimeSeries(w)
+	if err != nil {
+		return nil, err
+	}
+	totals := make([]int64, r.NumIntervals())
 	for i := range totals {
-		totals[i] = int64(x.NumDocs(i))
+		totals[i] = int64(r.NumDocs(i))
 	}
 	return burst.Kleinberg(counts, totals, burst.KleinbergOptions{})
 }

@@ -1,0 +1,194 @@
+// Command benchdiff turns the CI bench-smoke run into a regression
+// gate: it compares a fresh benchmark dump against the committed
+// baseline and fails when any benchmark present in both slowed down by
+// more than the threshold factor.
+//
+// Inputs are `go test -json` streams (the BENCH_table1.json format
+// written by `make bench`); plain `go test -bench` text is accepted
+// too. Benchmarks are matched by name with the trailing -GOMAXPROCS
+// suffix stripped, so baselines recorded on different machines still
+// line up. With -count > 1 the minimum ns/op per benchmark is used —
+// the least-noisy estimate of the true cost.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_baseline.json -new BENCH_table1.json
+//	benchdiff -old old.json -new new.json -threshold 1.5
+//
+// Exit status: 0 when no gated benchmark regressed, 1 otherwise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	var (
+		oldPath   = flag.String("old", "", "baseline benchmark dump (required)")
+		newPath   = flag.String("new", "", "fresh benchmark dump (required)")
+		threshold = flag.Float64("threshold", 2.0, "maximum allowed new/old ns/op ratio")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		log.Fatal("need -old FILE and -new FILE")
+	}
+	if *threshold <= 1 {
+		log.Fatalf("threshold must exceed 1, got %g", *threshold)
+	}
+	oldNs, err := parseFile(*oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newNs, err := parseFile(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(oldNs) == 0 {
+		log.Fatalf("%s contains no benchmark results", *oldPath)
+	}
+	if len(newNs) == 0 {
+		log.Fatalf("%s contains no benchmark results", *newPath)
+	}
+	report, regressed := compare(oldNs, newNs, *threshold)
+	fmt.Print(report)
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+// parseFile extracts the minimum ns/op per benchmark name from a
+// `go test -json` stream (or plain -bench output). test2json splits
+// one benchmark result line across several "output" events (the name
+// is emitted before the run, the timing after), so output fragments
+// are reassembled into full lines before parsing.
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev struct {
+				Action string `json:"Action"`
+				Output string `json:"Output"`
+			}
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action == "output" {
+					text.WriteString(ev.Output)
+				}
+				continue
+			}
+		}
+		// Plain `go test -bench` text.
+		text.WriteString(line)
+		text.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read %s: %w", path, err)
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(text.String(), "\n") {
+		name, ns, ok := parseBenchLine(strings.TrimSpace(line))
+		if !ok {
+			continue
+		}
+		if prev, seen := out[name]; !seen || ns < prev {
+			out[name] = ns
+		}
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one `BenchmarkName-8  100  12345 ns/op  ...`
+// result line, stripping the -GOMAXPROCS suffix from the name.
+func parseBenchLine(line string) (name string, nsPerOp float64, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", 0, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", 0, false
+	}
+	name = fields[0]
+	// fields[1] is the iteration count; ns/op is the value whose unit
+	// field reads "ns/op".
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil || v <= 0 {
+				return "", 0, false
+			}
+			return stripProcSuffix(name), v, true
+		}
+	}
+	return "", 0, false
+}
+
+// stripProcSuffix removes a trailing "-N" (the GOMAXPROCS decoration)
+// from a benchmark name, including on sub-benchmarks.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compare renders the per-benchmark ratio table and reports whether
+// any shared benchmark exceeded the threshold. Benchmarks present in
+// only one dump are listed but never gate (new benchmarks must be
+// landable; retired ones must not wedge CI).
+func compare(oldNs, newNs map[string]float64, threshold float64) (string, bool) {
+	names := make([]string, 0, len(newNs))
+	for name := range newNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	regressed := false
+	shared := 0
+	for _, name := range names {
+		nv := newNs[name]
+		ov, ok := oldNs[name]
+		if !ok {
+			fmt.Fprintf(&b, "  new   %-60s %12.0f ns/op (no baseline)\n", name, nv)
+			continue
+		}
+		shared++
+		ratio := nv / ov
+		verdict := "ok"
+		if ratio > threshold {
+			verdict = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(&b, "  %-5s %-60s %12.0f -> %12.0f ns/op  (%.2fx)\n", verdict, name, ov, nv, ratio)
+	}
+	for name, ov := range oldNs {
+		if _, ok := newNs[name]; !ok {
+			fmt.Fprintf(&b, "  gone  %-60s %12.0f ns/op (baseline only)\n", name, ov)
+		}
+	}
+	head := fmt.Sprintf("benchdiff: %d shared benchmarks, threshold %.2fx\n", shared, threshold)
+	if regressed {
+		head = fmt.Sprintf("benchdiff: REGRESSION — at least one benchmark slowed >%.2fx\n", threshold)
+	}
+	return head + b.String(), regressed
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkFoo-8 \t 100\t  12345 ns/op\t 10 B/op\t 2 allocs/op", "BenchmarkFoo", 12345, true},
+		{"BenchmarkClusterGraph/quadSeq-4 50 2200000 ns/op", "BenchmarkClusterGraph/quadSeq", 2200000, true},
+		{"BenchmarkNoProcSuffix 10 99.5 ns/op", "BenchmarkNoProcSuffix", 99.5, true},
+		{"BenchmarkTable1KeywordGraph 	     346	   3447388 ns/op", "BenchmarkTable1KeywordGraph", 3447388, true},
+		{"PASS", "", 0, false},
+		{"Benchmark only two", "", 0, false},
+		{"BenchmarkBadValue-8 100 xx ns/op", "", 0, false},
+		{"ok  \trepro\t12.3s", "", 0, false},
+	}
+	for _, c := range cases {
+		name, ns, ok := parseBenchLine(c.line)
+		if ok != c.ok || name != c.name || ns != c.ns {
+			t.Errorf("parseBenchLine(%q) = (%q, %g, %v), want (%q, %g, %v)",
+				c.line, name, ns, ok, c.name, c.ns, c.ok)
+		}
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":        "BenchmarkFoo",
+		"BenchmarkFoo":          "BenchmarkFoo",
+		"BenchmarkFoo/sub-16":   "BenchmarkFoo/sub",
+		"BenchmarkFoo/rho0.2-4": "BenchmarkFoo/rho0.2",
+		"BenchmarkFoo-abc":      "BenchmarkFoo-abc",
+		"BenchmarkFoo-":         "BenchmarkFoo-",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func writeDump(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseFileTest2JSON(t *testing.T) {
+	path := writeDump(t,
+		`{"Action":"start","Package":"repro"}`,
+		`{"Action":"output","Package":"repro","Output":"BenchmarkFoo-8 \t 100\t 2000 ns/op\n"}`,
+		// test2json splits a result across events: name first, timing
+		// in a later fragment, newline closing the line.
+		`{"Action":"output","Package":"repro","Output":"BenchmarkFoo-8 \t"}`,
+		`{"Action":"output","Package":"repro","Output":" 100\t 1500 ns/op\t 3 allocs/op\n"}`, // min wins
+		`{"Action":"run","Package":"repro"}`,
+		`{"Action":"output","Package":"repro","Output":"BenchmarkBar/x-8 \t 10\t 900 ns/op\n"}`,
+		`{"Action":"output","Package":"repro","Output":"PASS\n"}`,
+		`not json and not a benchmark`,
+		`BenchmarkPlain-2 5 777 ns/op`,
+	)
+	got, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got["BenchmarkFoo"] != 1500 || got["BenchmarkBar/x"] != 900 || got["BenchmarkPlain"] != 777 {
+		t.Fatalf("parseFile = %v", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	oldNs := map[string]float64{"A": 100, "B": 100, "Gone": 50}
+	newNs := map[string]float64{"A": 150, "B": 250, "Fresh": 10}
+	report, regressed := compare(oldNs, newNs, 2.0)
+	if !regressed {
+		t.Fatal("2.5x slowdown of B not flagged")
+	}
+	for _, want := range []string{"REGRESSED", "B", "(no baseline)", "(baseline only)"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// Exactly at the threshold is allowed (the gate is >, not >=).
+	if _, regressed := compare(map[string]float64{"A": 100}, map[string]float64{"A": 200}, 2.0); regressed {
+		t.Error("exactly-2x flagged as regression")
+	}
+	if _, regressed := compare(oldNs, map[string]float64{"A": 120, "B": 199}, 2.0); regressed {
+		t.Error("sub-threshold run flagged")
+	}
+}

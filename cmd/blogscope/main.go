@@ -9,6 +9,11 @@
 //
 //	blogscope -demo -query somalia
 //	blogscope -input posts.jsonl -query iphone -interval 3
+//	blogscope -demo -query somalia -index disk -indexcache 4194304
+//
+// With -index=disk the keyword primitives are served from an on-disk
+// posting segment (see README.md) instead of resident maps, so corpora
+// larger than RAM stay queryable.
 package main
 
 import (
@@ -35,6 +40,9 @@ func main() {
 		topN     = flag.Int("top", 5, "number of correlations to show")
 		par      = flag.Int("parallelism", 0, "keyword-graph worker count; 0 = GOMAXPROCS, 1 = sequential")
 		memBud   = flag.Int("membudget", 0, "pair-table memory budget in bytes; 0 = default")
+		backend  = flag.String("index", "mem", "keyword-index backend: mem (resident) or disk (segment file + LRU block cache)")
+		idxCache = flag.Int("indexcache", 0, "disk backend: block-cache budget in bytes; 0 = default (8 MiB)")
+		idxPath  = flag.String("indexfile", "", "disk backend: segment file path; empty = private temp file")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -53,13 +61,33 @@ func main() {
 	kw := kws[0]
 	fmt.Printf("query %q → keyword %q\n\n", *query, kw)
 
-	idx, err := blogclusters.BuildIndex(col)
+	idx, err := blogclusters.OpenIndexReader(col, blogclusters.IndexOptions{
+		Backend:   *backend,
+		Path:      *idxPath,
+		MemBudget: *idxCache,
+	})
 	if err != nil {
 		log.Fatalf("index: %v", err)
 	}
+	// Close (removing a temp disk segment) before any fatal exit:
+	// log.Fatal would skip a defer.
+	err = report(col, idx, kw, *interval, *topN, *par, *memBud)
+	if cerr := idx.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
 
+// report renders the whole analysis for one keyword: time series,
+// bursts, correlations, cluster membership and refinements.
+func report(col *blogclusters.Collection, idx blogclusters.IndexReader, kw string, interval, topN, par, memBud int) error {
 	// Time series + bursts.
-	series := idx.TimeSeries(kw)
+	series, err := idx.TimeSeries(kw)
+	if err != nil {
+		return fmt.Errorf("time series: %w", err)
+	}
 	fmt.Println("documents per interval:")
 	peak, peakAt := int64(-1), 0
 	for i, c := range series {
@@ -69,9 +97,9 @@ func main() {
 			peak, peakAt = c, i
 		}
 	}
-	bursts, err := blogclusters.DetectBursts(idx, kw)
+	bursts, err := blogclusters.DetectBurstsIn(idx, kw)
 	if err != nil {
-		log.Fatalf("bursts: %v", err)
+		return fmt.Errorf("bursts: %w", err)
 	}
 	if len(bursts) == 0 {
 		fmt.Println("\nno information bursts detected")
@@ -82,38 +110,39 @@ func main() {
 		}
 	}
 
-	day := *interval
+	day := interval
 	if day < 0 {
 		day = peakAt
 	}
 	if day >= len(col.Intervals) {
-		log.Fatalf("interval %d outside corpus (%d intervals)", day, len(col.Intervals))
+		return fmt.Errorf("interval %d outside corpus (%d intervals)", day, len(col.Intervals))
 	}
 
 	// Strongest correlations on the chosen day.
-	kg, err := cooccur.Build(col, day, day, cooccur.BuildOptions{Parallelism: *par, MemBudget: *memBud})
+	kg, err := cooccur.Build(col, day, day, cooccur.BuildOptions{Parallelism: par, MemBudget: memBud})
 	if err != nil {
-		log.Fatalf("keyword graph: %v", err)
+		return fmt.Errorf("keyword graph: %w", err)
 	}
 	kg.AnnotateStats()
 	pruned := kg.Prune(stats.ChiSquared95, 0) // keep all significant pairs
 	fmt.Printf("\nstrongest correlations at t%d:\n", day)
-	for _, c := range pruned.StrongestCorrelations(kw, *topN) {
+	for _, c := range pruned.StrongestCorrelations(kw, topN) {
 		fmt.Printf("  %-20s ρ=%.3f  together in %d posts\n", c.Keyword, c.Rho, c.Count)
 	}
 
 	// Cluster membership + refinement.
-	clusters, err := blogclusters.IntervalClusters(col, day, blogclusters.ClusterOptions{Parallelism: *par, MemBudget: *memBud})
+	clusters, err := blogclusters.IntervalClusters(col, day, blogclusters.ClusterOptions{Parallelism: par, MemBudget: memBud})
 	if err != nil {
-		log.Fatalf("clusters: %v", err)
+		return fmt.Errorf("clusters: %w", err)
 	}
 	refinements := blogclusters.RefineQuery(clusters, kw)
 	if refinements == nil {
 		fmt.Printf("\n%q is not in any keyword cluster at t%d\n", kw, day)
-		return
+		return nil
 	}
 	fmt.Printf("\nkeyword cluster at t%d: %v\n", day, append([]string{kw}, refinements...))
 	fmt.Printf("query refinements: %v\n", refinements)
+	return nil
 }
 
 func loadCorpus(input string, demo bool) (*blogclusters.Collection, error) {

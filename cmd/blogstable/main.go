@@ -47,6 +47,9 @@ func main() {
 		simjoin    = flag.Bool("simjoin", false, "build cluster-graph edges with the prefix-filter similarity join (jaccard affinity only)")
 		par        = flag.Int("parallelism", 0, "worker count for cluster generation and edge generation; 0 = GOMAXPROCS, 1 = sequential")
 		memBud     = flag.Int("membudget", 0, "pair-table memory budget in bytes, split across concurrent interval builds; 0 = default")
+		burstsQ    = flag.String("bursts", "", "comma-separated keywords: report their information bursts before clustering")
+		backend    = flag.String("index", "mem", "keyword-index backend for -bursts: mem or disk")
+		idxCache   = flag.Int("indexcache", 0, "disk index backend: block-cache budget in bytes; 0 = default")
 		quiet      = flag.Bool("quiet", false, "suppress per-interval cluster listings")
 		saveSets   = flag.String("saveclusters", "", "write per-interval clusters to this JSONL file")
 		loadSets   = flag.String("clusters", "", "skip cluster generation and load clusters from this JSONL file")
@@ -54,6 +57,9 @@ func main() {
 	flag.Parse()
 
 	var sets [][]blogclusters.Cluster
+	if *burstsQ != "" && *loadSets != "" {
+		log.Fatal("-bursts needs a corpus (-input or -demo), not -clusters")
+	}
 	if *loadSets != "" {
 		f, err := os.Open(*loadSets)
 		if err != nil {
@@ -73,6 +79,11 @@ func main() {
 			reanalyze(col)
 		}
 		fmt.Printf("corpus: %d documents across %d intervals\n", col.NumDocs(), len(col.Intervals))
+		if *burstsQ != "" {
+			if err := reportBursts(col, *burstsQ, *backend, *idxCache); err != nil {
+				log.Fatal(err)
+			}
+		}
 		sets, err = blogclusters.AllIntervalClusters(col, blogclusters.ClusterOptions{
 			RhoThreshold:   *rho,
 			MinClusterSize: *minSize,
@@ -151,6 +162,45 @@ func main() {
 	st := res.Stats
 	fmt.Printf("\nwork: %d node reads, %d node writes, %d edge reads, %d heap offers, %d prunes\n",
 		st.NodeReads, st.NodeWrites, st.EdgeReads, st.HeapConsiders, st.Pruned)
+}
+
+// reportBursts prints each keyword's information bursts, serving the
+// time series from the selected index backend (-index=disk keeps the
+// posting lists on disk; only term statistics are resident).
+func reportBursts(col *blogclusters.Collection, query, backend string, cacheBytes int) error {
+	idx, err := blogclusters.OpenIndexReader(col, blogclusters.IndexOptions{
+		Backend:   backend,
+		MemBudget: cacheBytes,
+	})
+	if err != nil {
+		return fmt.Errorf("index (%s backend): %w", backend, err)
+	}
+	// Close before the caller can log.Fatal, so a temp disk segment is
+	// always removed.
+	defer idx.Close()
+	a := blogclusters.NewAnalyzer()
+	for _, raw := range strings.Split(query, ",") {
+		kws := a.Keywords(raw)
+		if len(kws) == 0 {
+			fmt.Printf("bursts %q: no analyzable keyword\n", strings.TrimSpace(raw))
+			continue
+		}
+		kw := kws[0]
+		bursts, err := blogclusters.DetectBurstsIn(idx, kw)
+		if err != nil {
+			return fmt.Errorf("bursts %q: %w", kw, err)
+		}
+		if len(bursts) == 0 {
+			fmt.Printf("bursts %q: none\n", kw)
+			continue
+		}
+		fmt.Printf("bursts %q:", kw)
+		for _, b := range bursts {
+			fmt.Printf(" t%d..t%d (score %.1f)", b.Start, b.End, b.Score)
+		}
+		fmt.Println()
+	}
+	return nil
 }
 
 func loadCorpus(input string, demo bool) (*blogclusters.Collection, error) {

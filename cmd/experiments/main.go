@@ -28,6 +28,8 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "workload scale in (0,1]; 1.0 = the paper's parameters")
 	parallelism := flag.Int("parallelism", 0, "keyword-graph worker count; 0 = GOMAXPROCS, 1 = sequential ablation path")
 	memBudget := flag.Int("membudget", 0, "pair-table memory budget in bytes before shards spill; 0 = default (256 MiB)")
+	indexBackend := flag.String("index", "", "diskindex experiment: restrict to one backend (mem or disk); empty runs both")
+	indexCache := flag.Int("indexcache", 0, "diskindex experiment: disk block-cache budget in bytes; 0 = default")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -36,9 +38,11 @@ func main() {
 		return
 	}
 	cfg := experiments.Config{
-		Scale:       experiments.Scale(*scale),
-		Parallelism: *parallelism,
-		MemBudget:   *memBudget,
+		Scale:          experiments.Scale(*scale),
+		Parallelism:    *parallelism,
+		MemBudget:      *memBudget,
+		IndexBackend:   *indexBackend,
+		IndexMemBudget: *indexCache,
 	}
 	fmt.Printf("keyword-graph workers: %d\n", cfg.Workers())
 	ids := experiments.IDs()

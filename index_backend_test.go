@@ -1,0 +1,96 @@
+package blogclusters
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestIndexBackendsAgree drives the facade's backend switch end to
+// end: both backends must serve identical primitives and bursts on the
+// synthetic news week, and the disk backend's private temp segment
+// must disappear on Close.
+func TestIndexBackendsAgree(t *testing.T) {
+	// Private temp dir, so the leak assertion below cannot trip over
+	// stray segments from other processes or earlier killed runs.
+	t.Setenv("TMPDIR", t.TempDir())
+	col, err := GenerateCorpus(NewsWeekCorpus(2007, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := OpenIndexReader(col, IndexOptions{Backend: "mem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	path := filepath.Join(t.TempDir(), "news.seg")
+	disk, err := OpenIndexReader(col, IndexOptions{Backend: "disk", Path: path, MemBudget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+
+	vocab, err := mem.Vocabulary(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vocab) == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	for _, w := range vocab[:min(len(vocab), 40)] {
+		ms, err := mem.TimeSeries(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := disk.TimeSeries(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ms, ds) {
+			t.Fatalf("TimeSeries(%q): mem %v disk %v", w, ms, ds)
+		}
+		mb, err := DetectBurstsIn(mem, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := DetectBurstsIn(disk, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(mb, db) {
+			t.Fatalf("bursts(%q): mem %v disk %v", w, mb, db)
+		}
+	}
+	ms, err := mem.Search(vocab[:2], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := disk.Search(vocab[:2], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ms, ds) {
+		t.Fatalf("Search: mem %v disk %v", ms, ds)
+	}
+
+	if _, err := OpenIndexReader(col, IndexOptions{Backend: "bogus"}); err == nil {
+		t.Fatal("bogus backend accepted")
+	}
+
+	// Temp-file route: the private segment must be gone after Close.
+	tmp, err := OpenIndexReader(col, IndexOptions{Backend: "disk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tmp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(os.TempDir(), "blogclusters-idx-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("temp segments left behind: %v", matches)
+	}
+}

@@ -7,6 +7,51 @@ import (
 	"repro/internal/synth"
 )
 
+// FuzzSolverEquivalence is the native-fuzzing form of
+// TestFuzzEquivalence: the engine mutates the generator parameters and
+// the solvers must keep agreeing with the exhaustive oracle. The
+// nightly fuzz-smoke CI job runs it for ~60s; `go test` runs the seed
+// corpus as a regression test.
+func FuzzSolverEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(5), uint8(2), uint8(1), uint8(2), uint8(3))
+	f.Add(int64(7), uint8(2), uint8(2), uint8(1), uint8(0), uint8(1), uint8(1))
+	f.Add(int64(42), uint8(7), uint8(8), uint8(3), uint8(2), uint8(6), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, m8, n8, d8, g8, l8, k8 uint8) {
+		m := 2 + int(m8)%6
+		cfg := synth.Config{
+			Seed: seed,
+			M:    m,
+			N:    2 + int(n8)%7,
+			D:    1 + int(d8)%3,
+			G:    int(g8) % 3,
+		}
+		l := 1 + int(l8)%(m-1)
+		k := 1 + int(k8)%5
+		g, err := synth.Generate(cfg)
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		want, err := BruteKL(g, Options{K: k, L: l})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dfs, err := DFS(g, DFSOptions{Options: Options{K: k, L: l}})
+		if err != nil {
+			t.Fatalf("cfg %+v l %d k %d: %v", cfg, l, k, err)
+		}
+		if !weightsAlmostEqual(dfs.Weights(), want.Weights()) {
+			t.Fatalf("cfg %+v l %d k %d: DFS %v != brute %v", cfg, l, k, dfs.Weights(), want.Weights())
+		}
+		bfs, err := BFS(g, BFSOptions{Options: Options{K: k, L: l}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !weightsAlmostEqual(bfs.Weights(), want.Weights()) {
+			t.Fatalf("cfg %+v l %d k %d: BFS %v != brute %v", cfg, l, k, bfs.Weights(), want.Weights())
+		}
+	})
+}
+
 // TestFuzzEquivalence hammers BFS and DFS (with pruning) against the
 // exhaustive oracle on randomized graph shapes. Skipped under -short.
 func TestFuzzEquivalence(t *testing.T) {

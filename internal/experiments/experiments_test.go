@@ -126,10 +126,37 @@ func TestTimingSweepsTinyScale(t *testing.T) {
 	}
 }
 
+func TestDiskIndexShape(t *testing.T) {
+	tbl := runExp(t, "diskindex", 0.02)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("diskindex rows = %d, want 2 (mem + disk)", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "mem" || tbl.Rows[1][0] != "disk" {
+		t.Errorf("backends = %q, %q; want mem, disk", tbl.Rows[0][0], tbl.Rows[1][0])
+	}
+	// The disk row must report measurable I/O; the mem row must not.
+	if tbl.Rows[0][4] != "-" {
+		t.Errorf("mem rand_reads = %q, want -", tbl.Rows[0][4])
+	}
+	if v := cellInt(t, tbl, 1, 4); v <= 0 {
+		t.Errorf("disk rand_reads = %d, want > 0", v)
+	}
+	restricted, err := RunConfig("diskindex", Config{Scale: 0.02, IndexBackend: "disk", IndexMemBudget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restricted.Rows) != 1 || restricted.Rows[0][0] != "disk" {
+		t.Errorf("restricted run rows = %v, want one disk row", restricted.Rows)
+	}
+	if _, err := RunConfig("diskindex", Config{Scale: 0.02, IndexBackend: "bogus"}); err == nil {
+		t.Error("bogus backend accepted")
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 15 {
-		t.Errorf("registry has %d experiments, want 15: %v", len(ids), ids)
+	if len(ids) != 16 {
+		t.Errorf("registry has %d experiments, want 16: %v", len(ids), ids)
 	}
 	if _, err := Run("nope", 0.5); err == nil {
 		t.Error("unknown experiment accepted")

@@ -17,6 +17,12 @@ type Config struct {
 	Parallelism int
 	// MemBudget bounds the pair-counting tables in bytes; 0 = default.
 	MemBudget int
+	// IndexBackend restricts the diskindex experiment to one keyword
+	// index backend ("mem" or "disk"); empty runs both.
+	IndexBackend string
+	// IndexMemBudget bounds the disk index backend's block cache in
+	// bytes; 0 = default.
+	IndexMemBudget int
 }
 
 // Workers reports the effective keyword-graph worker count.
@@ -42,6 +48,7 @@ var registry = map[string]Runner{
 	"fig6":         Fig6,
 	"qualitative":  Qualitative,
 	"clustergraph": ClusterGraph,
+	"diskindex":    DiskIndexExp,
 	"table3":       scaled(Table3),
 	"fig7":         scaled(Fig7),
 	"fig8":         scaled(Fig8),

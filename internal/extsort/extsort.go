@@ -120,7 +120,7 @@ func (s *Sorter) Add(rec string) error {
 	if s.finalized {
 		return fmt.Errorf("extsort: Add after Sort")
 	}
-	if strings.IndexByte(rec, '\n') >= 0 {
+	if strings.ContainsRune(rec, '\n') {
 		return fmt.Errorf("extsort: record contains newline: %q", rec)
 	}
 	s.buf = append(s.buf, rec)
@@ -144,7 +144,7 @@ func (s *Sorter) AddSortedRun(recs []string) error {
 		return nil
 	}
 	for i, rec := range recs {
-		if strings.IndexByte(rec, '\n') >= 0 {
+		if strings.ContainsRune(rec, '\n') {
 			return fmt.Errorf("extsort: record contains newline: %q", rec)
 		}
 		if i > 0 && recs[i-1] > rec {

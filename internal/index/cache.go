@@ -1,0 +1,79 @@
+package index
+
+import (
+	"container/list"
+	"sync"
+)
+
+// blockCache is a bytes-bounded LRU over decoded posting blocks,
+// keyed by block file offset. It bounds the disk index's residency:
+// the dictionaries are always resident, but postings only occupy
+// memory up to the budget. Cached slices are shared — callers must
+// not modify them.
+type blockCache struct {
+	mu           sync.Mutex
+	budget       int64
+	used         int64
+	ll           *list.List // front = most recently used
+	items        map[int64]*list.Element
+	hits, misses int64
+}
+
+type cacheItem struct {
+	key  int64
+	ids  []int64
+	size int64
+}
+
+// cacheItemOverhead approximates the bookkeeping bytes per cached
+// block (list element, map entry, headers).
+const cacheItemOverhead = 96
+
+func newBlockCache(budget int64) *blockCache {
+	return &blockCache{
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[int64]*list.Element),
+	}
+}
+
+func (c *blockCache) get(key int64) ([]int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).ids, true
+}
+
+func (c *blockCache) put(key int64, ids []int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	it := &cacheItem{key: key, ids: ids, size: int64(len(ids))*8 + cacheItemOverhead}
+	c.items[key] = c.ll.PushFront(it)
+	c.used += it.size
+	// Evict from the LRU end, but keep at least the newest entry so a
+	// single block larger than the whole budget still serves repeated
+	// probes within one lookup.
+	for c.used > c.budget && c.ll.Len() > 1 {
+		el := c.ll.Back()
+		victim := el.Value.(*cacheItem)
+		c.ll.Remove(el)
+		delete(c.items, victim.key)
+		c.used -= victim.size
+	}
+}
+
+func (c *blockCache) counters() (hits, misses, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.used
+}

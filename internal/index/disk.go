@@ -1,0 +1,345 @@
+// Disk-backed posting layout (EMBANKS-style): an immutable segment
+// file holding every interval's posting lists, built by streaming
+// (interval, keyword, docID) tuples through the external sorter so
+// corpora larger than RAM index in bounded memory.
+//
+// Segment file layout (integers are uvarint unless noted):
+//
+//	header    8 bytes, the magic "BSIX001\n"
+//	blocks    per (interval, term), in (interval, term) order: posting
+//	          blocks of up to BlockSize doc ids each —
+//	            count, first id, then deltas (strictly positive),
+//	            CRC32-IEEE of the payload (4 bytes LE)
+//	dicts     one term dictionary per interval —
+//	            numTerms, then per term (sorted ascending):
+//	              len(term), term bytes, docFreq, numBlocks,
+//	              per block: off, len, count, first id, last id
+//	            CRC32 of the payload (4 bytes LE)
+//	footer    numIntervals, per interval: numDocs, dictOff, dictLen;
+//	          CRC32 of the payload (4 bytes LE)
+//	tail      24 bytes fixed: footerOff (8 LE), footerLen (8 LE),
+//	          the magic "BSIXFTR\n"
+//
+// The dictionaries and footer are small and resident after OpenDisk
+// (the skip index); posting blocks stay on disk and are fetched on
+// demand through an LRU cache, so query-time I/O is O(blocks touched),
+// measurable via diskstore.IOStats like the Section 4 solvers.
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/extsort"
+)
+
+const (
+	segMagic   = "BSIX001\n"
+	footMagic  = "BSIXFTR\n"
+	segTailLen = 8 + 8 + len(footMagic) // footerOff + footerLen + magic
+
+	// DefaultBlockSize is the posting count per on-disk block.
+	DefaultBlockSize = 128
+	// DefaultDiskMemBudget bounds the decoded-block LRU cache (8 MiB).
+	DefaultDiskMemBudget = 8 << 20
+)
+
+// DiskOptions configures BuildDisk.
+type DiskOptions struct {
+	// BlockSize is the number of postings per block; smaller blocks
+	// mean finer-grained skips at the cost of more per-block overhead.
+	// Non-positive means DefaultBlockSize.
+	BlockSize int
+	// SortMemoryBudget bounds the external sorter's in-memory buffer
+	// (the same knob as ClusterOptions.SortMemoryBudget); 0 uses the
+	// extsort default. Tiny budgets force spilled runs, exercising the
+	// larger-than-RAM route.
+	SortMemoryBudget int
+}
+
+// encodePosting renders one (interval, term, doc) tuple as a record
+// whose lexicographic order equals the tuple order: fixed-width hex
+// for the integers (digit order is monotonic in ASCII) and a NUL
+// terminator after the term (NUL sorts before every valid term byte,
+// so "ab" precedes "abc"). Records stay newline-free for extsort.
+func encodePosting(interval int, term string, doc int64) string {
+	return fmt.Sprintf("%08x\x00%s\x00%016x", uint32(interval), term, uint64(doc))
+}
+
+const postingTailLen = 1 + 16 // NUL + hex doc id
+
+func decodePosting(rec string) (interval int, term string, doc int64, err error) {
+	if len(rec) < 8+1+postingTailLen || rec[8] != 0 || rec[len(rec)-postingTailLen] != 0 {
+		return 0, "", 0, fmt.Errorf("index: malformed posting record %q", rec)
+	}
+	iv, err := strconv.ParseUint(rec[:8], 16, 32)
+	if err != nil {
+		return 0, "", 0, fmt.Errorf("index: malformed posting interval in %q: %w", rec, err)
+	}
+	id, err := strconv.ParseUint(rec[len(rec)-16:], 16, 64)
+	if err != nil {
+		return 0, "", 0, fmt.Errorf("index: malformed posting doc id in %q: %w", rec, err)
+	}
+	return int(iv), rec[9 : len(rec)-postingTailLen], int64(id), nil
+}
+
+// blockRef is one skip-index entry: where a posting block lives and
+// the doc-id range it covers, so lookups fetch only blocks that can
+// contain a candidate.
+type blockRef struct {
+	off         int64
+	length      int32
+	count       int32
+	first, last int64
+}
+
+type dictEntry struct {
+	term    string
+	docFreq int64
+	blocks  []blockRef
+}
+
+// BuildDisk streams the collection's (interval, keyword, docID)
+// tuples through internal/extsort and writes the immutable segment
+// file at path (atomically, via rename). Document keywords are
+// deduplicated per document, matching New; doc ids must be
+// non-negative and keywords must not contain NUL or newline bytes.
+func BuildDisk(c *corpus.Collection, path string, opts DiskOptions) (err error) {
+	blockSize := opts.BlockSize
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	sorter := extsort.NewWithOptions(extsort.Options{MemoryBudget: opts.SortMemoryBudget})
+	defer sorter.Discard()
+	var scratch []string
+	for i := range c.Intervals {
+		for _, d := range c.Intervals[i].Docs {
+			if d.Interval != i {
+				return fmt.Errorf("index: document %d claims interval %d but lives in %d", d.ID, d.Interval, i)
+			}
+			if d.ID < 0 {
+				return fmt.Errorf("index: document id %d is negative; the disk layout requires non-negative ids", d.ID)
+			}
+			scratch = dedupKeywords(scratch, d.Keywords)
+			for _, w := range scratch {
+				if strings.ContainsAny(w, "\x00\n") {
+					return fmt.Errorf("index: interval %d: keyword %q contains NUL or newline", i, w)
+				}
+				if err := sorter.Add(encodePosting(i, w, d.ID)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	it, err := sorter.Sort()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+
+	tmp := path + ".partial"
+	sw, err := newSegmentWriter(tmp)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			sw.f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = sw.write([]byte(segMagic)); err != nil {
+		return err
+	}
+
+	m := len(c.Intervals)
+	dicts := make([][]dictEntry, m)
+	var (
+		open     bool
+		curIV    int
+		curTerm  string
+		ids      []int64
+		blocks   []blockRef
+		df       int64
+		blockBuf []byte
+		prevRec  string
+	)
+	flushBlock := func() error {
+		if len(ids) == 0 {
+			return nil
+		}
+		ref, werr := sw.writeBlock(ids, &blockBuf)
+		if werr != nil {
+			return werr
+		}
+		blocks = append(blocks, ref)
+		df += int64(len(ids))
+		ids = ids[:0]
+		return nil
+	}
+	finishTerm := func() error {
+		if !open {
+			return nil
+		}
+		if ferr := flushBlock(); ferr != nil {
+			return ferr
+		}
+		dicts[curIV] = append(dicts[curIV], dictEntry{
+			term:    curTerm,
+			docFreq: df,
+			blocks:  blocks,
+		})
+		blocks = nil
+		df = 0
+		return nil
+	}
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		if open && rec == prevRec {
+			iv, _, doc, _ := decodePosting(rec)
+			return fmt.Errorf("index: interval %d: duplicate document id %d", iv, doc)
+		}
+		iv, term, doc, derr := decodePosting(rec)
+		if derr != nil {
+			return derr
+		}
+		if !open || iv != curIV || term != curTerm {
+			if err = finishTerm(); err != nil {
+				return err
+			}
+			curIV, curTerm, open = iv, term, true
+		}
+		ids = append(ids, doc)
+		if len(ids) >= blockSize {
+			if err = flushBlock(); err != nil {
+				return err
+			}
+		}
+		prevRec = rec
+	}
+	if err = it.Err(); err != nil {
+		return err
+	}
+	if err = finishTerm(); err != nil {
+		return err
+	}
+
+	// Dictionaries, then footer, then the fixed tail.
+	dictOff := make([]int64, m)
+	dictLen := make([]int64, m)
+	for i := 0; i < m; i++ {
+		dictOff[i] = sw.off
+		if err = sw.writeDict(dicts[i]); err != nil {
+			return err
+		}
+		dictLen[i] = sw.off - dictOff[i]
+	}
+	footOff := sw.off
+	foot := binary.AppendUvarint(nil, uint64(m))
+	for i := 0; i < m; i++ {
+		foot = binary.AppendUvarint(foot, uint64(len(c.Intervals[i].Docs)))
+		foot = binary.AppendUvarint(foot, uint64(dictOff[i]))
+		foot = binary.AppendUvarint(foot, uint64(dictLen[i]))
+	}
+	foot = binary.LittleEndian.AppendUint32(foot, crc32.ChecksumIEEE(foot))
+	if err = sw.write(foot); err != nil {
+		return err
+	}
+	tail := binary.LittleEndian.AppendUint64(nil, uint64(footOff))
+	tail = binary.LittleEndian.AppendUint64(tail, uint64(len(foot)))
+	tail = append(tail, footMagic...)
+	if err = sw.write(tail); err != nil {
+		return err
+	}
+	if err = sw.finish(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+type segmentWriter struct {
+	f   *os.File
+	w   *bufio.Writer
+	off int64
+}
+
+func newSegmentWriter(path string) (*segmentWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: create segment: %w", err)
+	}
+	return &segmentWriter{f: f, w: bufio.NewWriterSize(f, 256<<10)}, nil
+}
+
+func (s *segmentWriter) write(p []byte) error {
+	n, err := s.w.Write(p)
+	s.off += int64(n)
+	if err != nil {
+		return fmt.Errorf("index: write segment: %w", err)
+	}
+	return nil
+}
+
+// writeBlock encodes one posting block (count, first id, deltas, CRC)
+// reusing *buf as scratch and returns its skip entry.
+func (s *segmentWriter) writeBlock(ids []int64, buf *[]byte) (blockRef, error) {
+	b := (*buf)[:0]
+	b = binary.AppendUvarint(b, uint64(len(ids)))
+	b = binary.AppendUvarint(b, uint64(ids[0]))
+	for k := 1; k < len(ids); k++ {
+		b = binary.AppendUvarint(b, uint64(ids[k]-ids[k-1]))
+	}
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	*buf = b
+	ref := blockRef{
+		off:    s.off,
+		length: int32(len(b)),
+		count:  int32(len(ids)),
+		first:  ids[0],
+		last:   ids[len(ids)-1],
+	}
+	return ref, s.write(b)
+}
+
+func (s *segmentWriter) writeDict(entries []dictEntry) error {
+	b := binary.AppendUvarint(nil, uint64(len(entries)))
+	for _, e := range entries {
+		b = binary.AppendUvarint(b, uint64(len(e.term)))
+		b = append(b, e.term...)
+		b = binary.AppendUvarint(b, uint64(e.docFreq))
+		b = binary.AppendUvarint(b, uint64(len(e.blocks)))
+		for _, ref := range e.blocks {
+			b = binary.AppendUvarint(b, uint64(ref.off))
+			b = binary.AppendUvarint(b, uint64(ref.length))
+			b = binary.AppendUvarint(b, uint64(ref.count))
+			b = binary.AppendUvarint(b, uint64(ref.first))
+			b = binary.AppendUvarint(b, uint64(ref.last))
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	return s.write(b)
+}
+
+func (s *segmentWriter) finish() error {
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("index: flush segment: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("index: sync segment: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("index: close segment: %w", err)
+	}
+	return nil
+}

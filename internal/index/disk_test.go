@@ -1,0 +1,433 @@
+package index
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// buildDisk builds a segment for col in a test temp dir and opens it.
+func buildDisk(t *testing.T, col *corpus.Collection, dopts DiskOptions, oopts OpenOptions) (*DiskIndex, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "seg")
+	if err := BuildDisk(col, path, dopts); err != nil {
+		t.Fatalf("BuildDisk: %v", err)
+	}
+	d, err := OpenDiskOptions(path, oopts)
+	if err != nil {
+		t.Fatalf("OpenDisk: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d, path
+}
+
+// assertReadersAgree runs the full primitive surface of both backends
+// over every term (and sampled pairs/triples) and fails on the first
+// divergence.
+func assertReadersAgree(t *testing.T, mem Reader, disk Reader, rng *rand.Rand) {
+	t.Helper()
+	if mem.NumIntervals() != disk.NumIntervals() {
+		t.Fatalf("NumIntervals: mem %d disk %d", mem.NumIntervals(), disk.NumIntervals())
+	}
+	m := mem.NumIntervals()
+	var vocab []string
+	for i := -1; i <= m; i++ { // includes out-of-range probes
+		if mem.NumDocs(i) != disk.NumDocs(i) {
+			t.Fatalf("NumDocs(%d): mem %d disk %d", i, mem.NumDocs(i), disk.NumDocs(i))
+		}
+		mv, err := mem.Vocabulary(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dv, err := disk.Vocabulary(i)
+		if err != nil {
+			t.Fatalf("disk Vocabulary(%d): %v", i, err)
+		}
+		if !reflect.DeepEqual(mv, dv) {
+			t.Fatalf("Vocabulary(%d): mem %d terms, disk %d terms", i, len(mv), len(dv))
+		}
+		if i >= 0 && i < m {
+			vocab = append(vocab, mv...)
+		}
+	}
+	if len(vocab) == 0 {
+		return
+	}
+	probe := append([]string{}, vocab...)
+	probe = append(probe, "zz-not-a-term")
+	for _, w := range probe {
+		mts, err := mem.TimeSeries(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dts, err := disk.TimeSeries(w)
+		if err != nil {
+			t.Fatalf("disk TimeSeries(%q): %v", w, err)
+		}
+		if !reflect.DeepEqual(mts, dts) {
+			t.Fatalf("TimeSeries(%q): mem %v disk %v", w, mts, dts)
+		}
+		for i := -1; i <= m; i++ {
+			mf, _ := mem.DocFreq(w, i)
+			df, err := disk.DocFreq(w, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mf != df {
+				t.Fatalf("DocFreq(%q, %d): mem %d disk %d", w, i, mf, df)
+			}
+			mp, _ := mem.Postings(w, i)
+			dp, err := disk.Postings(w, i)
+			if err != nil {
+				t.Fatalf("disk Postings(%q, %d): %v", w, i, err)
+			}
+			if !reflect.DeepEqual(mp, dp) {
+				t.Fatalf("Postings(%q, %d): mem %v disk %v", w, i, mp, dp)
+			}
+		}
+	}
+	// Randomized pair/triple lookups, including misses and duplicates.
+	for trial := 0; trial < 200; trial++ {
+		i := rng.Intn(m+2) - 1
+		kws := make([]string, 1+rng.Intn(3))
+		for j := range kws {
+			if rng.Intn(8) == 0 {
+				kws[j] = "zz-not-a-term"
+			} else {
+				kws[j] = probe[rng.Intn(len(probe))]
+			}
+		}
+		mc, _ := mem.CoDocFreq(kws[0], kws[len(kws)-1], i)
+		dc, err := disk.CoDocFreq(kws[0], kws[len(kws)-1], i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc != dc {
+			t.Fatalf("CoDocFreq(%q, %q, %d): mem %d disk %d", kws[0], kws[len(kws)-1], i, mc, dc)
+		}
+		ms, _ := mem.Search(kws, i)
+		ds, err := disk.Search(kws, i)
+		if err != nil {
+			t.Fatalf("disk Search(%v, %d): %v", kws, i, err)
+		}
+		if !reflect.DeepEqual(ms, ds) {
+			t.Fatalf("Search(%v, %d): mem %v disk %v", kws, i, ms, ds)
+		}
+	}
+	if ms, _ := mem.Search(nil, 0); ms != nil {
+		t.Fatal("mem Search(nil) not nil")
+	}
+	if ds, err := disk.Search(nil, 0); err != nil || ds != nil {
+		t.Fatalf("disk Search(nil) = %v, %v", ds, err)
+	}
+}
+
+// TestDiskEquivalenceRandom: disk and in-memory backends must return
+// identical results for every primitive on randomized corpora — the
+// acceptance criterion of the disk layout.
+func TestDiskEquivalenceRandom(t *testing.T) {
+	configs := []corpus.GeneratorConfig{
+		{Seed: 11, NumIntervals: 1, BackgroundPosts: 60, BackgroundVocab: 40, WordsPerPost: 5},
+		{Seed: 12, NumIntervals: 3, BackgroundPosts: 120, BackgroundVocab: 90, WordsPerPost: 7},
+		{Seed: 13, NumIntervals: 4, BackgroundPosts: 250, BackgroundVocab: 60, WordsPerPost: 9,
+			Events: []corpus.Event{{Name: "e", Phases: []corpus.Phase{{
+				Keywords: []string{"alpha", "beta", "gamma"}, Intervals: []int{1, 2}, Posts: 40,
+			}}}}},
+	}
+	for _, cfg := range configs {
+		col, err := corpus.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := New(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A tiny sort budget forces spilled extsort runs — the
+		// larger-than-RAM build route.
+		d, _ := buildDisk(t, col, DiskOptions{SortMemoryBudget: 1 << 10}, OpenOptions{})
+		assertReadersAgree(t, x.Reader(), d, rand.New(rand.NewSource(cfg.Seed)))
+	}
+}
+
+// TestDiskSmallBlockSizes exercises the multi-block paths: block
+// splits, skip-driven probes and block-boundary intersections.
+func TestDiskSmallBlockSizes(t *testing.T) {
+	col, err := corpus.Generate(corpus.GeneratorConfig{
+		Seed: 21, NumIntervals: 2, BackgroundPosts: 150, BackgroundVocab: 30, WordsPerPost: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := New(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{1, 2, 3, 7, 64} {
+		d, _ := buildDisk(t, col, DiskOptions{BlockSize: bs}, OpenOptions{})
+		assertReadersAgree(t, x.Reader(), d, rand.New(rand.NewSource(int64(bs))))
+	}
+}
+
+func TestBuildDiskRejectsBadInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg")
+	cases := map[string]*corpus.Collection{
+		"misfiled document": {Intervals: []corpus.Interval{
+			{Index: 0, Docs: []corpus.Document{{ID: 1, Interval: 2, Keywords: []string{"a"}}}},
+		}},
+		"duplicate doc id": {Intervals: []corpus.Interval{
+			{Index: 0, Docs: []corpus.Document{
+				{ID: 1, Interval: 0, Keywords: []string{"a"}},
+				{ID: 1, Interval: 0, Keywords: []string{"a", "b"}},
+			}},
+		}},
+		"negative doc id": {Intervals: []corpus.Interval{
+			{Index: 0, Docs: []corpus.Document{{ID: -4, Interval: 0, Keywords: []string{"a"}}}},
+		}},
+		"keyword with newline": {Intervals: []corpus.Interval{
+			{Index: 0, Docs: []corpus.Document{{ID: 1, Interval: 0, Keywords: []string{"a\nb"}}}},
+		}},
+		"keyword with NUL": {Intervals: []corpus.Interval{
+			{Index: 0, Docs: []corpus.Document{{ID: 1, Interval: 0, Keywords: []string{"a\x00b"}}}},
+		}},
+	}
+	for name, col := range cases {
+		if err := BuildDisk(col, path, DiskOptions{}); err == nil {
+			t.Errorf("%s: BuildDisk accepted it", name)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("%s: partial segment left behind", name)
+		}
+	}
+}
+
+func TestBuildDiskEmptyCollection(t *testing.T) {
+	col := &corpus.Collection{Intervals: []corpus.Interval{{Index: 0}, {Index: 1}}}
+	d, _ := buildDisk(t, col, DiskOptions{}, OpenOptions{})
+	if d.NumIntervals() != 2 || d.NumDocs(0) != 0 {
+		t.Fatalf("shape: %d intervals, %d docs", d.NumIntervals(), d.NumDocs(0))
+	}
+	if ids, err := d.Search([]string{"a"}, 0); err != nil || ids != nil {
+		t.Fatalf("Search on empty = %v, %v", ids, err)
+	}
+}
+
+// TestDiskCorruptionSingleByteFlips is the corrupt-file gate mirroring
+// the diskstore corruption tests: for EVERY byte of a small segment,
+// flipping it must either fail OpenDisk or make at least the affected
+// queries error — never silently change a result. Single-byte errors
+// are always caught by CRC32, so a surviving mutant that alters output
+// is a format bug.
+func TestDiskCorruptionSingleByteFlips(t *testing.T) {
+	col, err := corpus.Generate(corpus.GeneratorConfig{
+		Seed: 31, NumIntervals: 2, BackgroundPosts: 25, BackgroundVocab: 12, WordsPerPost: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := New(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg")
+	if err := BuildDisk(col, path, DiskOptions{BlockSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference answers per (term, interval).
+	type key struct {
+		w string
+		i int
+	}
+	ref := map[key][]int64{}
+	var terms []string
+	for i := 0; i < x.NumIntervals(); i++ {
+		for _, w := range x.Vocabulary(i) {
+			ref[key{w, i}] = x.Postings(w, i)
+		}
+	}
+	terms = x.Vocabulary(0)
+
+	mut := filepath.Join(dir, "mut")
+	for pos := range good {
+		flipped := append([]byte(nil), good...)
+		flipped[pos] ^= 0xFF
+		if err := os.WriteFile(mut, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d, err := OpenDiskOptions(mut, OpenOptions{})
+		if err != nil {
+			continue // detected at open: fine
+		}
+		// Open survived (the flip is in a lazily-read block): every
+		// query must now either error or agree with the reference.
+		for k, want := range ref {
+			got, err := d.Postings(k.w, k.i)
+			if err != nil {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("byte %d flipped: Postings(%q, %d) silently wrong: got %v want %v", pos, k.w, k.i, got, want)
+			}
+		}
+		if len(terms) >= 2 {
+			want := x.Search(terms[:2], 0)
+			if got, err := d.Search(terms[:2], 0); err == nil && !reflect.DeepEqual(got, want) {
+				t.Fatalf("byte %d flipped: Search silently wrong", pos)
+			}
+		}
+		d.Close()
+	}
+}
+
+func TestDiskTruncationRejected(t *testing.T) {
+	col, err := corpus.Generate(corpus.GeneratorConfig{
+		Seed: 32, NumIntervals: 1, BackgroundPosts: 40, BackgroundVocab: 15, WordsPerPost: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg")
+	if err := BuildDisk(col, path, DiskOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := filepath.Join(dir, "mut")
+	for _, n := range []int{0, 1, len(segMagic), len(good) / 2, len(good) - 1} {
+		if err := os.WriteFile(mut, good[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if d, err := OpenDiskOptions(mut, OpenOptions{}); err == nil {
+			d.Close()
+			t.Fatalf("OpenDisk accepted a segment truncated to %d bytes", n)
+		}
+	}
+	// Truncating a block region AFTER open (the dictionary points past
+	// EOF — a stale skip entry) must surface as a read error, not a
+	// wrong result.
+	d, err := OpenDiskOptions(path, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := os.Truncate(path, int64(len(segMagic))); err != nil {
+		t.Fatal(err)
+	}
+	w := col.Vocabulary()[0]
+	if ids, err := d.Postings(w, 0); err == nil {
+		t.Fatalf("Postings over truncated blocks returned %v without error", ids)
+	}
+}
+
+// TestDiskSearchIOBound asserts the EMBANKS-style access-cost claim:
+// disk-backed Search performs O(blocks touched) random reads, not
+// O(postings) — intersecting a rare term with a very frequent one must
+// not read the frequent term's whole posting list.
+func TestDiskSearchIOBound(t *testing.T) {
+	const n = 4000
+	rare := []int64{10, 1500, 2500, 3900}
+	docs := make([]corpus.Document, n)
+	isRare := map[int64]bool{}
+	for _, id := range rare {
+		isRare[id] = true
+	}
+	for i := range docs {
+		kws := []string{"heavy"}
+		if isRare[int64(i)] {
+			kws = append(kws, "rare")
+		}
+		docs[i] = corpus.Document{ID: int64(i), Interval: 0, Keywords: kws}
+	}
+	col := &corpus.Collection{Intervals: []corpus.Interval{{Index: 0, Docs: docs}}}
+	const blockSize = 64
+	d, _ := buildDisk(t, col, DiskOptions{BlockSize: blockSize}, OpenOptions{})
+
+	heavyBlocks := int64((n + blockSize - 1) / blockSize)
+	d.ResetStats()
+	got, err := d.Search([]string{"heavy", "rare"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rare) {
+		t.Fatalf("Search = %v, want %v", got, rare)
+	}
+	st := d.Stats()
+	// One block holds all four rare postings; each candidate probes at
+	// most one heavy block.
+	maxReads := int64(1 + len(rare))
+	if st.RandomReads > maxReads {
+		t.Errorf("Search did %d random reads, want <= %d (blocks touched)", st.RandomReads, maxReads)
+	}
+	if st.RandomReads >= heavyBlocks {
+		t.Errorf("Search did %d random reads, not better than decoding all %d heavy blocks", st.RandomReads, heavyBlocks)
+	}
+	if st.SequentialReads != 0 {
+		t.Errorf("Search did %d sequential reads, want 0", st.SequentialReads)
+	}
+	// Warm cache: the same search must do zero additional reads.
+	if _, err := d.Search([]string{"heavy", "rare"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if again := d.Stats(); again.RandomReads != st.RandomReads {
+		t.Errorf("warm Search added %d reads, want 0", again.RandomReads-st.RandomReads)
+	}
+}
+
+// TestDiskCacheBounded: with a tiny MemBudget the LRU must stay within
+// budget and re-read evicted blocks rather than grow.
+func TestDiskCacheBounded(t *testing.T) {
+	docs := make([]corpus.Document, 2000)
+	for i := range docs {
+		docs[i] = corpus.Document{ID: int64(i), Interval: 0, Keywords: []string{"heavy"}}
+	}
+	col := &corpus.Collection{Intervals: []corpus.Interval{{Index: 0, Docs: docs}}}
+	const budget = 2 << 10
+	d, _ := buildDisk(t, col, DiskOptions{BlockSize: 32}, OpenOptions{MemBudget: budget})
+	blocks := int64((2000 + 31) / 32)
+
+	d.ResetStats()
+	if _, err := d.Postings("heavy", 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.RandomReads != blocks {
+		t.Fatalf("cold scan did %d reads, want %d", st.RandomReads, blocks)
+	}
+	if _, _, bytes := d.CacheStats(); bytes > budget {
+		t.Errorf("cache holds %d bytes, budget %d", bytes, budget)
+	}
+	// The working set exceeds the budget, so a second scan must re-read
+	// most blocks (the cache cannot silently exceed its bound).
+	d.ResetStats()
+	if _, err := d.Postings("heavy", 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.RandomReads < blocks/2 {
+		t.Errorf("second scan did only %d reads for %d blocks despite %d-byte budget", st.RandomReads, blocks, budget)
+	}
+}
+
+func TestOpenDiskRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("this is not a segment file at all........"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := OpenDisk(path); err == nil {
+		d.Close()
+		t.Fatal("OpenDisk accepted garbage")
+	}
+	if _, err := OpenDisk(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("OpenDisk accepted a missing file")
+	}
+}

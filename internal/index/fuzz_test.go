@@ -1,0 +1,81 @@
+package index
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// fuzzCorpus derives a deterministic small collection from raw fuzz
+// bytes: byte 0 picks the interval count and block size, and the rest
+// stream out as (interval, keyword...) document descriptors over a
+// 16-word vocabulary. Doc ids are sequential, so the collection is
+// always valid for both backends.
+func fuzzCorpus(data []byte) (*corpus.Collection, int) {
+	if len(data) == 0 {
+		data = []byte{0}
+	}
+	m := 1 + int(data[0])%4
+	blockSize := 1 + int(data[0]>>4)%8
+	byInterval := make([][]corpus.Document, m)
+	vocab := [16]string{
+		"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7",
+		"k8", "k9", "ka", "kb", "kc", "kd", "ke", "kf",
+	}
+	id := int64(0)
+	pos := 1
+	for pos < len(data) {
+		b := data[pos]
+		pos++
+		iv := int(b) % m
+		nk := 1 + int(b>>4)%4
+		var kws []string
+		for j := 0; j < nk && pos < len(data); j++ {
+			kws = append(kws, vocab[data[pos]%16])
+			pos++
+		}
+		if len(kws) == 0 {
+			break
+		}
+		byInterval[iv] = append(byInterval[iv], corpus.Document{ID: id, Interval: iv, Keywords: kws})
+		id++
+	}
+	col := &corpus.Collection{Intervals: make([]corpus.Interval, m)}
+	for i := 0; i < m; i++ {
+		col.Intervals[i] = corpus.Interval{Index: i, Docs: byInterval[i]}
+	}
+	return col, blockSize
+}
+
+// FuzzDiskIndexRoundTrip builds both backends from fuzz-derived
+// corpora and asserts every primitive agrees — the round-trip
+// invariant of the segment format, run for ~60s each night by the
+// fuzz-smoke CI job.
+func FuzzDiskIndexRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x13, 0x21, 0x05, 0x30, 0x07, 0x09, 0xff, 0x00, 0x41})
+	f.Add([]byte{0x72, 0x11, 0x11, 0x11, 0x12, 0x13, 0x24, 0x35, 0x46, 0x57, 0x68})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		col, blockSize := fuzzCorpus(data)
+		x, err := New(col)
+		if err != nil {
+			t.Fatalf("New rejected a fuzz corpus: %v", err)
+		}
+		path := filepath.Join(t.TempDir(), "seg")
+		if err := BuildDisk(col, path, DiskOptions{BlockSize: blockSize, SortMemoryBudget: 512}); err != nil {
+			t.Fatalf("BuildDisk: %v", err)
+		}
+		d, err := OpenDiskOptions(path, OpenOptions{MemBudget: 4 << 10})
+		if err != nil {
+			t.Fatalf("OpenDisk: %v", err)
+		}
+		defer d.Close()
+		seed := int64(len(data))
+		if len(data) > 0 {
+			seed = int64(data[0])<<8 | int64(data[len(data)-1])
+		}
+		assertReadersAgree(t, x.Reader(), d, rand.New(rand.NewSource(seed)))
+	})
+}

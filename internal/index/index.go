@@ -18,6 +18,7 @@ package index
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/corpus"
@@ -44,6 +45,7 @@ func New(c *corpus.Collection) (*Index, error) {
 		intervals: make([]intervalIndex, len(c.Intervals)),
 		docs:      make([]int, len(c.Intervals)),
 	}
+	var scratch []string
 	for i, iv := range c.Intervals {
 		postings := make(map[string][]int64)
 		idx.docs[i] = len(iv.Docs)
@@ -51,18 +53,14 @@ func New(c *corpus.Collection) (*Index, error) {
 			if d.Interval != i {
 				return nil, fmt.Errorf("index: document %d claims interval %d but lives in %d", d.ID, d.Interval, i)
 			}
-			seen := map[string]struct{}{}
-			for _, w := range d.Keywords {
-				if _, dup := seen[w]; dup {
-					continue
-				}
-				seen[w] = struct{}{}
+			scratch = dedupKeywords(scratch, d.Keywords)
+			for _, w := range scratch {
 				postings[w] = append(postings[w], d.ID)
 			}
 		}
 		for w := range postings {
 			p := postings[w]
-			sort.Slice(p, func(a, b int) bool { return p[a] < p[b] })
+			slices.Sort(p)
 			// Document ids must be unique within an interval, or A(u)
 			// counts would double-count.
 			for j := 1; j < len(p); j++ {
@@ -74,6 +72,27 @@ func New(c *corpus.Collection) (*Index, error) {
 		idx.intervals[i].postings = postings
 	}
 	return idx, nil
+}
+
+// dedupKeywords overwrites dst with the distinct keywords of kws and
+// returns it. A document's keywords are a set (the per-document
+// indicator AD(u,v) of Section 3 is binary); deduping through a
+// reusable slice instead of a per-document map keeps the build hot
+// path allocation-free. Typical documents are short, so a linear scan
+// wins; long documents fall back to sort + compact.
+func dedupKeywords(dst, kws []string) []string {
+	dst = dst[:0]
+	if len(kws) <= 16 {
+		for _, w := range kws {
+			if !slices.Contains(dst, w) {
+				dst = append(dst, w)
+			}
+		}
+		return dst
+	}
+	dst = append(dst, kws...)
+	slices.Sort(dst)
+	return slices.Compact(dst)
 }
 
 // NumIntervals returns the number of indexed intervals.

@@ -217,6 +217,25 @@ func TestIndexAgreesWithCooccur(t *testing.T) {
 	}
 }
 
+// BenchmarkIndexBuild measures New on the hot build path (the
+// per-document dedup dominates allocations).
+func BenchmarkIndexBuild(b *testing.B) {
+	col, err := corpus.Generate(corpus.GeneratorConfig{
+		Seed: 9, NumIntervals: 2, BackgroundPosts: 2000,
+		BackgroundVocab: 1500, WordsPerPost: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(col); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSearch(b *testing.B) {
 	col, err := corpus.Generate(corpus.GeneratorConfig{
 		Seed: 9, NumIntervals: 1, BackgroundPosts: 5000,

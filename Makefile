@@ -17,7 +17,7 @@ BENCH_COUNT ?= 3
 # fetched through the module cache, never added to go.mod.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build check vet test race fmt-check staticcheck bench bench-gate fuzz-smoke clean
+.PHONY: all build check vet test race fmt-check staticcheck bench bench-gate fuzz-smoke examples-smoke clean
 
 all: check
 
@@ -47,13 +47,14 @@ staticcheck:
 check: build vet test race
 
 # Perf trajectory: Table 1 keyword-graph construction, the ablation
-# benches, the Section 4 cluster-graph/simjoin benches and the index
-# backend benches, in test2json format (one JSON object per line).
-# BENCH_OUT redirects the dump (bench-gate writes an untracked file so
-# the committed trajectory is never clobbered).
+# benches, the Section 4 cluster-graph/simjoin benches, the index
+# backend benches and the extsort record-format before/after, in
+# test2json format (one JSON object per line). BENCH_OUT redirects the
+# dump (bench-gate writes an untracked file so the committed
+# trajectory is never clobbered).
 BENCH_OUT ?= BENCH_table1.json
 bench:
-	$(GO) test -run '^$$' -bench 'Table1|Ablation|ClusterGraph|SimJoin|DiskIndex' -benchmem -count $(BENCH_COUNT) -json . > $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'Table1|Ablation|ClusterGraph|SimJoin|DiskIndex|Extsort' -benchmem -count $(BENCH_COUNT) -json . > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT) ($$(grep -c '"Action":"output"' $(BENCH_OUT)) output events)"
 
 # Regression gate: rerun the bench set once into the untracked
@@ -77,6 +78,14 @@ FUZZTIME ?= 60s
 fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzSolverEquivalence -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/index -run '^$$' -fuzz FuzzDiskIndexRoundTrip -fuzztime $(FUZZTIME)
+
+# Example drift gate: the examples are the Engine API's showcase, so
+# they build, vet, and quickstart runs end to end against the demo
+# corpus. CI's examples job runs this target.
+examples-smoke:
+	$(GO) build ./examples/...
+	$(GO) vet ./examples/...
+	$(GO) run ./examples/quickstart
 
 clean:
 	rm -f BENCH_table1.json BENCH_fresh.json

@@ -18,13 +18,20 @@
 // for end-to-end use is re-exported here. See DESIGN.md for the paper →
 // module map and EXPERIMENTS.md for the reproduction of the paper's
 // evaluation.
+//
+// The recommended entry point is the Engine (engine.go): a session
+// object that loads the corpus once and memoizes every stage artifact
+// across queries, with context cancellation end to end. The free
+// functions below remain for one-shot use and as the Engine's
+// stateless building blocks.
 package blogclusters
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
-	"runtime"
+	"sync"
 
 	"repro/internal/bicc"
 	"repro/internal/burst"
@@ -34,7 +41,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/index"
-	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/text"
 	"repro/internal/topk"
@@ -125,9 +131,16 @@ func (o ClusterOptions) withDefaults() ClusterOptions {
 // collection: keyword graph → χ²/ρ pruning → biconnected components →
 // keyword clusters. Cluster IDs are local to the call (0,1,2…);
 // BuildClusterGraph assigns graph-wide ids.
+//
+// For repeated queries over one corpus prefer an Engine, which
+// memoizes the per-interval cluster sets (Engine.ClustersAt).
 func IntervalClusters(c *Collection, interval int, opts ClusterOptions) ([]Cluster, error) {
+	return intervalClustersCtx(context.Background(), c, interval, opts)
+}
+
+func intervalClustersCtx(ctx context.Context, c *Collection, interval int, opts ClusterOptions) ([]Cluster, error) {
 	opts = opts.withDefaults()
-	kg, err := cooccur.Build(c, interval, interval, cooccur.BuildOptions{
+	kg, err := cooccur.BuildCtx(ctx, c, interval, interval, cooccur.BuildOptions{
 		SortMemoryBudget: opts.SortMemoryBudget,
 		MinPairCount:     opts.MinPairCount,
 		Parallelism:      opts.Parallelism,
@@ -164,51 +177,13 @@ func IntervalClusters(c *Collection, interval int, opts ClusterOptions) ([]Clust
 // per-interval cluster sets are identical at any worker count;
 // Parallelism: 1 keeps the plain sequential loop as the ablation
 // baseline.
+//
+// Deprecated: for anything beyond a one-shot build, use
+// Engine.Clusters, which memoizes the sets, shares them across
+// queries, and supports cancellation. This wrapper runs the same code
+// with a background context.
 func AllIntervalClusters(c *Collection, opts ClusterOptions) ([][]Cluster, error) {
-	m := len(c.Intervals)
-	width := opts.Parallelism
-	if width <= 0 {
-		width = runtime.GOMAXPROCS(0)
-	}
-	if width == 1 || m <= 1 {
-		sets := make([][]Cluster, m)
-		for i := range c.Intervals {
-			cs, err := IntervalClusters(c, i, opts)
-			if err != nil {
-				return nil, err
-			}
-			sets[i] = cs
-		}
-		return sets, nil
-	}
-
-	workers := width
-	if m < workers {
-		workers = m
-	}
-	inner := opts
-	inner.Parallelism = width / workers
-	if inner.Parallelism < 1 {
-		inner.Parallelism = 1
-	}
-	budget := opts.MemBudget
-	if budget <= 0 {
-		budget = cooccur.DefaultMemBudget
-	}
-	inner.MemBudget = budget / workers
-	if inner.MemBudget < 1 {
-		inner.MemBudget = 1
-	}
-
-	sets := make([][]Cluster, m)
-	if err := par.ForEach(m, workers, func(i int) error {
-		var err error
-		sets[i], err = IntervalClusters(c, i, inner)
-		return err
-	}); err != nil {
-		return nil, err
-	}
-	return sets, nil
+	return allIntervalClustersCtx(context.Background(), c, opts)
 }
 
 // WriteClusterSets persists per-interval cluster sets as JSONL so the
@@ -246,33 +221,43 @@ type GraphOptions struct {
 
 // BuildClusterGraph links per-interval cluster sets into the cluster
 // graph G.
+//
+// Deprecated: for anything beyond a one-shot build, use Engine.Graph
+// (or Engine.GraphWith for explicit options), which memoizes graphs
+// per option set and supports cancellation. This wrapper runs the same
+// code with a background context.
 func BuildClusterGraph(sets [][]Cluster, opts GraphOptions) (*ClusterGraph, error) {
-	var aff cluster.AffinityFunc
-	normalize := false
-	if opts.Affinity != "" && opts.Affinity != "jaccard" {
-		f, err := cluster.ParseAffinity(opts.Affinity)
-		if err != nil {
-			return nil, err
-		}
-		aff = f
-		normalize = true // intersection weights exceed 1
+	return buildClusterGraphCtx(context.Background(), sets, opts)
+}
+
+// resolveAffinity maps GraphOptions.Affinity to the affinity function
+// plus the normalization flag (intersection weights exceed 1).
+func resolveAffinity(opts GraphOptions) (cluster.AffinityFunc, bool, error) {
+	if opts.Affinity == "" || opts.Affinity == "jaccard" {
+		return nil, false, nil
 	}
-	return clustergraph.FromClusters(sets, clustergraph.FromClustersOptions{
-		Gap:         opts.Gap,
-		Theta:       opts.Theta,
-		Affinity:    aff,
-		UseSimJoin:  opts.UseSimJoin,
-		Normalize:   normalize,
-		Parallelism: opts.Parallelism,
-	})
+	f, err := cluster.ParseAffinity(opts.Affinity)
+	if err != nil {
+		return nil, false, err
+	}
+	return f, true, nil
 }
 
 // StableClusters solves the kl-stable-clusters problem (Problem 1):
 // the k highest-weight paths of temporal length l. Algorithm is "bfs"
 // (default; Algorithm 2), "dfs" (Algorithm 3), "ta" (Section 4.4; full
 // paths only) or "brute" (exhaustive oracle).
+//
+// Engine.StableClusters answers the same query over the session's
+// memoized graph, with cancellation.
 func StableClusters(g *ClusterGraph, algorithm string, k, l int) (*Result, error) {
-	opts := core.Options{K: k, L: l}
+	return solveStable(context.Background(), g, algorithm, k, l)
+}
+
+// solveStable dispatches one Problem 1 query; shared by the free
+// function and the Engine.
+func solveStable(ctx context.Context, g *ClusterGraph, algorithm string, k, l int) (*Result, error) {
+	opts := core.Options{K: k, L: l, Ctx: ctx}
 	switch algorithm {
 	case "", "bfs":
 		return core.BFS(g, core.BFSOptions{Options: opts})
@@ -343,9 +328,20 @@ type IndexOptions struct {
 // OpenIndexReader indexes the collection with the selected backend.
 // Close the reader when done; the mem backend's Close is a no-op, the
 // disk backend's closes (and for temporary segments removes) the file.
+//
+// For repeated index queries prefer an Engine with WithIndexOptions:
+// it opens the reader once, shares it across queries, and closes it
+// with the session.
 func OpenIndexReader(c *Collection, opts IndexOptions) (IndexReader, error) {
+	return openIndexReaderCtx(context.Background(), c, opts)
+}
+
+func openIndexReaderCtx(ctx context.Context, c *Collection, opts IndexOptions) (IndexReader, error) {
 	switch opts.Backend {
 	case "", "mem":
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		x, err := index.New(c)
 		if err != nil {
 			return nil, err
@@ -363,7 +359,7 @@ func OpenIndexReader(c *Collection, opts IndexOptions) (IndexReader, error) {
 			f.Close()
 			temp = true
 		}
-		if err := index.BuildDisk(c, path, index.DiskOptions{SortMemoryBudget: opts.SortMemoryBudget}); err != nil {
+		if err := index.BuildDiskCtx(ctx, c, path, index.DiskOptions{SortMemoryBudget: opts.SortMemoryBudget}); err != nil {
 			if temp {
 				os.Remove(path)
 			}
@@ -385,18 +381,27 @@ func OpenIndexReader(c *Collection, opts IndexOptions) (IndexReader, error) {
 	}
 }
 
-// tempIndexReader removes its private segment file on Close.
+// tempIndexReader removes its private segment file on Close. Close is
+// idempotent: the Engine closes its reader on session Close, and
+// defensive callers often close again — the second call must not
+// surface a spurious os.Remove error for the already-deleted file.
 type tempIndexReader struct {
 	IndexReader
 	path string
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 func (r *tempIndexReader) Close() error {
-	err := r.IndexReader.Close()
-	if rmErr := os.Remove(r.path); err == nil {
-		err = rmErr
-	}
-	return err
+	r.closeOnce.Do(func() {
+		err := r.IndexReader.Close()
+		if rmErr := os.Remove(r.path); err == nil {
+			err = rmErr
+		}
+		r.closeErr = err
+	})
+	return r.closeErr
 }
 
 // KeywordBurst is one bursty stretch of intervals for a keyword.
@@ -413,15 +418,30 @@ func DetectBursts(x *Index, w string) ([]KeywordBurst, error) {
 // DetectBurstsIn is DetectBursts over any index backend: the keyword's
 // document-frequency trajectory comes straight from the reader's
 // resident term statistics (no posting I/O on the disk backend).
+//
+// Each call rebuilds the per-interval totals slice from the reader;
+// Engine.Bursts computes it once per session and shares it.
 func DetectBurstsIn(r IndexReader, w string) ([]KeywordBurst, error) {
 	counts, err := r.TimeSeries(w)
 	if err != nil {
 		return nil, err
 	}
+	return kleinbergBursts(counts, intervalTotals(r))
+}
+
+// intervalTotals reads the per-interval document totals the burst
+// detector divides by.
+func intervalTotals(r IndexReader) []int64 {
 	totals := make([]int64, r.NumIntervals())
 	for i := range totals {
 		totals[i] = int64(r.NumDocs(i))
 	}
+	return totals
+}
+
+// kleinbergBursts runs the default burst automaton over one keyword's
+// trajectory.
+func kleinbergBursts(counts, totals []int64) ([]KeywordBurst, error) {
 	return burst.Kleinberg(counts, totals, burst.KleinbergOptions{})
 }
 

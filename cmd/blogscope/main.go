@@ -14,65 +14,56 @@
 // With -index=disk the keyword primitives are served from an on-disk
 // posting segment (see README.md) instead of resident maps, so corpora
 // larger than RAM stay queryable.
+//
+// The command is one Engine session: the index, the interval keyword
+// graph and the interval clusters are each built once and shared by
+// the report's queries. Ctrl-C cancels mid-build.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	blogclusters "repro"
-	"repro/internal/cooccur"
-	"repro/internal/stats"
+	"repro/internal/cli"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("blogscope: ")
 
+	var shared cli.EngineFlags
+	shared.Register(flag.CommandLine)
 	var (
-		input    = flag.String("input", "", "JSONL corpus file")
-		demo     = flag.Bool("demo", false, "use the synthetic news-week corpus")
 		query    = flag.String("query", "", "query keyword (required)")
 		interval = flag.Int("interval", -1, "interval for cluster/correlation detail (-1 = the keyword's peak)")
 		topN     = flag.Int("top", 5, "number of correlations to show")
-		par      = flag.Int("parallelism", 0, "keyword-graph worker count; 0 = GOMAXPROCS, 1 = sequential")
-		memBud   = flag.Int("membudget", 0, "pair-table memory budget in bytes; 0 = default")
-		backend  = flag.String("index", "mem", "keyword-index backend: mem (resident) or disk (segment file + LRU block cache)")
-		idxCache = flag.Int("indexcache", 0, "disk backend: block-cache budget in bytes; 0 = default (8 MiB)")
-		idxPath  = flag.String("indexfile", "", "disk backend: segment file path; empty = private temp file")
 	)
 	flag.Parse()
 	if *query == "" {
 		log.Fatal("need -query KEYWORD")
 	}
-
-	col, err := loadCorpus(*input, *demo)
+	src, err := shared.Source()
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Analyze the query the same way the corpus was analyzed.
-	kws := blogclusters.NewAnalyzer().Keywords(*query)
-	if len(kws) == 0 {
-		log.Fatalf("query %q has no analyzable keyword", *query)
-	}
-	kw := kws[0]
-	fmt.Printf("query %q → keyword %q\n\n", *query, kw)
 
-	idx, err := blogclusters.OpenIndexReader(col, blogclusters.IndexOptions{
-		Backend:   *backend,
-		Path:      *idxPath,
-		MemBudget: *idxCache,
-	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eng, err := blogclusters.Open(ctx, src, shared.Options(blogclusters.ClusterOptions{}, blogclusters.GraphOptions{})...)
 	if err != nil {
-		log.Fatalf("index: %v", err)
+		log.Fatal(err)
 	}
 	// Close (removing a temp disk segment) before any fatal exit:
 	// log.Fatal would skip a defer.
-	err = report(col, idx, kw, *interval, *topN, *par, *memBud)
-	if cerr := idx.Close(); err == nil {
+	err = report(ctx, eng, *query, *interval, *topN)
+	if cerr := eng.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
@@ -81,23 +72,26 @@ func main() {
 }
 
 // report renders the whole analysis for one keyword: time series,
-// bursts, correlations, cluster membership and refinements.
-func report(col *blogclusters.Collection, idx blogclusters.IndexReader, kw string, interval, topN, par, memBud int) error {
+// bursts, correlations, cluster membership and refinements. Every
+// query runs against the shared Engine session.
+func report(ctx context.Context, eng *blogclusters.Engine, query string, interval, topN int) error {
+	fmt.Printf("query %q\n\n", query)
+
 	// Time series + bursts.
-	series, err := idx.TimeSeries(kw)
+	series, err := eng.TimeSeries(ctx, query)
 	if err != nil {
 		return fmt.Errorf("time series: %w", err)
 	}
 	fmt.Println("documents per interval:")
 	peak, peakAt := int64(-1), 0
 	for i, c := range series {
-		bar := strings.Repeat("#", int(min64(c, 60)))
+		bar := strings.Repeat("#", int(min(c, 60)))
 		fmt.Printf("  t%-3d %6d %s\n", i, c, bar)
 		if c > peak {
 			peak, peakAt = c, i
 		}
 	}
-	bursts, err := blogclusters.DetectBurstsIn(idx, kw)
+	bursts, err := eng.Bursts(ctx, query)
 	if err != nil {
 		return fmt.Errorf("bursts: %w", err)
 	}
@@ -114,57 +108,27 @@ func report(col *blogclusters.Collection, idx blogclusters.IndexReader, kw strin
 	if day < 0 {
 		day = peakAt
 	}
-	if day >= len(col.Intervals) {
-		return fmt.Errorf("interval %d outside corpus (%d intervals)", day, len(col.Intervals))
-	}
 
 	// Strongest correlations on the chosen day.
-	kg, err := cooccur.Build(col, day, day, cooccur.BuildOptions{Parallelism: par, MemBudget: memBud})
+	correlations, err := eng.Correlations(ctx, query, day, topN)
 	if err != nil {
-		return fmt.Errorf("keyword graph: %w", err)
+		return fmt.Errorf("correlations: %w", err)
 	}
-	kg.AnnotateStats()
-	pruned := kg.Prune(stats.ChiSquared95, 0) // keep all significant pairs
 	fmt.Printf("\nstrongest correlations at t%d:\n", day)
-	for _, c := range pruned.StrongestCorrelations(kw, topN) {
+	for _, c := range correlations {
 		fmt.Printf("  %-20s ρ=%.3f  together in %d posts\n", c.Keyword, c.Rho, c.Count)
 	}
 
 	// Cluster membership + refinement.
-	clusters, err := blogclusters.IntervalClusters(col, day, blogclusters.ClusterOptions{Parallelism: par, MemBudget: memBud})
+	refinements, err := eng.Refine(ctx, query, day)
 	if err != nil {
-		return fmt.Errorf("clusters: %w", err)
+		return fmt.Errorf("refine: %w", err)
 	}
-	refinements := blogclusters.RefineQuery(clusters, kw)
 	if refinements == nil {
-		fmt.Printf("\n%q is not in any keyword cluster at t%d\n", kw, day)
+		fmt.Printf("\n%q is not in any keyword cluster at t%d\n", query, day)
 		return nil
 	}
-	fmt.Printf("\nkeyword cluster at t%d: %v\n", day, append([]string{kw}, refinements...))
+	fmt.Printf("\nkeyword cluster at t%d: %v\n", day, append([]string{query}, refinements...))
 	fmt.Printf("query refinements: %v\n", refinements)
 	return nil
-}
-
-func loadCorpus(input string, demo bool) (*blogclusters.Collection, error) {
-	switch {
-	case demo && input != "":
-		return nil, fmt.Errorf("pass either -demo or -input, not both")
-	case demo:
-		return blogclusters.GenerateCorpus(blogclusters.NewsWeekCorpus(2007, 600))
-	case input == "":
-		return nil, fmt.Errorf("need -input FILE or -demo")
-	}
-	f, err := os.Open(input)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return blogclusters.ReadJSONL(f)
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }

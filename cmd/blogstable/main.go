@@ -14,25 +14,33 @@
 //
 // With -raw, each JSONL document's keywords are treated as raw text
 // fragments and run through the tokenizer/stemmer/stop-word filter.
+//
+// The run is one Engine session: cluster sets, cluster graph and (for
+// -bursts) the keyword index are built once and shared; -clusters
+// starts the session at the Section 4 boundary from a saved cluster
+// file. Ctrl-C cancels mid-build.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	blogclusters "repro"
+	"repro/internal/cli"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("blogstable: ")
 
+	var shared cli.EngineFlags
+	shared.Register(flag.CommandLine)
 	var (
-		input      = flag.String("input", "", "JSONL corpus file (one document per line)")
-		demo       = flag.Bool("demo", false, "run on the synthetic news-week corpus")
 		raw        = flag.Bool("raw", false, "analyze document keywords as raw text (tokenize/stem/stop words)")
 		algorithm  = flag.String("algorithm", "bfs", "stable-cluster algorithm: bfs, dfs, ta, brute")
 		k          = flag.Int("k", 5, "number of top stable clusters")
@@ -45,56 +53,74 @@ func main() {
 		normalized = flag.Bool("normalized", false, "solve the normalized problem instead (stability = weight/length)")
 		lmin       = flag.Int("lmin", 2, "minimum length for -normalized")
 		simjoin    = flag.Bool("simjoin", false, "build cluster-graph edges with the prefix-filter similarity join (jaccard affinity only)")
-		par        = flag.Int("parallelism", 0, "worker count for cluster generation and edge generation; 0 = GOMAXPROCS, 1 = sequential")
-		memBud     = flag.Int("membudget", 0, "pair-table memory budget in bytes, split across concurrent interval builds; 0 = default")
 		burstsQ    = flag.String("bursts", "", "comma-separated keywords: report their information bursts before clustering")
-		backend    = flag.String("index", "mem", "keyword-index backend for -bursts: mem or disk")
-		idxCache   = flag.Int("indexcache", 0, "disk index backend: block-cache budget in bytes; 0 = default")
 		quiet      = flag.Bool("quiet", false, "suppress per-interval cluster listings")
 		saveSets   = flag.String("saveclusters", "", "write per-interval clusters to this JSONL file")
 		loadSets   = flag.String("clusters", "", "skip cluster generation and load clusters from this JSONL file")
 	)
 	flag.Parse()
 
-	var sets [][]blogclusters.Cluster
-	if *burstsQ != "" && *loadSets != "" {
-		log.Fatal("-bursts needs a corpus (-input or -demo), not -clusters")
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := shared.Options(
+		blogclusters.ClusterOptions{RhoThreshold: *rho, MinClusterSize: *minSize},
+		blogclusters.GraphOptions{Gap: *gap, Theta: *theta, Affinity: *affinity, UseSimJoin: *simjoin},
+	)
+	var eng *blogclusters.Engine
 	if *loadSets != "" {
+		if *burstsQ != "" {
+			log.Fatal("-bursts needs a corpus (-input or -demo), not -clusters")
+		}
 		f, err := os.Open(*loadSets)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sets, err = blogclusters.ReadClusterSets(f)
+		sets, err := blogclusters.ReadClusterSets(f)
 		f.Close()
 		if err != nil {
 			log.Fatalf("read clusters: %v", err)
 		}
+		eng, err = blogclusters.Open(ctx, blogclusters.FromClusterSets(sets), opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
 	} else {
-		col, err := loadCorpus(*input, *demo)
+		src, err := shared.Source()
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng, err = blogclusters.Open(ctx, src, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if *raw {
-			reanalyze(col)
+			reanalyze(eng.Collection())
 		}
-		fmt.Printf("corpus: %d documents across %d intervals\n", col.NumDocs(), len(col.Intervals))
-		if *burstsQ != "" {
-			if err := reportBursts(col, *burstsQ, *backend, *idxCache); err != nil {
-				log.Fatal(err)
-			}
-		}
-		sets, err = blogclusters.AllIntervalClusters(col, blogclusters.ClusterOptions{
-			RhoThreshold:   *rho,
-			MinClusterSize: *minSize,
-			Parallelism:    *par,
-			MemBudget:      *memBud,
-		})
-		if err != nil {
-			log.Fatalf("cluster generation: %v", err)
+		fmt.Printf("corpus: %d documents across %d intervals\n", eng.Collection().NumDocs(), len(eng.Collection().Intervals))
+	}
+	// Close the session (removing a temp disk segment) before any fatal
+	// exit: log.Fatal would skip a defer.
+	err := run(ctx, eng, *burstsQ, *saveSets, *algorithm, *k, *l, *lmin, *gap, *theta, *normalized, *quiet)
+	if cerr := eng.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(ctx context.Context, eng *blogclusters.Engine, burstsQ, saveSets, algorithm string, k, l, lmin, gap int, theta float64, normalized, quiet bool) error {
+	if burstsQ != "" {
+		if err := reportBursts(ctx, eng, burstsQ); err != nil {
+			return err
 		}
 	}
-	if *saveSets != "" {
+	sets, err := eng.Clusters(ctx)
+	if err != nil {
+		return fmt.Errorf("cluster generation: %w", err)
+	}
+	if saveSets != "" {
 		// Re-number ids graph-wide so the saved file is self-contained.
 		id := int64(0)
 		for i := range sets {
@@ -103,98 +129,91 @@ func main() {
 				id++
 			}
 		}
-		f, err := os.Create(*saveSets)
+		f, err := os.Create(saveSets)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		err = blogclusters.WriteClusterSets(f, sets)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			log.Fatalf("save clusters: %v", err)
+			return fmt.Errorf("save clusters: %w", err)
 		}
-		fmt.Printf("saved clusters to %s\n", *saveSets)
+		fmt.Printf("saved clusters to %s\n", saveSets)
 	}
 	for i, cs := range sets {
 		fmt.Printf("interval %d: %d clusters\n", i, len(cs))
-		if !*quiet {
+		if !quiet {
 			for _, c := range cs {
 				fmt.Printf("  %v\n", c.Keywords)
 			}
 		}
 	}
 
-	g, err := blogclusters.BuildClusterGraph(sets, blogclusters.GraphOptions{
-		Gap: *gap, Theta: *theta, Affinity: *affinity,
-		UseSimJoin: *simjoin, Parallelism: *par,
-	})
+	g, err := eng.Graph(ctx)
 	if err != nil {
-		log.Fatalf("cluster graph: %v", err)
+		return fmt.Errorf("cluster graph: %w", err)
 	}
-	fmt.Printf("cluster graph: %d nodes, %d edges (gap %d, theta %g)\n\n", g.NumNodes(), g.NumEdges(), *gap, *theta)
+	fmt.Printf("cluster graph: %d nodes, %d edges (gap %d, theta %g)\n\n", g.NumNodes(), g.NumEdges(), gap, theta)
 
 	var res *blogclusters.Result
-	if *normalized {
-		res, err = blogclusters.NormalizedStableClusters(g, *k, *lmin)
+	if normalized {
+		res, err = eng.NormalizedStableClusters(ctx, k, lmin)
 		if err != nil {
-			log.Fatalf("normalized stable clusters: %v", err)
+			return fmt.Errorf("normalized stable clusters: %w", err)
 		}
-		fmt.Printf("top %d normalized stable clusters (lmin=%d):\n", *k, *lmin)
+		fmt.Printf("top %d normalized stable clusters (lmin=%d):\n", k, lmin)
 	} else {
-		length := *l
-		if length < 0 {
-			length = blogclusters.FullPaths
+		if l < 0 {
+			l = blogclusters.FullPaths
 		}
-		res, err = blogclusters.StableClusters(g, *algorithm, *k, length)
+		res, err = eng.StableClusters(ctx, algorithm, k, l)
 		if err != nil {
-			log.Fatalf("stable clusters: %v", err)
+			return fmt.Errorf("stable clusters: %w", err)
 		}
-		fmt.Printf("top %d stable clusters (%s):\n", *k, *algorithm)
+		fmt.Printf("top %d stable clusters (%s):\n", k, algorithm)
 	}
 	if len(res.Paths) == 0 {
 		fmt.Println("  none found — lower -theta, raise -gap, or shorten -l")
-		return
+		return nil
 	}
 	for i, p := range res.Paths {
-		fmt.Printf("#%d %s\n", i+1, blogclusters.DescribePath(g, p))
+		desc, err := eng.Describe(ctx, p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("#%d %s\n", i+1, desc)
 	}
 	st := res.Stats
 	fmt.Printf("\nwork: %d node reads, %d node writes, %d edge reads, %d heap offers, %d prunes\n",
 		st.NodeReads, st.NodeWrites, st.EdgeReads, st.HeapConsiders, st.Pruned)
+	return nil
 }
 
 // reportBursts prints each keyword's information bursts, serving the
-// time series from the selected index backend (-index=disk keeps the
-// posting lists on disk; only term statistics are resident).
-func reportBursts(col *blogclusters.Collection, query, backend string, cacheBytes int) error {
-	idx, err := blogclusters.OpenIndexReader(col, blogclusters.IndexOptions{
-		Backend:   backend,
-		MemBudget: cacheBytes,
-	})
-	if err != nil {
-		return fmt.Errorf("index (%s backend): %w", backend, err)
-	}
-	// Close before the caller can log.Fatal, so a temp disk segment is
-	// always removed.
-	defer idx.Close()
+// time series from the session's index backend (-index=disk keeps the
+// posting lists on disk; only term statistics are resident). The
+// per-interval totals are computed once and shared across keywords.
+func reportBursts(ctx context.Context, eng *blogclusters.Engine, query string) error {
 	a := blogclusters.NewAnalyzer()
 	for _, raw := range strings.Split(query, ",") {
-		kws := a.Keywords(raw)
-		if len(kws) == 0 {
-			fmt.Printf("bursts %q: no analyzable keyword\n", strings.TrimSpace(raw))
+		raw = strings.TrimSpace(raw)
+		// An unanalyzable keyword is a per-keyword notice; everything
+		// else (failed index build, I/O errors) fails the command.
+		if kws := a.Keywords(raw); len(kws) == 0 {
+			fmt.Printf("bursts %q: no analyzable keyword\n", raw)
 			continue
 		}
-		kw := kws[0]
-		bursts, err := blogclusters.DetectBurstsIn(idx, kw)
+		bursts, err := eng.Bursts(ctx, raw)
 		if err != nil {
-			return fmt.Errorf("bursts %q: %w", kw, err)
+			return fmt.Errorf("bursts %q: %w", raw, err)
 		}
 		if len(bursts) == 0 {
-			fmt.Printf("bursts %q: none\n", kw)
+			fmt.Printf("bursts %q: none\n", raw)
 			continue
 		}
-		fmt.Printf("bursts %q:", kw)
+		fmt.Printf("bursts %q:", raw)
 		for _, b := range bursts {
 			fmt.Printf(" t%d..t%d (score %.1f)", b.Start, b.End, b.Score)
 		}
@@ -203,30 +222,10 @@ func reportBursts(col *blogclusters.Collection, query, backend string, cacheByte
 	return nil
 }
 
-func loadCorpus(input string, demo bool) (*blogclusters.Collection, error) {
-	switch {
-	case demo && input != "":
-		return nil, fmt.Errorf("pass either -demo or -input, not both")
-	case demo:
-		return blogclusters.GenerateCorpus(blogclusters.NewsWeekCorpus(2007, 600))
-	case input == "":
-		return nil, fmt.Errorf("need -input FILE or -demo (see -help)")
-	}
-	f, err := os.Open(input)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	col, err := blogclusters.ReadJSONL(f)
-	if err != nil {
-		return nil, fmt.Errorf("read %s: %w", input, err)
-	}
-	return col, nil
-}
-
 // reanalyze pushes every document's keyword list through the text
 // analyzer, so corpora exported with raw text fragments behave like
-// the paper's stemmed, stop-word-free input.
+// the paper's stemmed, stop-word-free input. It must run before the
+// first Engine query materializes an artifact.
 func reanalyze(col *blogclusters.Collection) {
 	a := blogclusters.NewAnalyzer()
 	for i := range col.Intervals {

@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -49,9 +51,13 @@ func main() {
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
+	// Ctrl-C cancels the pipeline stages that poll the context
+	// (keyword-graph builds, disk segment builds, extsort merges).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	start := time.Now()
 	for _, id := range ids {
-		t, err := experiments.RunConfig(strings.TrimSpace(id), cfg)
+		t, err := experiments.RunContext(ctx, strings.TrimSpace(id), cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)

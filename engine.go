@@ -1,0 +1,848 @@
+package blogclusters
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"runtime"
+
+	"repro/internal/clustergraph"
+	"repro/internal/cooccur"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/diskstore"
+	"repro/internal/par"
+	"repro/internal/stats"
+)
+
+// Engine is the stateful, session-oriented entry point to the whole
+// pipeline — the shape of the paper's BlogScope system, which loads a
+// corpus once and answers many analysis queries over it. Open loads
+// (or generates) the corpus; every stage artifact downstream of it —
+// the keyword index, the per-interval cluster sets, the cluster
+// graph(s), the per-interval keyword graphs and the burst totals — is
+// materialized lazily on first use, memoized, and shared by all
+// subsequent queries. Builds are single-flight: concurrent first
+// queries wait for one build instead of duplicating it, and
+// EngineStats counts exactly how many times each stage ran.
+//
+// All methods are safe for concurrent use. Every query takes a
+// context; cancellation propagates into the long-running internals
+// (worker pools, external sort merges, the solvers, disk segment
+// builds), which poll it at their loop boundaries. Closing the Engine
+// cancels in-flight builds and releases the index backend.
+//
+// The package-level free functions remain as thin stateless wrappers
+// for one-shot use; the Engine is the recommended API for anything
+// that issues more than one query.
+type Engine struct {
+	col *corpus.Collection // nil for cluster-set sources
+	cfg engineConfig
+
+	// root is canceled by Close; every query context is joined with it.
+	root context.Context
+	stop context.CancelFunc
+	// closeMu orders Close against index-build completion: the build
+	// registers ownedReader under it before returning, so either Close
+	// sees the reader and releases it, or the builder sees closed and
+	// releases it itself — a reader can never slip through the gap.
+	closeMu     sync.Mutex
+	closed      bool
+	ownedReader IndexReader
+
+	index  memo[IndexReader]
+	sets   memo[[][]Cluster]
+	totals memo[[]int64]
+	// intervalSets memoizes single intervals built by ClustersAt ahead
+	// of (or instead of) the full sets build.
+	intervalMu   sync.Mutex
+	intervalSets map[int]*memo[[]Cluster]
+	graphsMu     sync.Mutex
+	graphs       map[GraphOptions]*memo[*ClusterGraph]
+	kwMu         sync.Mutex
+	kwGraphs     map[int]*memo[*KeywordGraph]
+
+	queries atomic.Int64
+	timings stageTimings
+}
+
+// engineConfig is the resolved option set of one Engine.
+type engineConfig struct {
+	cluster  ClusterOptions
+	graph    GraphOptions
+	index    IndexOptions
+	progress func(StageEvent)
+}
+
+// Option configures an Engine at Open time.
+type Option func(*engineConfig)
+
+// WithClusterOptions sets the Section 3 pipeline options used when the
+// per-interval cluster sets are materialized.
+func WithClusterOptions(o ClusterOptions) Option {
+	return func(c *engineConfig) { c.cluster = o }
+}
+
+// WithGraphOptions sets the default cluster-graph options. Queries use
+// the graph built with these options unless they ask for an explicit
+// variant via GraphWith/StableClustersOn.
+func WithGraphOptions(o GraphOptions) Option {
+	return func(c *engineConfig) { c.graph = o }
+}
+
+// WithIndexOptions selects and configures the keyword-index backend
+// materialized by index-backed queries (Search, TimeSeries, Bursts).
+func WithIndexOptions(o IndexOptions) Option {
+	return func(c *engineConfig) { c.index = o }
+}
+
+// WithProgress registers a hook invoked at the start and end of every
+// stage build (corpus load, index, clusters, graph, keyword graph).
+// The hook must be safe for concurrent use; it is called on the
+// goroutine running the build.
+func WithProgress(fn func(StageEvent)) Option {
+	return func(c *engineConfig) { c.progress = fn }
+}
+
+// StageEvent describes one stage-build transition for progress hooks.
+type StageEvent struct {
+	// Stage names the artifact: "corpus", "index", "clusters", "graph",
+	// "kwgraph", "totals".
+	Stage string
+	// Done is false for the build-started event, true for the finished
+	// one.
+	Done bool
+	// Duration is the build's wall-clock time (finished events only).
+	Duration time.Duration
+	// Err is the build error, if any (finished events only).
+	Err error
+}
+
+// Source names where an Engine's corpus comes from. Construct one with
+// FromCollection, FromJSONL, FromJSONLFile, FromGenerator or
+// FromClusterSets.
+type Source struct {
+	col    *corpus.Collection
+	reader io.Reader
+	path   string
+	gen    *CorpusConfig
+	sets   [][]Cluster
+}
+
+// FromCollection serves an already-loaded collection. The Engine does
+// not copy it; the caller must not mutate it afterwards.
+func FromCollection(c *Collection) Source { return Source{col: c} }
+
+// FromJSONL reads a JSONL document stream at Open time.
+func FromJSONL(r io.Reader) Source { return Source{reader: r} }
+
+// FromJSONLFile opens and reads a JSONL corpus file at Open time.
+func FromJSONLFile(path string) Source { return Source{path: path} }
+
+// FromGenerator synthesizes a corpus at Open time (the BlogScope-data
+// substitution; see DESIGN.md).
+func FromGenerator(cfg CorpusConfig) Source { return Source{gen: &cfg} }
+
+// FromClusterSets starts the session at the Section 4 boundary:
+// per-interval cluster sets stand in for the corpus, so graph- and
+// path-level queries work while corpus-backed ones (Search,
+// TimeSeries, Bursts, Correlations) return ErrNoCorpus. This is the
+// saved-clusters workflow of cmd/blogstable.
+func FromClusterSets(sets [][]Cluster) Source { return Source{sets: sets} }
+
+// ErrNoCorpus is returned by corpus-backed queries on an Engine opened
+// from cluster sets alone.
+var ErrNoCorpus = errors.New("blogclusters: engine opened from cluster sets; no corpus available")
+
+// ErrEngineClosed is returned by queries issued after Close.
+var ErrEngineClosed = errors.New("blogclusters: engine is closed")
+
+// Open starts a session: the corpus is loaded (or generated)
+// immediately; everything downstream is built lazily by the first
+// query that needs it. Close the Engine when done.
+func Open(ctx context.Context, src Source, opts ...Option) (*Engine, error) {
+	var cfg engineConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	e := &Engine{
+		cfg:          cfg,
+		intervalSets: map[int]*memo[[]Cluster]{},
+		graphs:       map[GraphOptions]*memo[*ClusterGraph]{},
+		kwGraphs:     map[int]*memo[*KeywordGraph]{},
+	}
+	e.root, e.stop = context.WithCancel(context.Background())
+
+	if src.sets != nil {
+		e.sets.prime(src.sets)
+		return e, nil
+	}
+	start := time.Now()
+	e.emit(StageEvent{Stage: "corpus"})
+	col, err := loadSource(ctx, src)
+	e.emit(StageEvent{Stage: "corpus", Done: true, Duration: time.Since(start), Err: err})
+	if err != nil {
+		e.stop()
+		return nil, err
+	}
+	e.col = col
+	e.timings.record("corpus", time.Since(start))
+	return e, nil
+}
+
+func loadSource(ctx context.Context, src Source) (*corpus.Collection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch {
+	case src.col != nil:
+		return src.col, nil
+	case src.reader != nil:
+		return corpus.ReadJSONL(src.reader)
+	case src.path != "":
+		f, err := os.Open(src.path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		col, err := corpus.ReadJSONL(f)
+		if err != nil {
+			return nil, fmt.Errorf("blogclusters: read %s: %w", src.path, err)
+		}
+		return col, nil
+	case src.gen != nil:
+		return corpus.Generate(*src.gen)
+	default:
+		return nil, errors.New("blogclusters: empty Source (use FromCollection, FromJSONL, FromJSONLFile, FromGenerator or FromClusterSets)")
+	}
+}
+
+// Close cancels in-flight builds, releases the index backend (removing
+// a temporary disk segment, if one was built) and marks the Engine
+// closed. Close is idempotent; queries issued afterwards return
+// ErrEngineClosed.
+func (e *Engine) Close() error {
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.stop()
+	if e.ownedReader != nil {
+		return e.ownedReader.Close()
+	}
+	return nil
+}
+
+// Collection returns the loaded corpus (nil for cluster-set sources).
+// Callers must treat it as read-only.
+func (e *Engine) Collection() *Collection { return e.col }
+
+// queryCtx joins the caller's context with the Engine's lifetime, so
+// either cancels the work. The returned cancel must always be called.
+func (e *Engine) queryCtx(ctx context.Context) (context.Context, context.CancelFunc, error) {
+	if err := e.root.Err(); err != nil {
+		return nil, nil, ErrEngineClosed
+	}
+	e.queries.Add(1)
+	jctx, cancel := context.WithCancel(ctx)
+	unlink := context.AfterFunc(e.root, cancel)
+	return jctx, func() { unlink(); cancel() }, nil
+}
+
+// --- stage artifacts ---
+
+// Index materializes (once) and returns the keyword-index reader for
+// the session's IndexOptions backend. The reader is owned by the
+// Engine: do not Close it; Engine.Close releases it.
+func (e *Engine) Index(ctx context.Context) (IndexReader, error) {
+	ctx, cancel, err := e.queryCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	return e.indexReader(ctx)
+}
+
+// indexReader is Index minus the queryCtx wrap, for internal reuse.
+func (e *Engine) indexReader(ctx context.Context) (IndexReader, error) {
+	if e.col == nil {
+		return nil, ErrNoCorpus
+	}
+	return e.index.get(ctx, func() (IndexReader, error) {
+		defer e.stage("index")()
+		r, err := openIndexReaderCtx(ctx, e.col, e.cfg.index)
+		if err != nil {
+			return nil, err
+		}
+		// Hand ownership to the session under closeMu: a Close that ran
+		// while the build was past its last cancellation poll must not
+		// leak the reader (or its temp disk segment).
+		e.closeMu.Lock()
+		defer e.closeMu.Unlock()
+		if e.closed {
+			r.Close()
+			return nil, ErrEngineClosed
+		}
+		e.ownedReader = r
+		return r, nil
+	})
+}
+
+// Clusters materializes (once) and returns the per-interval cluster
+// sets — the Section 3 pipeline over every interval. The result is
+// shared; callers must not mutate it.
+func (e *Engine) Clusters(ctx context.Context) ([][]Cluster, error) {
+	ctx, cancel, err := e.queryCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	return e.clusters(ctx)
+}
+
+// clusters is Clusters minus the queryCtx wrap, for internal reuse by
+// callers that already hold a joined context.
+func (e *Engine) clusters(ctx context.Context) ([][]Cluster, error) {
+	return e.sets.get(ctx, func() ([][]Cluster, error) {
+		if e.col == nil {
+			return nil, ErrNoCorpus
+		}
+		defer e.stage("clusters")()
+		return allIntervalClustersCtx(ctx, e.col, e.cfg.cluster)
+	})
+}
+
+// ClustersAt returns the cluster set of one interval. When the full
+// sets are already materialized (Clusters ran, or the session was
+// opened from cluster sets) it answers from them; otherwise it builds
+// and memoizes just that interval — a single-day query (Refine,
+// blogscope's report, streaming's day-by-day pushes) never pays for
+// the whole corpus. The per-interval build is canonical, so mixing
+// ClustersAt with a later Clusters yields identical slices.
+func (e *Engine) ClustersAt(ctx context.Context, interval int) ([]Cluster, error) {
+	ctx, cancel, err := e.queryCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	if sets, ok := e.sets.cached(); ok {
+		if interval < 0 || interval >= len(sets) {
+			return nil, fmt.Errorf("blogclusters: interval %d outside [0,%d)", interval, len(sets))
+		}
+		return sets[interval], nil
+	}
+	if e.col == nil {
+		return nil, ErrNoCorpus
+	}
+	if interval < 0 || interval >= len(e.col.Intervals) {
+		return nil, fmt.Errorf("blogclusters: interval %d outside [0,%d)", interval, len(e.col.Intervals))
+	}
+	e.intervalMu.Lock()
+	m, ok := e.intervalSets[interval]
+	if !ok {
+		m = &memo[[]Cluster]{}
+		e.intervalSets[interval] = m
+	}
+	e.intervalMu.Unlock()
+	return m.get(ctx, func() ([]Cluster, error) {
+		defer e.stage("interval-clusters")()
+		return intervalClustersCtx(ctx, e.col, interval, e.cfg.cluster)
+	})
+}
+
+// Graph materializes (once) and returns the cluster graph built with
+// the session's default GraphOptions.
+func (e *Engine) Graph(ctx context.Context) (*ClusterGraph, error) {
+	return e.GraphWith(ctx, e.cfg.graph)
+}
+
+// GraphWith returns the cluster graph for an explicit option set,
+// memoized per distinct options — sessions that study several gaps or
+// affinities (see examples/newsweek) share one cluster-set build
+// across all of them.
+func (e *Engine) GraphWith(ctx context.Context, opts GraphOptions) (*ClusterGraph, error) {
+	ctx, cancel, err := e.queryCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	e.graphsMu.Lock()
+	m, ok := e.graphs[opts]
+	if !ok {
+		m = &memo[*ClusterGraph]{}
+		e.graphs[opts] = m
+	}
+	e.graphsMu.Unlock()
+	return m.get(ctx, func() (*ClusterGraph, error) {
+		sets, err := e.clusters(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer e.stage("graph")()
+		return buildClusterGraphCtx(ctx, sets, opts)
+	})
+}
+
+// kwGraph memoizes the χ²-annotated, significance-pruned keyword graph
+// of one interval (the substrate of Correlations).
+func (e *Engine) kwGraph(ctx context.Context, interval int) (*KeywordGraph, error) {
+	if e.col == nil {
+		return nil, ErrNoCorpus
+	}
+	if interval < 0 || interval >= len(e.col.Intervals) {
+		return nil, fmt.Errorf("blogclusters: interval %d outside corpus (%d intervals)", interval, len(e.col.Intervals))
+	}
+	e.kwMu.Lock()
+	m, ok := e.kwGraphs[interval]
+	if !ok {
+		m = &memo[*KeywordGraph]{}
+		e.kwGraphs[interval] = m
+	}
+	e.kwMu.Unlock()
+	return m.get(ctx, func() (*KeywordGraph, error) {
+		defer e.stage("kwgraph")()
+		kg, err := cooccur.BuildCtx(ctx, e.col, interval, interval, cooccur.BuildOptions{
+			SortMemoryBudget: e.cfg.cluster.SortMemoryBudget,
+			MinPairCount:     e.cfg.cluster.MinPairCount,
+			Parallelism:      e.cfg.cluster.Parallelism,
+			MemBudget:        e.cfg.cluster.MemBudget,
+		})
+		if err != nil {
+			return nil, err
+		}
+		kg.AnnotateStats()
+		pruned := kg.Prune(stats.ChiSquared95, 0) // keep all significant pairs
+		return pruned, nil
+	})
+}
+
+// docTotals memoizes the per-interval document totals the burst
+// detector divides by, so repeated Bursts calls stop rebuilding the
+// slice from the reader.
+func (e *Engine) docTotals(ctx context.Context) ([]int64, error) {
+	return e.totals.get(ctx, func() ([]int64, error) {
+		r, err := e.indexReader(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer e.stage("totals")()
+		return intervalTotals(r), nil
+	})
+}
+
+// --- queries ---
+
+// analyzed pushes a raw query term through the corpus analyzer and
+// returns its first keyword (the paper analyzes queries exactly like
+// documents, so surface forms match stemmed index terms).
+func analyzed(raw string) (string, error) {
+	kws := NewAnalyzer().Keywords(raw)
+	if len(kws) == 0 {
+		return "", fmt.Errorf("blogclusters: query %q has no analyzable keyword", raw)
+	}
+	return kws[0], nil
+}
+
+// StableClusters answers Problem 1 (top-k highest-weight paths of
+// temporal length l) over the session's default cluster graph.
+// Algorithm is "bfs" (default), "dfs", "ta" or "brute".
+func (e *Engine) StableClusters(ctx context.Context, algorithm string, k, l int) (*Result, error) {
+	return e.StableClustersOn(ctx, e.cfg.graph, algorithm, k, l)
+}
+
+// StableClustersOn is StableClusters over the graph built with an
+// explicit option set (memoized like GraphWith).
+func (e *Engine) StableClustersOn(ctx context.Context, gopts GraphOptions, algorithm string, k, l int) (*Result, error) {
+	g, err := e.GraphWith(ctx, gopts)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel, err := e.queryCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	return solveStable(ctx, g, algorithm, k, l)
+}
+
+// NormalizedStableClusters answers Problem 2: the top-k paths of
+// length at least lmin by stability (weight/length), over the default
+// graph. The Weight field of returned paths holds the stability.
+func (e *Engine) NormalizedStableClusters(ctx context.Context, k, lmin int) (*Result, error) {
+	g, err := e.Graph(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel, err := e.queryCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	return core.NormalizedBFS(g, core.NormalizedOptions{K: k, LMin: lmin, Ctx: ctx})
+}
+
+// DiverseStableClusters answers the constrained kl-variant: top-k
+// paths that do not share prefixes/suffixes/endpoints per mode.
+func (e *Engine) DiverseStableClusters(ctx context.Context, k, l int, mode DiversityMode) (*Result, error) {
+	g, err := e.Graph(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel, err := e.queryCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	return core.DiverseKL(g, core.Options{K: k, L: l, Ctx: ctx}, mode, 0)
+}
+
+// TimeSeries returns the keyword's per-interval document frequency
+// A(w). The query term is analyzed like corpus text first.
+func (e *Engine) TimeSeries(ctx context.Context, keyword string) ([]int64, error) {
+	kw, err := analyzed(keyword)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.Index(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return r.TimeSeries(kw)
+}
+
+// Bursts returns the keyword's information bursts (Kleinberg
+// two-state automaton over its document-frequency trajectory). The
+// per-interval totals are computed once per session and shared by
+// every call.
+func (e *Engine) Bursts(ctx context.Context, keyword string) ([]KeywordBurst, error) {
+	kw, err := analyzed(keyword)
+	if err != nil {
+		return nil, err
+	}
+	if e.col == nil {
+		return nil, ErrNoCorpus
+	}
+	ctx, cancel, err := e.queryCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	r, err := e.indexReader(ctx)
+	if err != nil {
+		return nil, err
+	}
+	totals, err := e.docTotals(ctx)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := r.TimeSeries(kw)
+	if err != nil {
+		return nil, err
+	}
+	return kleinbergBursts(counts, totals)
+}
+
+// Search returns the sorted ids of interval-i documents containing
+// every given term (terms are analyzed like corpus text; terms with no
+// analyzable keyword are rejected).
+func (e *Engine) Search(ctx context.Context, terms []string, interval int) ([]int64, error) {
+	kws := make([]string, len(terms))
+	for i, t := range terms {
+		kw, err := analyzed(t)
+		if err != nil {
+			return nil, err
+		}
+		kws[i] = kw
+	}
+	r, err := e.Index(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return r.Search(kws, interval)
+}
+
+// Refine answers the introduction's query-refinement use case: the
+// other keywords of the interval cluster containing the (analyzed)
+// query keyword, or nil when the keyword is unclustered.
+func (e *Engine) Refine(ctx context.Context, query string, interval int) ([]string, error) {
+	cs, err := e.ClustersAt(ctx, interval)
+	if err != nil {
+		return nil, err
+	}
+	return RefineQuery(cs, query), nil
+}
+
+// Correlation re-exports the keyword-graph correlation record:
+// a keyword associated with the query keyword, with ρ and the
+// co-occurrence count.
+type Correlation = cooccur.Correlated
+
+// Correlations returns up to n keywords most strongly correlated with
+// the (analyzed) query keyword in the given interval, by descending ρ
+// over the χ²-significant pairs. The interval's annotated keyword
+// graph is built once per session.
+func (e *Engine) Correlations(ctx context.Context, keyword string, interval, n int) ([]Correlation, error) {
+	kw, err := analyzed(keyword)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel, err := e.queryCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	kg, err := e.kwGraph(ctx, interval)
+	if err != nil {
+		return nil, err
+	}
+	return kg.StrongestCorrelations(kw, n), nil
+}
+
+// Describe renders a stable-cluster path with its keyword clusters,
+// resolving cluster contents through the session's default graph.
+func (e *Engine) Describe(ctx context.Context, p Path) (string, error) {
+	g, err := e.Graph(ctx)
+	if err != nil {
+		return "", err
+	}
+	return DescribePath(g, p), nil
+}
+
+// --- observability ---
+
+// StageTiming is one stage's build accounting.
+type StageTiming struct {
+	// Builds counts completed builds of the stage ("clusters" and
+	// "index" build at most once per session; "graph" and "kwgraph"
+	// once per distinct option set / interval).
+	Builds int64
+	// Total is the cumulative wall-clock build time.
+	Total time.Duration
+}
+
+// EngineStats is a point-in-time snapshot of the session's work.
+type EngineStats struct {
+	// Queries counts Engine query/artifact calls issued.
+	Queries int64
+	// Stages maps stage name → build accounting. Single-flight means
+	// Stages["clusters"].Builds is 1 no matter how many goroutines
+	// raced to first use.
+	Stages map[string]StageTiming
+	// IndexIO is the disk index backend's I/O counters (zero for the
+	// mem backend or while the index is unbuilt).
+	IndexIO diskstore.IOStats
+}
+
+// Stats snapshots the session counters.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{
+		Queries: e.queries.Load(),
+		Stages:  e.timings.snapshot(),
+	}
+	if r, ok := e.index.cached(); ok {
+		if io, ok := r.(interface{ Stats() diskstore.IOStats }); ok {
+			st.IndexIO = io.Stats()
+		} else if t, ok := r.(*tempIndexReader); ok {
+			if io, ok := t.IndexReader.(interface{ Stats() diskstore.IOStats }); ok {
+				st.IndexIO = io.Stats()
+			}
+		}
+	}
+	return st
+}
+
+// stage emits the started event and returns the closure recording the
+// finished event plus timing. Usage: defer e.stage("clusters")().
+func (e *Engine) stage(name string) func() {
+	start := time.Now()
+	e.emit(StageEvent{Stage: name})
+	return func() {
+		d := time.Since(start)
+		e.timings.record(name, d)
+		e.emit(StageEvent{Stage: name, Done: true, Duration: d})
+	}
+}
+
+func (e *Engine) emit(ev StageEvent) {
+	if e.cfg.progress != nil {
+		e.cfg.progress(ev)
+	}
+}
+
+// stageTimings aggregates per-stage build counters under one lock.
+type stageTimings struct {
+	mu sync.Mutex
+	m  map[string]StageTiming
+}
+
+func (t *stageTimings) record(name string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = map[string]StageTiming{}
+	}
+	st := t.m[name]
+	st.Builds++
+	st.Total += d
+	t.m[name] = st
+}
+
+func (t *stageTimings) snapshot() map[string]StageTiming {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]StageTiming, len(t.m))
+	for k, v := range t.m {
+		out[k] = v
+	}
+	return out
+}
+
+// --- single-flight memoization ---
+
+// memo is a concurrency-safe, context-aware, single-flight lazy cell.
+// The first caller runs the build on its own goroutine; concurrent
+// callers block until it finishes and share the result. Successful
+// results and domain errors are cached; cancellation is not — a build
+// aborted by its caller's context leaves the cell empty, so the next
+// query (whose context may still be live) rebuilds instead of
+// inheriting a dead artifact.
+type memo[T any] struct {
+	mu       sync.Mutex
+	done     bool
+	val      T
+	err      error
+	inflight chan struct{}
+	builds   atomic.Int64 // builds started; the exactly-once assertions read this
+}
+
+// prime seeds the cell with a ready value (no build).
+func (m *memo[T]) prime(v T) {
+	m.mu.Lock()
+	m.done, m.val = true, v
+	m.mu.Unlock()
+}
+
+// cached returns the value if one is resident, without building.
+func (m *memo[T]) cached() (T, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done && m.err == nil {
+		return m.val, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Builds reports how many builds were started.
+func (m *memo[T]) Builds() int64 { return m.builds.Load() }
+
+func (m *memo[T]) get(ctx context.Context, build func() (T, error)) (T, error) {
+	var zero T
+	for {
+		m.mu.Lock()
+		if m.done {
+			v, err := m.val, m.err
+			m.mu.Unlock()
+			return v, err
+		}
+		if ch := m.inflight; ch != nil {
+			m.mu.Unlock()
+			select {
+			case <-ch:
+				continue // re-check: done, or canceled build → retry
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			}
+		}
+		ch := make(chan struct{})
+		m.inflight = ch
+		m.builds.Add(1)
+		m.mu.Unlock()
+
+		v, err := build()
+		m.mu.Lock()
+		m.inflight = nil
+		// Cache results and real failures; let cancellations evaporate
+		// so a later, live query can rebuild.
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			m.done, m.val, m.err = true, v, err
+		}
+		m.mu.Unlock()
+		close(ch)
+		return v, err
+	}
+}
+
+// --- ctx-aware internals shared with the legacy free functions ---
+
+// allIntervalClustersCtx is AllIntervalClusters with cancellation
+// (the Engine's build path; the free function wraps it with a
+// background context).
+func allIntervalClustersCtx(ctx context.Context, c *Collection, opts ClusterOptions) ([][]Cluster, error) {
+	m := len(c.Intervals)
+	width := opts.Parallelism
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	if width == 1 || m <= 1 {
+		sets := make([][]Cluster, m)
+		for i := range c.Intervals {
+			cs, err := intervalClustersCtx(ctx, c, i, opts)
+			if err != nil {
+				return nil, err
+			}
+			sets[i] = cs
+		}
+		return sets, nil
+	}
+	workers := width
+	if m < workers {
+		workers = m
+	}
+	inner := opts
+	inner.Parallelism = width / workers
+	if inner.Parallelism < 1 {
+		inner.Parallelism = 1
+	}
+	budget := opts.MemBudget
+	if budget <= 0 {
+		budget = cooccur.DefaultMemBudget
+	}
+	inner.MemBudget = budget / workers
+	if inner.MemBudget < 1 {
+		inner.MemBudget = 1
+	}
+	sets := make([][]Cluster, m)
+	if err := par.ForEachCtx(ctx, m, workers, func(i int) error {
+		var err error
+		sets[i], err = intervalClustersCtx(ctx, c, i, inner)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return sets, nil
+}
+
+// buildClusterGraphCtx is BuildClusterGraph with cancellation.
+func buildClusterGraphCtx(ctx context.Context, sets [][]Cluster, opts GraphOptions) (*ClusterGraph, error) {
+	aff, normalize, err := resolveAffinity(opts)
+	if err != nil {
+		return nil, err
+	}
+	return clustergraph.FromClustersCtx(ctx, sets, clustergraph.FromClustersOptions{
+		Gap:         opts.Gap,
+		Theta:       opts.Theta,
+		Affinity:    aff,
+		UseSimJoin:  opts.UseSimJoin,
+		Normalize:   normalize,
+		Parallelism: opts.Parallelism,
+	})
+}

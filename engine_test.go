@@ -1,0 +1,447 @@
+package blogclusters
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testCorpus returns a small seeded news week shared by the Engine
+// tests.
+func testCorpus(t *testing.T, posts int) *Collection {
+	t.Helper()
+	col, err := GenerateCorpus(NewsWeekCorpus(2007, posts))
+	if err != nil {
+		t.Fatalf("generate corpus: %v", err)
+	}
+	return col
+}
+
+// TestEngineEquivalence proves the Engine's query methods return
+// byte-identical results to the legacy free functions on a seeded
+// corpus (the acceptance criterion of the API redesign): same cluster
+// sets, same solver outputs on the same graph, same index answers,
+// same bursts, refinements and correlations.
+func TestEngineEquivalence(t *testing.T) {
+	col := testCorpus(t, 150)
+	ctx := context.Background()
+
+	copts := ClusterOptions{Parallelism: 2}
+	gopts := GraphOptions{Gap: 1, Theta: 0.1}
+	eng, err := Open(ctx, FromCollection(col),
+		WithClusterOptions(copts), WithGraphOptions(gopts))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer eng.Close()
+
+	// Stage artifacts.
+	wantSets, err := AllIntervalClusters(col, copts)
+	if err != nil {
+		t.Fatalf("legacy clusters: %v", err)
+	}
+	gotSets, err := eng.Clusters(ctx)
+	if err != nil {
+		t.Fatalf("engine clusters: %v", err)
+	}
+	if !reflect.DeepEqual(wantSets, gotSets) {
+		t.Fatalf("cluster sets differ between Engine and AllIntervalClusters")
+	}
+
+	wantG, err := BuildClusterGraph(wantSets, gopts)
+	if err != nil {
+		t.Fatalf("legacy graph: %v", err)
+	}
+	gotG, err := eng.Graph(ctx)
+	if err != nil {
+		t.Fatalf("engine graph: %v", err)
+	}
+	if wantG.NumNodes() != gotG.NumNodes() || wantG.NumEdges() != gotG.NumEdges() {
+		t.Fatalf("graph shape differs: legacy %d/%d, engine %d/%d",
+			wantG.NumNodes(), wantG.NumEdges(), gotG.NumNodes(), gotG.NumEdges())
+	}
+
+	// Solvers, across algorithms and problems.
+	for _, alg := range []string{"bfs", "dfs", "brute"} {
+		want, err := StableClusters(wantG, alg, 4, 2)
+		if err != nil {
+			t.Fatalf("legacy %s: %v", alg, err)
+		}
+		got, err := eng.StableClusters(ctx, alg, 4, 2)
+		if err != nil {
+			t.Fatalf("engine %s: %v", alg, err)
+		}
+		if !reflect.DeepEqual(want.Paths, got.Paths) {
+			t.Fatalf("%s paths differ between Engine and StableClusters", alg)
+		}
+	}
+	wantN, err := NormalizedStableClusters(wantG, 4, 2)
+	if err != nil {
+		t.Fatalf("legacy normalized: %v", err)
+	}
+	gotN, err := eng.NormalizedStableClusters(ctx, 4, 2)
+	if err != nil {
+		t.Fatalf("engine normalized: %v", err)
+	}
+	if !reflect.DeepEqual(wantN.Paths, gotN.Paths) {
+		t.Fatalf("normalized paths differ")
+	}
+	wantD, err := DiverseStableClusters(wantG, 3, 2, DistinctEndpoints)
+	if err != nil {
+		t.Fatalf("legacy diverse: %v", err)
+	}
+	gotD, err := eng.DiverseStableClusters(ctx, 3, 2, DistinctEndpoints)
+	if err != nil {
+		t.Fatalf("engine diverse: %v", err)
+	}
+	if !reflect.DeepEqual(wantD.Paths, gotD.Paths) {
+		t.Fatalf("diverse paths differ")
+	}
+	if len(gotN.Paths) > 0 {
+		want := DescribePath(wantG, wantN.Paths[0])
+		got, err := eng.Describe(ctx, gotN.Paths[0])
+		if err != nil {
+			t.Fatalf("describe: %v", err)
+		}
+		if want != got {
+			t.Fatalf("Describe differs:\nlegacy: %s\nengine: %s", want, got)
+		}
+	}
+
+	// Index-backed queries.
+	r, err := OpenIndexReader(col, IndexOptions{})
+	if err != nil {
+		t.Fatalf("legacy index: %v", err)
+	}
+	defer r.Close()
+	a := NewAnalyzer()
+	for _, raw := range []string{"somalia", "beckham", "stem cells"} {
+		kw := a.Keywords(raw)[0]
+		wantTS, err := r.TimeSeries(kw)
+		if err != nil {
+			t.Fatalf("legacy timeseries(%s): %v", kw, err)
+		}
+		gotTS, err := eng.TimeSeries(ctx, raw)
+		if err != nil {
+			t.Fatalf("engine timeseries(%s): %v", raw, err)
+		}
+		if !reflect.DeepEqual(wantTS, gotTS) {
+			t.Fatalf("time series differ for %q", raw)
+		}
+		wantB, err := DetectBurstsIn(r, kw)
+		if err != nil {
+			t.Fatalf("legacy bursts(%s): %v", kw, err)
+		}
+		gotB, err := eng.Bursts(ctx, raw)
+		if err != nil {
+			t.Fatalf("engine bursts(%s): %v", raw, err)
+		}
+		if !reflect.DeepEqual(wantB, gotB) {
+			t.Fatalf("bursts differ for %q", raw)
+		}
+		wantS, err := r.Search([]string{kw}, 2)
+		if err != nil {
+			t.Fatalf("legacy search(%s): %v", kw, err)
+		}
+		gotS, err := eng.Search(ctx, []string{raw}, 2)
+		if err != nil {
+			t.Fatalf("engine search(%s): %v", raw, err)
+		}
+		if !reflect.DeepEqual(wantS, gotS) {
+			t.Fatalf("search results differ for %q", raw)
+		}
+		wantR := RefineQuery(wantSets[2], raw)
+		gotR, err := eng.Refine(ctx, raw, 2)
+		if err != nil {
+			t.Fatalf("engine refine(%s): %v", raw, err)
+		}
+		if !reflect.DeepEqual(wantR, gotR) {
+			t.Fatalf("refinements differ for %q: legacy %v, engine %v", raw, wantR, gotR)
+		}
+	}
+
+	// Correlations against the direct keyword-graph path.
+	kw := a.Keywords("somalia")[0]
+	gotC, err := eng.Correlations(ctx, "somalia", 0, 5)
+	if err != nil {
+		t.Fatalf("engine correlations: %v", err)
+	}
+	if len(gotC) == 0 {
+		t.Fatalf("no correlations for %q at t0", kw)
+	}
+	for _, c := range gotC {
+		if c.Keyword == kw {
+			t.Fatalf("correlations include the query keyword itself")
+		}
+	}
+}
+
+// TestEngineSingleFlight asserts the acceptance criterion that N
+// goroutines querying one Engine build each stage artifact exactly
+// once (run under -race by `make race`).
+func TestEngineSingleFlight(t *testing.T) {
+	col := testCorpus(t, 80)
+	ctx := context.Background()
+	eng, err := Open(ctx, FromCollection(col),
+		WithGraphOptions(GraphOptions{Gap: 0, Theta: 0.1}))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer eng.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	results := make([]*Result, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := eng.Clusters(ctx); err != nil {
+				errs[i] = err
+				return
+			}
+			if _, err := eng.Index(ctx); err != nil {
+				errs[i] = err
+				return
+			}
+			if _, err := eng.Bursts(ctx, "somalia"); err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := eng.StableClusters(ctx, "bfs", 3, FullPaths)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if !reflect.DeepEqual(results[0].Paths, results[i].Paths) {
+			t.Fatalf("goroutine %d saw different paths", i)
+		}
+	}
+	st := eng.Stats()
+	for _, stage := range []string{"clusters", "index", "graph", "totals"} {
+		if got := st.Stages[stage].Builds; got != 1 {
+			t.Errorf("stage %q built %d times, want exactly 1", stage, got)
+		}
+	}
+}
+
+// TestEngineCancellation asserts that a canceled context aborts a
+// stage build mid-flight promptly and leaks no goroutines: the
+// goroutine count returns to (near) its pre-build level.
+func TestEngineCancellation(t *testing.T) {
+	col := testCorpus(t, 1200)
+	before := runtime.NumGoroutine()
+
+	eng, err := Open(context.Background(), FromCollection(col),
+		WithClusterOptions(ClusterOptions{Parallelism: 4}))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer eng.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Clusters(ctx)
+		done <- err
+	}()
+	// Let the build get going, then cancel mid-flight.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled build returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled build did not return within 10s")
+	}
+
+	// The canceled result must not be cached: a live context rebuilds.
+	sets, err := eng.Clusters(context.Background())
+	if err != nil {
+		t.Fatalf("rebuild after cancellation: %v", err)
+	}
+	if len(sets) != len(col.Intervals) {
+		t.Fatalf("rebuild returned %d interval sets, want %d", len(sets), len(col.Intervals))
+	}
+
+	// No goroutine leak: worker pools drain after cancellation. Allow
+	// brief settling plus slack for runtime background goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestEngineClose asserts Close semantics: idempotent, cancels the
+// session, releases the disk index backend's temp segment, and
+// subsequent queries fail with ErrEngineClosed.
+func TestEngineClose(t *testing.T) {
+	t.Setenv("TMPDIR", t.TempDir())
+	col := testCorpus(t, 60)
+	eng, err := Open(context.Background(), FromCollection(col),
+		WithIndexOptions(IndexOptions{Backend: "disk"}))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := eng.Clusters(context.Background()); err != nil {
+		t.Fatalf("clusters: %v", err)
+	}
+	if _, err := eng.TimeSeries(context.Background(), "somalia"); err != nil {
+		t.Fatalf("timeseries: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := eng.Clusters(context.Background()); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("query after close returned %v, want ErrEngineClosed", err)
+	}
+	// The session owned the private disk segment; Close removed it.
+	matches, err := filepath.Glob(filepath.Join(os.TempDir(), "blogclusters-idx-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("closed session left temp segments behind: %v", matches)
+	}
+}
+
+// TestEngineClustersAt asserts the single-interval path: one day's
+// query builds only that interval (no full-corpus "clusters" build),
+// matches the full build byte for byte, and later full builds reuse
+// nothing stale.
+func TestEngineClustersAt(t *testing.T) {
+	col := testCorpus(t, 80)
+	ctx := context.Background()
+	eng, err := Open(ctx, FromCollection(col))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer eng.Close()
+
+	day2, err := eng.ClustersAt(ctx, 2)
+	if err != nil {
+		t.Fatalf("clusters at 2: %v", err)
+	}
+	st := eng.Stats()
+	if st.Stages["clusters"].Builds != 0 {
+		t.Fatalf("single-interval query triggered %d full builds", st.Stages["clusters"].Builds)
+	}
+	if st.Stages["interval-clusters"].Builds != 1 {
+		t.Fatalf("interval build count = %d, want 1", st.Stages["interval-clusters"].Builds)
+	}
+	// Memoized: a second ask does not rebuild.
+	if _, err := eng.ClustersAt(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Stages["interval-clusters"].Builds; got != 1 {
+		t.Fatalf("repeat interval query rebuilt (%d builds)", got)
+	}
+
+	sets, err := eng.Clusters(ctx)
+	if err != nil {
+		t.Fatalf("full clusters: %v", err)
+	}
+	if !reflect.DeepEqual(sets[2], day2) {
+		t.Fatal("per-interval build differs from the full build")
+	}
+	if _, err := eng.ClustersAt(ctx, len(col.Intervals)); err == nil {
+		t.Fatal("out-of-range interval accepted")
+	}
+}
+
+// TestEngineClusterSetsSource covers the Section 4 entry point: graph
+// and path queries work, corpus-backed ones return ErrNoCorpus.
+func TestEngineClusterSetsSource(t *testing.T) {
+	col := testCorpus(t, 80)
+	sets, err := AllIntervalClusters(col, ClusterOptions{})
+	if err != nil {
+		t.Fatalf("clusters: %v", err)
+	}
+	ctx := context.Background()
+	eng, err := Open(ctx, FromClusterSets(sets),
+		WithGraphOptions(GraphOptions{Gap: 0, Theta: 0.1}))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer eng.Close()
+	if eng.Collection() != nil {
+		t.Fatal("cluster-set engine should have no collection")
+	}
+	res, err := eng.StableClusters(ctx, "bfs", 3, FullPaths)
+	if err != nil {
+		t.Fatalf("stable clusters: %v", err)
+	}
+	if len(res.Paths) == 0 {
+		t.Fatal("no stable clusters from cluster-set source")
+	}
+	if _, err := eng.TimeSeries(ctx, "somalia"); !errors.Is(err, ErrNoCorpus) {
+		t.Fatalf("TimeSeries returned %v, want ErrNoCorpus", err)
+	}
+	if _, err := eng.Bursts(ctx, "somalia"); !errors.Is(err, ErrNoCorpus) {
+		t.Fatalf("Bursts returned %v, want ErrNoCorpus", err)
+	}
+	if _, err := eng.Correlations(ctx, "somalia", 0, 3); !errors.Is(err, ErrNoCorpus) {
+		t.Fatalf("Correlations returned %v, want ErrNoCorpus", err)
+	}
+}
+
+// TestEngineProgress asserts the progress hook sees start/finish
+// events for every built stage, with non-negative durations.
+func TestEngineProgress(t *testing.T) {
+	col := testCorpus(t, 60)
+	var mu sync.Mutex
+	events := map[string][]StageEvent{}
+	eng, err := Open(context.Background(), FromCollection(col),
+		WithProgress(func(ev StageEvent) {
+			mu.Lock()
+			events[ev.Stage] = append(events[ev.Stage], ev)
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer eng.Close()
+	if _, err := eng.Graph(context.Background()); err != nil {
+		t.Fatalf("graph: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, stage := range []string{"corpus", "clusters", "graph"} {
+		evs := events[stage]
+		if len(evs) != 2 || evs[0].Done || !evs[1].Done {
+			t.Fatalf("stage %q events = %+v, want start+finish", stage, evs)
+		}
+		if evs[1].Err != nil {
+			t.Fatalf("stage %q finished with error %v", stage, evs[1].Err)
+		}
+	}
+}

@@ -3,10 +3,15 @@
 // how bursts line up with the stable clusters the paper mines: a
 // keyword bursts exactly when its cluster appears.
 //
+// One Engine session serves every keyword: the index is built on the
+// first TimeSeries call and the per-interval totals the burst detector
+// divides by are computed once, then shared by all five queries.
+//
 // Run with: go run ./examples/bursts
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -15,22 +20,24 @@ import (
 )
 
 func main() {
-	col, err := blogclusters.GenerateCorpus(blogclusters.NewsWeekCorpus(2007, 500))
+	ctx := context.Background()
+	eng, err := blogclusters.Open(ctx,
+		blogclusters.FromGenerator(blogclusters.NewsWeekCorpus(2007, 500)))
 	if err != nil {
-		log.Fatalf("generate corpus: %v", err)
+		log.Fatalf("open engine: %v", err)
 	}
-	idx, err := blogclusters.BuildIndex(col)
-	if err != nil {
-		log.Fatalf("index: %v", err)
-	}
+	defer eng.Close()
 
 	for _, kw := range []string{"beckham", "liverpool", "somalia", "iphon", "cisco"} {
-		series := idx.TimeSeries(kw)
+		series, err := eng.TimeSeries(ctx, kw)
+		if err != nil {
+			log.Fatalf("timeseries(%s): %v", kw, err)
+		}
 		var cells []string
 		for _, c := range series {
 			cells = append(cells, fmt.Sprintf("%4d", c))
 		}
-		bursts, err := blogclusters.DetectBursts(idx, kw)
+		bursts, err := eng.Bursts(ctx, kw)
 		if err != nil {
 			log.Fatalf("bursts(%s): %v", kw, err)
 		}

@@ -9,10 +9,16 @@
 //	Figure 15 — iPhone topic drifting into the Cisco lawsuit
 //	Figure 16 — Somalia conflict persisting all seven days
 //
+// The study needs two cluster graphs (gap 2 for the FA-cup bridge,
+// gap 0 for the full-week stories); the Engine session builds the
+// cluster sets once and memoizes a graph per option set, so both
+// graphs share one Section 3 pass.
+//
 // Run with: go run ./examples/newsweek
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,15 +28,20 @@ import (
 )
 
 func main() {
-	cfg := blogclusters.NewsWeekCorpus(2007, 600)
-	col, err := blogclusters.GenerateCorpus(cfg)
+	ctx := context.Background()
+	gap0 := blogclusters.GraphOptions{Gap: 0, Theta: 0.1}
+	eng, err := blogclusters.Open(ctx,
+		blogclusters.FromGenerator(blogclusters.NewsWeekCorpus(2007, 600)),
+		blogclusters.WithGraphOptions(gap0))
 	if err != nil {
-		log.Fatalf("generate corpus: %v", err)
+		log.Fatalf("open engine: %v", err)
 	}
+	defer eng.Close()
+	col := eng.Collection()
 	labels := corpus.DayLabels(time.Date(2007, 1, 6, 0, 0, 0, 0, time.UTC), 7)
 	fmt.Printf("synthetic blogosphere week: %d posts over %d days\n\n", col.NumDocs(), len(col.Intervals))
 
-	sets, err := blogclusters.AllIntervalClusters(col, blogclusters.ClusterOptions{})
+	sets, err := eng.Clusters(ctx)
 	if err != nil {
 		log.Fatalf("cluster generation: %v", err)
 	}
@@ -51,13 +62,14 @@ func main() {
 
 	// Figure 4: a story with a gap — the FA cup is discussed Jan 6,
 	// vanishes Jan 7–8, returns Jan 9–10. With g = 2 the stable-cluster
-	// machinery bridges the gap.
+	// machinery bridges the gap. GraphWith memoizes this second graph
+	// alongside the session's default gap-0 one.
 	fmt.Println("\n=== stable cluster across a gap (cf. Figure 4, g=2) ===")
-	g2, err := blogclusters.BuildClusterGraph(sets, blogclusters.GraphOptions{Gap: 2, Theta: 0.1})
+	g2, err := eng.GraphWith(ctx, blogclusters.GraphOptions{Gap: 2, Theta: 0.1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := blogclusters.StableClusters(g2, "bfs", 50, 4)
+	res, err := eng.StableClustersOn(ctx, blogclusters.GraphOptions{Gap: 2, Theta: 0.1}, "bfs", 50, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,13 +85,14 @@ func main() {
 		fmt.Println("(FA-cup path not in the top-50 — background chatter outweighed it this seed)")
 	}
 
-	// Figures 15 and 16: topic drift and a full-week story, gap 0.
+	// Figures 15 and 16: topic drift and a full-week story, gap 0 (the
+	// session default).
 	fmt.Println("\n=== full-week stable clusters (cf. Figures 15 and 16) ===")
-	g0, err := blogclusters.BuildClusterGraph(sets, blogclusters.GraphOptions{Gap: 0, Theta: 0.1})
+	g0, err := eng.Graph(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	full, err := blogclusters.StableClusters(g0, "bfs", 3, blogclusters.FullPaths)
+	full, err := eng.StableClusters(ctx, "bfs", 3, blogclusters.FullPaths)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,7 +105,7 @@ func main() {
 	// the paper's point that consecutive-interval affinity tracks
 	// evolving stories.
 	fmt.Println("\n=== topic drift (cf. Figure 15) ===")
-	drift, err := blogclusters.StableClusters(g0, "bfs", 12, 3)
+	drift, err := eng.StableClusters(ctx, "bfs", 12, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

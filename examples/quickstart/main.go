@@ -1,11 +1,16 @@
 // Quickstart: generate a small synthetic blog corpus with one embedded
-// story, extract per-day keyword clusters, and find the most stable
-// cluster path across the week.
+// story, open an Engine session over it, and ask for the per-day
+// keyword clusters and the most stable cluster path across the week.
+//
+// The Engine is the session API: the corpus is loaded once by Open,
+// and each stage artifact (cluster sets, cluster graph) is built
+// lazily on first use and reused by every later query.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,14 +35,18 @@ func main() {
 			}},
 		}},
 	}
-	corpus, err := blogclusters.GenerateCorpus(cfg)
+	ctx := context.Background()
+	eng, err := blogclusters.Open(ctx, blogclusters.FromGenerator(cfg),
+		blogclusters.WithGraphOptions(blogclusters.GraphOptions{Gap: 0, Theta: 0.1}))
 	if err != nil {
-		log.Fatalf("generate corpus: %v", err)
+		log.Fatalf("open engine: %v", err)
 	}
+	defer eng.Close()
+	corpus := eng.Collection()
 	fmt.Printf("corpus: %d posts over %d days\n", corpus.NumDocs(), len(corpus.Intervals))
 
 	// Section 3: keyword graph → χ²/ρ pruning → biconnected components.
-	sets, err := blogclusters.AllIntervalClusters(corpus, blogclusters.ClusterOptions{})
+	sets, err := eng.Clusters(ctx)
 	if err != nil {
 		log.Fatalf("cluster generation: %v", err)
 	}
@@ -45,20 +54,25 @@ func main() {
 		fmt.Printf("day %d: %d keyword clusters\n", day, len(cs))
 	}
 
-	// Section 4: cluster graph + kl-stable clusters.
-	g, err := blogclusters.BuildClusterGraph(sets, blogclusters.GraphOptions{Gap: 0, Theta: 0.1})
+	// Section 4: cluster graph + kl-stable clusters. The graph is built
+	// once here and shared with the query below.
+	g, err := eng.Graph(ctx)
 	if err != nil {
 		log.Fatalf("cluster graph: %v", err)
 	}
 	fmt.Printf("cluster graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
 
-	res, err := blogclusters.StableClusters(g, "bfs", 3, blogclusters.FullPaths)
+	res, err := eng.StableClusters(ctx, "bfs", 3, blogclusters.FullPaths)
 	if err != nil {
 		log.Fatalf("stable clusters: %v", err)
 	}
 	fmt.Printf("\ntop stable clusters spanning all %d days:\n", len(corpus.Intervals))
 	for i, p := range res.Paths {
-		fmt.Printf("#%d %s\n", i+1, blogclusters.DescribePath(g, p))
+		desc, err := eng.Describe(ctx, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("#%d %s\n", i+1, desc)
 	}
 	if len(res.Paths) == 0 {
 		fmt.Println("(none found — try lowering theta)")

@@ -4,10 +4,14 @@
 // refinement candidates; and the strongest pairwise correlations of a
 // keyword make good single-term suggestions.
 //
+// The Engine session builds the day's clusters once; all three queries
+// share them.
+//
 // Run with: go run ./examples/refine
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,19 +19,21 @@ import (
 )
 
 func main() {
-	col, err := blogclusters.GenerateCorpus(blogclusters.NewsWeekCorpus(2007, 500))
+	ctx := context.Background()
+	eng, err := blogclusters.Open(ctx,
+		blogclusters.FromGenerator(blogclusters.NewsWeekCorpus(2007, 500)))
 	if err != nil {
-		log.Fatalf("generate corpus: %v", err)
+		log.Fatalf("open engine: %v", err)
 	}
+	defer eng.Close()
 
 	// Pretend a user searches BlogScope for "stem" on Jan 8 (interval 2).
 	const day = 2
-	clusters, err := blogclusters.IntervalClusters(col, day, blogclusters.ClusterOptions{})
-	if err != nil {
-		log.Fatalf("clusters: %v", err)
-	}
 	for _, query := range []string{"stem cells", "somalia", "pancake"} {
-		refinements := blogclusters.RefineQuery(clusters, query)
+		refinements, err := eng.Refine(ctx, query, day)
+		if err != nil {
+			log.Fatalf("refine(%s): %v", query, err)
+		}
 		if refinements == nil {
 			fmt.Printf("query %-12q → no cluster on day %d; nothing to suggest\n", query, day)
 			continue

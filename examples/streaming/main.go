@@ -2,10 +2,15 @@
 // days arrive one at a time and the top-k stable clusters are
 // maintained incrementally, without recomputing past intervals.
 //
+// The Engine session owns cluster generation (each day's clusters come
+// from its memoized per-interval sets); the Stream owns the
+// incremental stable-cluster state the pushes feed.
+//
 // Run with: go run ./examples/streaming
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,10 +38,12 @@ func main() {
 			}}},
 		},
 	}
-	col, err := blogclusters.GenerateCorpus(cfg)
+	ctx := context.Background()
+	eng, err := blogclusters.Open(ctx, blogclusters.FromGenerator(cfg))
 	if err != nil {
-		log.Fatalf("generate corpus: %v", err)
+		log.Fatalf("open engine: %v", err)
 	}
+	defer eng.Close()
 
 	stream, err := blogclusters.NewStream(blogclusters.StreamOptions{
 		K: 3, L: 3, Gap: 1, Theta: 0.1,
@@ -45,10 +52,10 @@ func main() {
 		log.Fatalf("new stream: %v", err)
 	}
 
-	for day := range col.Intervals {
-		// Each day: run cluster generation for the new interval only,
-		// then push its clusters into the stream.
-		clusters, err := blogclusters.IntervalClusters(col, day, blogclusters.ClusterOptions{})
+	for day := range eng.Collection().Intervals {
+		// Each day: fetch the new interval's clusters from the session
+		// and push them into the stream.
+		clusters, err := eng.ClustersAt(ctx, day)
 		if err != nil {
 			log.Fatalf("day %d clusters: %v", day, err)
 		}

@@ -2,13 +2,14 @@
 // del.icio.us style), the generalization the paper's introduction
 // promises: "related processing ... can be conducted on tags as well."
 // A tagged item is a document whose bag of words is its tag set; no
-// stemming or stop-word removal is wanted, so the raw keyword API is
-// used directly instead of the text analyzer.
+// stemming or stop-word removal is wanted, so the collection is built
+// directly and handed to the Engine via FromCollection.
 //
 // Run with: go run ./examples/tags
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,14 +18,20 @@ import (
 )
 
 func main() {
-	col := buildTagStream()
-	fmt.Printf("tag stream: %d tagged items over %d weeks\n", col.NumDocs(), len(col.Intervals))
-
-	sets, err := blogclusters.AllIntervalClusters(col, blogclusters.ClusterOptions{
+	ctx := context.Background()
+	eng, err := blogclusters.Open(ctx, blogclusters.FromCollection(buildTagStream()),
 		// Tag vocabularies are small; keep weak pairs out with a higher
 		// correlation bar.
-		RhoThreshold: 0.25,
-	})
+		blogclusters.WithClusterOptions(blogclusters.ClusterOptions{RhoThreshold: 0.25}),
+		blogclusters.WithGraphOptions(blogclusters.GraphOptions{Gap: 1, Theta: 0.1}))
+	if err != nil {
+		log.Fatalf("open engine: %v", err)
+	}
+	defer eng.Close()
+	col := eng.Collection()
+	fmt.Printf("tag stream: %d tagged items over %d weeks\n", col.NumDocs(), len(col.Intervals))
+
+	sets, err := eng.Clusters(ctx)
 	if err != nil {
 		log.Fatalf("cluster generation: %v", err)
 	}
@@ -35,11 +42,11 @@ func main() {
 		}
 	}
 
-	g, err := blogclusters.BuildClusterGraph(sets, blogclusters.GraphOptions{Gap: 1, Theta: 0.1})
+	g, err := eng.Graph(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := blogclusters.NormalizedStableClusters(g, 3, 2)
+	res, err := eng.NormalizedStableClusters(ctx, 3, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

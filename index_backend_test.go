@@ -1,6 +1,8 @@
 package blogclusters
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -78,7 +80,9 @@ func TestIndexBackendsAgree(t *testing.T) {
 		t.Fatal("bogus backend accepted")
 	}
 
-	// Temp-file route: the private segment must be gone after Close.
+	// Temp-file route: the private segment must be gone after Close,
+	// and Close must be idempotent (no spurious os.Remove error for the
+	// already-deleted file on the second call).
 	tmp, err := OpenIndexReader(col, IndexOptions{Backend: "disk"})
 	if err != nil {
 		t.Fatal(err)
@@ -86,11 +90,68 @@ func TestIndexBackendsAgree(t *testing.T) {
 	if err := tmp.Close(); err != nil {
 		t.Fatal(err)
 	}
+	if err := tmp.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
 	matches, err := filepath.Glob(filepath.Join(os.TempDir(), "blogclusters-idx-*.seg"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(matches) != 0 {
 		t.Fatalf("temp segments left behind: %v", matches)
+	}
+}
+
+// TestOpenIndexReaderErrors covers the error paths of the backend
+// switch: unknown backend, unwritable segment path, and temp-segment
+// cleanup when BuildDisk itself fails mid-build.
+func TestOpenIndexReaderErrors(t *testing.T) {
+	t.Setenv("TMPDIR", t.TempDir())
+	col, err := GenerateCorpus(NewsWeekCorpus(2007, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenIndexReader(col, IndexOptions{Backend: "lsm"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+
+	// Unwritable explicit path: creating <missing-dir>/x.seg.partial
+	// must fail and surface the create error.
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "x.seg")
+	if _, err := OpenIndexReader(col, IndexOptions{Backend: "disk", Path: bad}); err == nil {
+		t.Fatal("unwritable segment path accepted")
+	}
+
+	// A failing BuildDisk (negative doc id is rejected mid-stream) on
+	// the temp-segment route must remove the private temp file.
+	broken, err := GenerateCorpus(NewsWeekCorpus(2007, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken.Intervals[0].Docs[0].ID = -7
+	if _, err := OpenIndexReader(broken, IndexOptions{Backend: "disk"}); err == nil {
+		t.Fatal("negative doc id accepted by disk backend")
+	}
+	matches, err := filepath.Glob(filepath.Join(os.TempDir(), "blogclusters-idx-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("failed build left temp files behind: %v", matches)
+	}
+
+	// A canceled context aborts the disk build and also cleans up.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := openIndexReaderCtx(ctx, col, IndexOptions{Backend: "disk"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled disk build returned %v, want context.Canceled", err)
+	}
+	matches, err = filepath.Glob(filepath.Join(os.TempDir(), "blogclusters-idx-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("canceled build left temp files behind: %v", matches)
 	}
 }

@@ -1,0 +1,85 @@
+// Package cli holds the flag and corpus boilerplate shared by the
+// commands (cmd/blogscope, cmd/blogstable): corpus selection
+// (-input/-demo), pipeline knobs (-parallelism/-membudget) and index
+// backend selection (-index/-indexcache/-indexfile), mapped onto a
+// blogclusters.Engine source and option list. Each command keeps only
+// the flags specific to its own query surface.
+package cli
+
+import (
+	"flag"
+	"fmt"
+
+	blogclusters "repro"
+)
+
+// EngineFlags is the shared flag set. Register it on a FlagSet before
+// flag parsing; after parsing, Source and Options translate the values
+// into Engine inputs.
+type EngineFlags struct {
+	// Corpus selection.
+	Input string
+	Demo  bool
+
+	// Section 3/4 pipeline knobs.
+	Parallelism int
+	MemBudget   int
+
+	// Keyword-index backend.
+	IndexBackend string
+	IndexCache   int
+	IndexFile    string
+}
+
+// Register installs the shared flags on fs (use flag.CommandLine in
+// main).
+func (f *EngineFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Input, "input", "", "JSONL corpus file (one document per line)")
+	fs.BoolVar(&f.Demo, "demo", false, "use the synthetic news-week corpus")
+	fs.IntVar(&f.Parallelism, "parallelism", 0, "worker count for cluster and edge generation; 0 = GOMAXPROCS, 1 = sequential")
+	fs.IntVar(&f.MemBudget, "membudget", 0, "pair-table memory budget in bytes, split across concurrent interval builds; 0 = default")
+	fs.StringVar(&f.IndexBackend, "index", "mem", "keyword-index backend: mem (resident) or disk (segment file + LRU block cache)")
+	fs.IntVar(&f.IndexCache, "indexcache", 0, "disk backend: block-cache budget in bytes; 0 = default (8 MiB)")
+	fs.StringVar(&f.IndexFile, "indexfile", "", "disk backend: segment file path; empty = private temp file")
+}
+
+// Source maps -input/-demo onto an Engine corpus source.
+func (f *EngineFlags) Source() (blogclusters.Source, error) {
+	switch {
+	case f.Demo && f.Input != "":
+		return blogclusters.Source{}, fmt.Errorf("pass either -demo or -input, not both")
+	case f.Demo:
+		return blogclusters.FromGenerator(blogclusters.NewsWeekCorpus(2007, 600)), nil
+	case f.Input == "":
+		return blogclusters.Source{}, fmt.Errorf("need -input FILE or -demo (see -help)")
+	}
+	return blogclusters.FromJSONLFile(f.Input), nil
+}
+
+// ClusterOptions maps the pipeline knobs onto ClusterOptions, starting
+// from base (a command's query-specific settings).
+func (f *EngineFlags) ClusterOptions(base blogclusters.ClusterOptions) blogclusters.ClusterOptions {
+	base.Parallelism = f.Parallelism
+	base.MemBudget = f.MemBudget
+	return base
+}
+
+// IndexOptions maps the index flags onto IndexOptions.
+func (f *EngineFlags) IndexOptions() blogclusters.IndexOptions {
+	return blogclusters.IndexOptions{
+		Backend:   f.IndexBackend,
+		Path:      f.IndexFile,
+		MemBudget: f.IndexCache,
+	}
+}
+
+// Options assembles the Engine option list from the shared flags plus
+// a command's own cluster/graph settings.
+func (f *EngineFlags) Options(clusterBase blogclusters.ClusterOptions, graph blogclusters.GraphOptions) []blogclusters.Option {
+	graph.Parallelism = f.Parallelism
+	return []blogclusters.Option{
+		blogclusters.WithClusterOptions(f.ClusterOptions(clusterBase)),
+		blogclusters.WithGraphOptions(graph),
+		blogclusters.WithIndexOptions(f.IndexOptions()),
+	}
+}

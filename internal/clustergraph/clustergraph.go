@@ -11,6 +11,7 @@
 package clustergraph
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -222,6 +223,14 @@ type FromClustersOptions struct {
 // by evaluating the affinity between clusters of intervals at most
 // Gap+1 apart and keeping pairs with affinity >= Theta.
 func FromClusters(sets [][]cluster.Cluster, opts FromClustersOptions) (*Graph, error) {
+	return FromClustersCtx(context.Background(), sets, opts)
+}
+
+// FromClustersCtx is FromClusters with cancellation: edge-generation
+// tasks are dispatched through the context-aware worker pool, so a
+// canceled build stops scheduling interval pairs and returns ctx's
+// error.
+func FromClustersCtx(ctx context.Context, sets [][]cluster.Cluster, opts FromClustersOptions) (*Graph, error) {
 	m := len(sets)
 	b, err := NewBuilder(m, opts.Gap)
 	if err != nil {
@@ -308,7 +317,7 @@ func FromClusters(sets [][]cluster.Cluster, opts FromClustersOptions) (*Graph, e
 	}
 
 	results := make([][]simjoin.Pair, len(tasks))
-	if err := par.ForEach(len(tasks), workers, func(ti int) error {
+	if err := par.ForEachCtx(ctx, len(tasks), workers, func(ti int) error {
 		var err error
 		results[ti], err = run(tasks[ti])
 		return err

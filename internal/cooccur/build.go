@@ -1,6 +1,7 @@
 package cooccur
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -48,6 +49,15 @@ const DefaultMemBudget = 256 << 20
 // U < V. The parallel and sequential paths therefore produce identical
 // graphs; the equivalence tests assert this byte for byte.
 func Build(c *corpus.Collection, from, to int, opts BuildOptions) (*Graph, error) {
+	return BuildCtx(context.Background(), c, from, to, opts)
+}
+
+// BuildCtx is Build with cancellation: the counting pass polls ctx
+// every few thousand documents, the spill path hands ctx to the
+// external sorter's merge loops, and the aggregation passes poll it per
+// record batch, so a canceled build returns promptly instead of
+// finishing the interval.
+func BuildCtx(ctx context.Context, c *corpus.Collection, from, to int, opts BuildOptions) (*Graph, error) {
 	if from < 0 || to >= len(c.Intervals) || from > to {
 		return nil, fmt.Errorf("cooccur: interval range [%d,%d] outside collection of %d intervals", from, to, len(c.Intervals))
 	}
@@ -93,6 +103,7 @@ func Build(c *corpus.Collection, from, to int, opts BuildOptions) (*Graph, error
 	sorter := extsort.NewWithOptions(extsort.Options{
 		MemoryBudget: opts.SortMemoryBudget,
 		Parallelism:  par,
+		Ctx:          ctx,
 	})
 	// Error paths below may abandon the sorter after shards have
 	// spilled; Discard removes its temp files then (and is a no-op
@@ -106,6 +117,7 @@ func Build(c *corpus.Collection, from, to int, opts BuildOptions) (*Graph, error
 			sorter:     sorter,
 			sortBudget: opts.SortMemoryBudget,
 			index:      index,
+			ctx:        ctx,
 		}
 	}
 	if par == 1 {
@@ -144,9 +156,12 @@ func Build(c *corpus.Collection, from, to int, opts BuildOptions) (*Graph, error
 			break
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var err error
 	if spilled {
-		err = aggregateSpilled(g, shards, sorter, minCount)
+		err = aggregateSpilled(ctx, g, shards, sorter, minCount)
 	} else {
 		err = aggregateInMemory(g, shards, par, minCount)
 	}
@@ -230,6 +245,7 @@ type buildShard struct {
 	sorter     *extsort.Sorter
 	sortBudget int // max bytes per spilled run; 0 = whole table
 	index      map[string]int32
+	ctx        context.Context
 	spilled    bool
 
 	ids     []int32     // per-document keyword-id scratch
@@ -242,7 +258,13 @@ type buildShard struct {
 // that become A(u)) of each document into the shard table, spilling
 // when the table outgrows the shard's budget share.
 func (sh *buildShard) processDocs(docs []*corpus.Document) error {
-	for _, d := range docs {
+	const pollEvery = 1024
+	for di, d := range docs {
+		if di%pollEvery == pollEvery-1 {
+			if err := sh.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		ids := sh.ids[:0]
 		for _, w := range d.Keywords {
 			ids = append(ids, sh.index[w])
@@ -302,7 +324,7 @@ func (sh *buildShard) spill() error {
 // folds the globally sorted record stream into the graph. Used whenever
 // any shard spilled: the merged stream already interleaves the spilled
 // runs, so the leftover in-memory tables just join it as final runs.
-func aggregateSpilled(g *Graph, shards []*buildShard, sorter *extsort.Sorter, minCount int64) error {
+func aggregateSpilled(ctx context.Context, g *Graph, shards []*buildShard, sorter *extsort.Sorter, minCount int64) error {
 	for _, sh := range shards {
 		if err := sh.spill(); err != nil {
 			return err
@@ -317,6 +339,7 @@ func aggregateSpilled(g *Graph, shards []*buildShard, sorter *extsort.Sorter, mi
 		curKey   uint64
 		curCount int64
 		started  bool
+		seen     int
 	)
 	emit := func() {
 		u, v := splitPairKey(curKey)
@@ -326,7 +349,13 @@ func aggregateSpilled(g *Graph, shards []*buildShard, sorter *extsort.Sorter, mi
 			g.Edges = append(g.Edges, Edge{U: u, V: v, Count: curCount})
 		}
 	}
+	const pollEvery = 4096
 	for {
+		if seen++; seen%pollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		rec, ok := it.Next()
 		if !ok {
 			break

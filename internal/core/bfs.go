@@ -48,6 +48,9 @@ func BFS(g *clustergraph.Graph, opts BFSOptions) (*Result, error) {
 		global:   topk.NewK(opts.K),
 	}
 	for i := 0; i < g.NumIntervals(); i++ {
+		if err := opts.ctxErr(); err != nil {
+			return nil, err
+		}
 		if err := r.processInterval(i); err != nil {
 			return nil, err
 		}

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/clustergraph"
@@ -41,6 +42,24 @@ type Options struct {
 	// behaviour of the algorithms is real and measurable. Nil keeps all
 	// state in memory; logical I/O counters are maintained either way.
 	Store *diskstore.Store
+	// Ctx, when non-nil, cancels the solve: each algorithm polls it at
+	// its natural loop boundary (BFS per interval, DFS every few
+	// thousand stack steps, TA per round) and returns its error. Nil
+	// means no cancellation.
+	Ctx context.Context
+}
+
+// ctxErr reports the options context's error, if any.
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return o.Ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // FullPaths is a sentinel for Options.L meaning l = m−1.

@@ -57,6 +57,7 @@ func DFS(g *clustergraph.Graph, opts DFSOptions) (*Result, error) {
 		prune:    !opts.DisablePruning,
 		worst:    opts.WorstFirstChildren,
 		store:    newStoreBackend(opts.Store),
+		opts:     opts.Options,
 		states:   make(map[int64]*dfsState),
 		global:   topk.NewK(opts.K),
 	}
@@ -73,6 +74,7 @@ type dfsRun struct {
 	prune    bool
 	worst    bool
 	store    *storeBackend
+	opts     Options // for cancellation polls
 
 	// states holds node state: all nodes when running purely in memory,
 	// or only stack-resident nodes when a store is attached.
@@ -120,9 +122,15 @@ func (r *dfsRun) run() error {
 	stack := []dfsFrame{{node: sourceID, children: r.sourceChildren()}}
 	var steps int64
 	limit := r.maxSteps()
+	const pollEvery = 4096
 	for len(stack) > 0 {
 		if steps++; steps > limit {
 			return fmt.Errorf("core: DFS exceeded %d steps; suspected re-exploration loop", limit)
+		}
+		if steps%pollEvery == 0 {
+			if err := r.opts.ctxErr(); err != nil {
+				return err
+			}
 		}
 		f := &stack[len(stack)-1]
 		if f.next < len(f.children) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -42,6 +43,8 @@ type NormalizedOptions struct {
 	// result becomes a (usually exact in practice, not guaranteed)
 	// approximation; 0 keeps the unbounded exact behaviour.
 	BeamWidth int
+	// Ctx, when non-nil, cancels the solve between intervals.
+	Ctx context.Context
 }
 
 // NormalizedBFS solves Problem 2 with the BFS framework of Section 4.5:
@@ -77,6 +80,9 @@ func NormalizedBFS(g *clustergraph.Graph, opts NormalizedOptions) (*Result, erro
 		global:  topk.NewK(opts.K),
 	}
 	for i := 0; i < g.NumIntervals(); i++ {
+		if err := (Options{Ctx: opts.Ctx}).ctxErr(); err != nil {
+			return nil, err
+		}
 		r.processInterval(i)
 	}
 	return &Result{Paths: r.global.Items(), Stats: r.stats}, nil

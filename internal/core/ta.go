@@ -45,6 +45,7 @@ func TA(g *clustergraph.Graph, opts TAOptions) (*Result, error) {
 		k:        opts.K,
 		useBound: !opts.DisableBoundHashTables,
 		maxSeeks: opts.MaxSeeks,
+		opts:     opts.Options,
 		global:   topk.NewK(opts.K),
 		startwts: make(map[int64]float64),
 		endwts:   make(map[int64]float64),
@@ -66,6 +67,7 @@ type taRun struct {
 	k        int
 	useBound bool
 	maxSeeks int64
+	opts     Options // for cancellation polls
 	global   *topk.K
 	stats    Stats
 
@@ -118,6 +120,9 @@ func (r *taRun) run() error {
 	m := r.g.NumIntervals()
 
 	for {
+		if err := r.opts.ctxErr(); err != nil {
+			return err
+		}
 		// Virtual tuple: the sum of the best unseen weight of every
 		// list. Any entirely-unseen path is composed of unseen edges, a
 		// subset of the lists, so (weights being positive) the full sum
@@ -273,11 +278,18 @@ func (r *taRun) pathsStarting(c int64) ([]topk.Path, error) {
 	return out, nil
 }
 
-// seek accounts one random seek and enforces the budget.
+// seek accounts one random seek and enforces the budget. Seeks also
+// carry the cancellation poll: a single round can expand into
+// exponentially many seeks, so the per-round check alone is not prompt.
 func (r *taRun) seek() error {
 	r.stats.RandomSeeks++
 	if r.maxSeeks > 0 && r.stats.RandomSeeks > r.maxSeeks {
 		return fmt.Errorf("%w (limit %d)", ErrSeekBudget, r.maxSeeks)
+	}
+	if r.stats.RandomSeeks%4096 == 0 {
+		if err := r.opts.ctxErr(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

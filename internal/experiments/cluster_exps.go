@@ -56,7 +56,7 @@ func Table1(cfg Config) (*Table, error) {
 		Notes:  "synthetic corpus at laptop scale; expect edges >> keywords, stable across days",
 	}
 	for day := 0; day < 2; day++ {
-		g, err := cooccur.Build(col, day, day, buildOptions(cfg))
+		g, err := cooccur.BuildCtx(cfg.Context(), col, day, day, buildOptions(cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -92,7 +92,7 @@ func Fig6(cfg Config) (*Table, error) {
 	// The raw keyword graph is built and annotated once; the paper's
 	// ρ-dependent cost is the pruning plus the secondary-storage Art
 	// run over what survives.
-	g, err := cooccur.Build(col, 0, 0, buildOptions(cfg))
+	g, err := cooccur.BuildCtx(cfg.Context(), col, 0, 0, buildOptions(cfg))
 	if err != nil {
 		return nil, err
 	}

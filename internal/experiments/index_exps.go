@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -42,7 +43,7 @@ func DiskIndexExp(cfg Config) (*Table, error) {
 			col.NumDocs(), len(col.Intervals)),
 	}
 	for _, backend := range backends {
-		row, err := runIndexBackend(col, backend, cfg.IndexMemBudget)
+		row, err := runIndexBackend(cfg.Context(), col, backend, cfg.IndexMemBudget)
 		if err != nil {
 			return nil, err
 		}
@@ -51,7 +52,7 @@ func DiskIndexExp(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-func runIndexBackend(col *corpus.Collection, backend string, cacheBytes int) ([]string, error) {
+func runIndexBackend(ctx context.Context, col *corpus.Collection, backend string, cacheBytes int) ([]string, error) {
 	var (
 		r     index.Reader
 		disk  *index.DiskIndex
@@ -71,7 +72,7 @@ func runIndexBackend(col *corpus.Collection, backend string, cacheBytes int) ([]
 		}
 		defer os.RemoveAll(dir)
 		path := filepath.Join(dir, "seg")
-		if err := index.BuildDisk(col, path, index.DiskOptions{}); err != nil {
+		if err := index.BuildDiskCtx(ctx, col, path, index.DiskOptions{}); err != nil {
 			return nil, err
 		}
 		disk, err = index.OpenDiskOptions(path, index.OpenOptions{MemBudget: cacheBytes})

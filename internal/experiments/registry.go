@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -23,6 +24,17 @@ type Config struct {
 	// IndexMemBudget bounds the disk index backend's block cache in
 	// bytes; 0 = default.
 	IndexMemBudget int
+
+	// ctx cancels long experiment pipelines; set via RunContext.
+	ctx context.Context
+}
+
+// Context returns the run's cancellation context (never nil).
+func (c Config) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 // Workers reports the effective keyword-graph worker count.
@@ -80,6 +92,13 @@ func Run(id string, scale Scale) (*Table, error) {
 
 // RunConfig executes one experiment by id.
 func RunConfig(id string, cfg Config) (*Table, error) {
+	return RunContext(context.Background(), id, cfg)
+}
+
+// RunContext executes one experiment by id under a cancellation
+// context (Ctrl-C in cmd/experiments aborts the pipeline stages that
+// poll it).
+func RunContext(ctx context.Context, id string, cfg Config) (*Table, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
@@ -87,5 +106,6 @@ func RunConfig(id string, cfg Config) (*Table, error) {
 	if cfg.Scale <= 0 || cfg.Scale > 1 {
 		return nil, fmt.Errorf("experiments: scale must be in (0,1], got %g", float64(cfg.Scale))
 	}
+	cfg.ctx = ctx
 	return r(cfg)
 }

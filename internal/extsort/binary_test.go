@@ -1,0 +1,114 @@
+package extsort
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestBinaryRoundTrip sorts records containing every byte class the
+// text format cannot carry (newlines, NULs, high bytes) through forced
+// spills and asserts the stream comes back complete and ordered.
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var recs []string
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(24)
+		b := make([]byte, n)
+		rng.Read(b)
+		recs = append(recs, string(b))
+	}
+	recs = append(recs, "", "\n", "a\nb", "\x00", "plain")
+
+	s := NewWithOptions(Options{MemoryBudget: 256, Binary: true, FanIn: 4})
+	for _, r := range recs {
+		if err := s.Add(r); err != nil {
+			t.Fatalf("Add(%q): %v", r, err)
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got []string
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, rec)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := slices.Clone(recs)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Fatalf("binary sort lost or reordered records: got %d, want %d", len(got), len(want))
+	}
+	if s.Stats().Runs == 0 {
+		t.Fatal("expected spilled runs with a 256-byte budget")
+	}
+}
+
+// TestBinaryAddSortedRun drives the concurrent-producer path with
+// binary framing.
+func TestBinaryAddSortedRun(t *testing.T) {
+	s := NewWithOptions(Options{Binary: true})
+	if err := s.AddSortedRun([]string{"a\n1", "a\n2", "b\x00"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSortedRun([]string{"a\n0", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got []string
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, rec)
+	}
+	want := []string{"a\n0", "a\n1", "a\n2", "b\x00", "c"}
+	if !slices.Equal(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+// TestTextModeStillRejectsNewlines pins the compatibility contract:
+// only Binary sorters accept newline bytes.
+func TestTextModeStillRejectsNewlines(t *testing.T) {
+	s := New(0)
+	if err := s.Add("a\nb"); err == nil {
+		t.Fatal("text-mode Add accepted a newline record")
+	}
+	if err := s.AddSortedRun([]string{"a\nb"}); err == nil {
+		t.Fatal("text-mode AddSortedRun accepted a newline record")
+	}
+}
+
+// TestCanceledMergeAborts spills enough runs to force pre-merge passes
+// and asserts a canceled context surfaces from Sort.
+func TestCanceledMergeAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewWithOptions(Options{MemoryBudget: 64, FanIn: 2, Binary: true, Ctx: ctx})
+	for i := 0; i < 4000; i++ {
+		if err := s.Add(fmt.Sprintf("record-%06d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel()
+	if _, err := s.Sort(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sort on canceled ctx returned %v, want context.Canceled", err)
+	}
+	s.Discard()
+}

@@ -20,6 +20,16 @@
 //     Options.Parallelism) into longer runs before the final streaming
 //     heap merge, keeping the final merge cheap even after thousands of
 //     tiny spills.
+//   - Options.Binary switches run files from newline-terminated text
+//     records to length-prefixed binary records (uvarint length +
+//     payload). Binary records may contain any byte, including '\n',
+//     and skip the per-record newline scan and the ParseX/FormatX
+//     round-trips text encodings force on callers; the record order is
+//     plain bytewise comparison either way.
+//
+// Long-running merges honor Options.Ctx: the pre-merge and streaming
+// merge loops poll for cancellation every few thousand records, so an
+// abandoned build releases the CPU and its temp files promptly.
 //
 // File readers and writers draw their buffers from sync.Pools so
 // repeated sorts do not reallocate I/O buffers.
@@ -28,6 +38,8 @@ package extsort
 import (
 	"bufio"
 	"container/heap"
+	"context"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
@@ -62,6 +74,27 @@ type Options struct {
 	// reads at once; more runs than this are first pre-merged in
 	// parallel groups of FanIn. Non-positive means DefaultFanIn.
 	FanIn int
+	// Binary stores run records length-prefixed (uvarint + payload)
+	// instead of newline-terminated, allowing arbitrary record bytes
+	// and skipping the newline validation scan.
+	Binary bool
+	// Ctx, when non-nil, cancels long merge loops: pre-merge passes and
+	// the streaming merge poll it periodically and abort with its
+	// error. Nil means no cancellation.
+	Ctx context.Context
+}
+
+// ctxErr reports the context's error if o.Ctx is set and done.
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return o.Ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // Sorter accumulates records and then streams them back in sorted order.
@@ -111,7 +144,8 @@ func NewWithOptions(opts Options) *Sorter {
 	return &Sorter{opts: opts}
 }
 
-// Add appends one record. Records must not contain '\n'.
+// Add appends one record. Records must not contain '\n' unless the
+// sorter uses Options.Binary.
 //
 // Add is single-producer and never concurrent with Sort, so the hot
 // path reads finalized and counts records without taking the mutex;
@@ -120,7 +154,7 @@ func (s *Sorter) Add(rec string) error {
 	if s.finalized {
 		return fmt.Errorf("extsort: Add after Sort")
 	}
-	if strings.ContainsRune(rec, '\n') {
+	if !s.opts.Binary && strings.ContainsRune(rec, '\n') {
 		return fmt.Errorf("extsort: record contains newline: %q", rec)
 	}
 	s.buf = append(s.buf, rec)
@@ -135,7 +169,7 @@ func (s *Sorter) Add(rec string) error {
 // AddSortedRun spills recs, which must already be in ascending order, as
 // one run. The records are written out immediately; recs may be reused
 // by the caller afterwards. Safe for concurrent use. Records must not
-// contain '\n'.
+// contain '\n' unless the sorter uses Options.Binary.
 func (s *Sorter) AddSortedRun(recs []string) error {
 	if s.isFinalized() {
 		return fmt.Errorf("extsort: AddSortedRun after Sort")
@@ -144,7 +178,7 @@ func (s *Sorter) AddSortedRun(recs []string) error {
 		return nil
 	}
 	for i, rec := range recs {
-		if strings.ContainsRune(rec, '\n') {
+		if !s.opts.Binary && strings.ContainsRune(rec, '\n') {
 			return fmt.Errorf("extsort: record contains newline: %q", rec)
 		}
 		if i > 0 && recs[i-1] > rec {
@@ -203,8 +237,13 @@ func (s *Sorter) registerRun(dir string) string {
 	return name
 }
 
-// writeRun streams one sorted batch to a fresh run file.
+// writeRun streams one sorted batch to a fresh run file, framed per
+// the sorter's record format (newline-terminated text or
+// length-prefixed binary).
 func (s *Sorter) writeRun(recs []string) error {
+	if err := s.opts.ctxErr(); err != nil {
+		return err
+	}
 	dir, err := s.tempDir()
 	if err != nil {
 		return err
@@ -216,17 +255,15 @@ func (s *Sorter) writeRun(recs []string) error {
 	}
 	w := getWriter(f)
 	var written int64
+	var lenBuf []byte
 	for _, rec := range recs {
-		n, err := w.WriteString(rec)
-		if err == nil {
-			err = w.WriteByte('\n')
-		}
+		n, err := writeRecord(w, rec, s.opts.Binary, &lenBuf)
 		if err != nil {
 			putWriter(w)
 			f.Close()
 			return fmt.Errorf("extsort: write run: %w", err)
 		}
-		written += int64(n) + 1
+		written += int64(n)
 	}
 	err = w.Flush()
 	putWriter(w)
@@ -273,6 +310,10 @@ func (s *Sorter) Sort() (*Iterator, error) {
 	runs := s.runFiles
 	// Pre-merge in parallel until the final merge's fan-in is modest.
 	for len(runs) > s.opts.FanIn {
+		if err := s.opts.ctxErr(); err != nil {
+			os.RemoveAll(s.dir)
+			return nil, err
+		}
 		merged, err := s.preMerge(runs)
 		if err != nil {
 			os.RemoveAll(s.dir)
@@ -282,7 +323,7 @@ func (s *Sorter) Sort() (*Iterator, error) {
 	}
 	it := &Iterator{dir: s.dir}
 	for _, name := range runs {
-		src, err := openRunSource(name)
+		src, err := openRunSource(name, s.opts.Binary)
 		if err != nil {
 			it.Close()
 			return nil, err
@@ -344,7 +385,7 @@ func (s *Sorter) preMerge(runs []string) ([]string, error) {
 		go func(g int, group []string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out[g], errs[g] = mergeRuns(s.dir, fmt.Sprintf("merge-%06d-%06d", len(runs), g), group)
+			out[g], errs[g] = mergeRuns(s.dir, fmt.Sprintf("merge-%06d-%06d", len(runs), g), group, s.opts)
 		}(g, runs[lo:hi])
 	}
 	wg.Wait()
@@ -357,8 +398,10 @@ func (s *Sorter) preMerge(runs []string) ([]string, error) {
 }
 
 // mergeRuns streams the heap merge of the given run files into a single
-// new run file and deletes the inputs.
-func mergeRuns(dir, name string, runs []string) (string, error) {
+// new run file and deletes the inputs. The merge loop polls
+// opts.Ctx every ctxPollEvery records so a canceled build stops
+// burning I/O mid-merge.
+func mergeRuns(dir, name string, runs []string, opts Options) (string, error) {
 	if len(runs) == 1 {
 		return runs[0], nil
 	}
@@ -369,7 +412,7 @@ func mergeRuns(dir, name string, runs []string) (string, error) {
 		}
 	}
 	for _, rn := range runs {
-		src, err := openRunSource(rn)
+		src, err := openRunSource(rn, opts.Binary)
 		if err != nil {
 			closeAll()
 			return "", err
@@ -398,12 +441,17 @@ func mergeRuns(dir, name string, runs []string) (string, error) {
 		closeAll()
 		return "", err
 	}
+	var lenBuf []byte
+	var sinceCheck int
 	for len(h) > 0 {
-		src := h[0]
-		if _, err := w.WriteString(src.cur); err != nil {
-			return fail(fmt.Errorf("extsort: write merged run: %w", err))
+		if sinceCheck++; sinceCheck >= ctxPollEvery {
+			sinceCheck = 0
+			if err := opts.ctxErr(); err != nil {
+				return fail(err)
+			}
 		}
-		if err := w.WriteByte('\n'); err != nil {
+		src := h[0]
+		if _, err := writeRecord(w, src.cur, opts.Binary, &lenBuf); err != nil {
 			return fail(fmt.Errorf("extsort: write merged run: %w", err))
 		}
 		if src.advance() {
@@ -445,6 +493,31 @@ func (s *Sorter) Stats() Stats {
 
 const ioBufSize = 256 << 10
 
+// ctxPollEvery is the record stride between cancellation polls inside
+// merge loops: rare enough to stay off the hot path, frequent enough
+// that cancellation lands within microseconds of work.
+const ctxPollEvery = 4096
+
+// writeRecord frames one record: uvarint length + payload in binary
+// mode, the record + '\n' in text mode. Returns the bytes written.
+// *lenBuf is reused across calls for the uvarint scratch.
+func writeRecord(w *bufio.Writer, rec string, bin bool, lenBuf *[]byte) (int, error) {
+	if !bin {
+		n, err := w.WriteString(rec)
+		if err == nil {
+			err = w.WriteByte('\n')
+		}
+		return n + 1, err
+	}
+	b := binary.AppendUvarint((*lenBuf)[:0], uint64(len(rec)))
+	*lenBuf = b
+	if _, err := w.Write(b); err != nil {
+		return 0, err
+	}
+	n, err := w.WriteString(rec)
+	return len(b) + n, err
+}
+
 var writerPool = sync.Pool{
 	New: func() any { return bufio.NewWriterSize(io.Discard, ioBufSize) },
 }
@@ -464,26 +537,31 @@ var readerPool = sync.Pool{
 	New: func() any { return bufio.NewReaderSize(nil, ioBufSize) },
 }
 
-// runSource reads one sorted run file.
+// runSource reads one sorted run file (text or binary framing).
 type runSource struct {
 	f    *os.File
 	br   *bufio.Reader
+	bin  bool
+	buf  []byte // binary-mode payload scratch
 	cur  string
 	err  error
 	done bool
 }
 
-func openRunSource(name string) (*runSource, error) {
+func openRunSource(name string, bin bool) (*runSource, error) {
 	f, err := os.Open(name)
 	if err != nil {
 		return nil, fmt.Errorf("extsort: open run: %w", err)
 	}
 	br := readerPool.Get().(*bufio.Reader)
 	br.Reset(f)
-	return &runSource{f: f, br: br}, nil
+	return &runSource{f: f, br: br, bin: bin}, nil
 }
 
 func (r *runSource) advance() bool {
+	if r.bin {
+		return r.advanceBinary()
+	}
 	line, err := r.br.ReadString('\n')
 	if err == nil {
 		r.cur = line[:len(line)-1]
@@ -501,6 +579,29 @@ func (r *runSource) advance() bool {
 	}
 	r.done = true
 	return false
+}
+
+// advanceBinary reads one length-prefixed record.
+func (r *runSource) advanceBinary() bool {
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if err != io.EOF {
+			r.err = fmt.Errorf("extsort: read run record length: %w", err)
+		}
+		r.done = true
+		return false
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	buf := r.buf[:n]
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		r.err = fmt.Errorf("extsort: read run record: %w", err)
+		r.done = true
+		return false
+	}
+	r.cur = string(buf)
+	return true
 }
 
 func (r *runSource) close() {

@@ -28,11 +28,11 @@ package index
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro/internal/corpus"
@@ -63,30 +63,33 @@ type DiskOptions struct {
 	SortMemoryBudget int
 }
 
-// encodePosting renders one (interval, term, doc) tuple as a record
-// whose lexicographic order equals the tuple order: fixed-width hex
-// for the integers (digit order is monotonic in ASCII) and a NUL
-// terminator after the term (NUL sorts before every valid term byte,
-// so "ab" precedes "abc"). Records stay newline-free for extsort.
-func encodePosting(interval int, term string, doc int64) string {
-	return fmt.Sprintf("%08x\x00%s\x00%016x", uint32(interval), term, uint64(doc))
+// encodePosting renders one (interval, term, doc) tuple as a binary
+// record whose bytewise order equals the tuple order: big-endian
+// fixed-width integers (byte order is monotonic in the value) and a
+// NUL terminator after the term (NUL sorts before every valid term
+// byte, so "ab" precedes "abc"). The records ride extsort's
+// length-prefixed binary run format — 13 bytes of framing per posting
+// instead of the 26 hex digits the original newline-terminated text
+// encoding spent, and no ParseUint on the way back out.
+func encodePosting(buf []byte, interval int, term string, doc int64) []byte {
+	buf = binary.BigEndian.AppendUint32(buf[:0], uint32(interval))
+	buf = append(buf, term...)
+	buf = append(buf, 0)
+	return binary.BigEndian.AppendUint64(buf, uint64(doc))
 }
 
-const postingTailLen = 1 + 16 // NUL + hex doc id
+const postingFixedLen = 4 + 1 + 8 // interval + NUL + doc id
 
 func decodePosting(rec string) (interval int, term string, doc int64, err error) {
-	if len(rec) < 8+1+postingTailLen || rec[8] != 0 || rec[len(rec)-postingTailLen] != 0 {
+	if len(rec) < postingFixedLen || rec[len(rec)-9] != 0 {
 		return 0, "", 0, fmt.Errorf("index: malformed posting record %q", rec)
 	}
-	iv, err := strconv.ParseUint(rec[:8], 16, 32)
-	if err != nil {
-		return 0, "", 0, fmt.Errorf("index: malformed posting interval in %q: %w", rec, err)
+	iv := uint32(rec[0])<<24 | uint32(rec[1])<<16 | uint32(rec[2])<<8 | uint32(rec[3])
+	var id uint64
+	for _, b := range []byte(rec[len(rec)-8:]) {
+		id = id<<8 | uint64(b)
 	}
-	id, err := strconv.ParseUint(rec[len(rec)-16:], 16, 64)
-	if err != nil {
-		return 0, "", 0, fmt.Errorf("index: malformed posting doc id in %q: %w", rec, err)
-	}
-	return int(iv), rec[9 : len(rec)-postingTailLen], int64(id), nil
+	return int(iv), rec[4 : len(rec)-9], int64(id), nil
 }
 
 // blockRef is one skip-index entry: where a posting block lives and
@@ -110,14 +113,33 @@ type dictEntry struct {
 // file at path (atomically, via rename). Document keywords are
 // deduplicated per document, matching New; doc ids must be
 // non-negative and keywords must not contain NUL or newline bytes.
-func BuildDisk(c *corpus.Collection, path string, opts DiskOptions) (err error) {
+func BuildDisk(c *corpus.Collection, path string, opts DiskOptions) error {
+	return BuildDiskCtx(context.Background(), c, path, opts)
+}
+
+// BuildDiskCtx is BuildDisk with cancellation: the tuple-emission and
+// segment-write loops poll ctx every few thousand records, and the
+// external sorter's merge passes poll it too, so an abandoned build
+// stops promptly and leaves no partial segment behind (the .partial
+// temp file is removed on every error path, cancellation included).
+func BuildDiskCtx(ctx context.Context, c *corpus.Collection, path string, opts DiskOptions) (err error) {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	blockSize := opts.BlockSize
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
-	sorter := extsort.NewWithOptions(extsort.Options{MemoryBudget: opts.SortMemoryBudget})
+	const pollEvery = 4096
+	sorter := extsort.NewWithOptions(extsort.Options{
+		MemoryBudget: opts.SortMemoryBudget,
+		Binary:       true,
+		Ctx:          ctx,
+	})
 	defer sorter.Discard()
 	var scratch []string
+	var recBuf []byte
+	emitted := 0
 	for i := range c.Intervals {
 		for _, d := range c.Intervals[i].Docs {
 			if d.Interval != i {
@@ -131,8 +153,14 @@ func BuildDisk(c *corpus.Collection, path string, opts DiskOptions) (err error) 
 				if strings.ContainsAny(w, "\x00\n") {
 					return fmt.Errorf("index: interval %d: keyword %q contains NUL or newline", i, w)
 				}
-				if err := sorter.Add(encodePosting(i, w, d.ID)); err != nil {
+				recBuf = encodePosting(recBuf, i, w, d.ID)
+				if err := sorter.Add(string(recBuf)); err != nil {
 					return err
+				}
+				if emitted++; emitted%pollEvery == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -199,7 +227,13 @@ func BuildDisk(c *corpus.Collection, path string, opts DiskOptions) (err error) 
 		df = 0
 		return nil
 	}
+	written := 0
 	for {
+		if written++; written%pollEvery == 0 {
+			if err = ctx.Err(); err != nil {
+				return err
+			}
+		}
 		rec, ok := it.Next()
 		if !ok {
 			break

@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -17,11 +18,28 @@ import (
 // (or n <= 1) runs sequentially on the calling goroutine, stopping at
 // the first error — the no-goroutine ablation path.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done no new task
+// is started (in-flight tasks finish) and ctx.Err() is returned unless
+// an earlier task error takes precedence. Cancellation between tasks is
+// the pool's responsibility; cancellation *inside* a long fn is the
+// callee's (pass ctx down).
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	done := ctx.Done()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -47,7 +65,17 @@ func ForEach(n, workers int, fn func(i int) error) error {
 			}
 		}()
 	}
+	canceled := false
+dispatch:
 	for i := 0; i < n; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				canceled = true
+				break dispatch
+			default:
+			}
+		}
 		indexCh <- i
 	}
 	close(indexCh)
@@ -56,6 +84,9 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if canceled {
+		return ctx.Err()
 	}
 	return nil
 }

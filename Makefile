@@ -17,7 +17,7 @@ BENCH_COUNT ?= 3
 # fetched through the module cache, never added to go.mod.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build check vet test race fmt-check staticcheck bench bench-gate fuzz-smoke examples-smoke clean
+.PHONY: all build check vet test race fmt-check staticcheck bench bench-gate fuzz-smoke examples-smoke serve-smoke clean
 
 all: check
 
@@ -48,13 +48,14 @@ check: build vet test race
 
 # Perf trajectory: Table 1 keyword-graph construction, the ablation
 # benches, the Section 4 cluster-graph/simjoin benches, the index
-# backend benches and the extsort record-format before/after, in
-# test2json format (one JSON object per line). BENCH_OUT redirects the
-# dump (bench-gate writes an untracked file so the committed
-# trajectory is never clobbered).
+# backend benches, the extsort record-format/pre-merge-combine
+# before/afters and the HTTP serving-layer load benches, in test2json
+# format (one JSON object per line). BENCH_OUT redirects the dump
+# (bench-gate writes an untracked file so the committed trajectory is
+# never clobbered).
 BENCH_OUT ?= BENCH_table1.json
 bench:
-	$(GO) test -run '^$$' -bench 'Table1|Ablation|ClusterGraph|SimJoin|DiskIndex|Extsort' -benchmem -count $(BENCH_COUNT) -json . > $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'Table1|Ablation|ClusterGraph|SimJoin|DiskIndex|Extsort|Serve' -benchmem -count $(BENCH_COUNT) -json . > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT) ($$(grep -c '"Action":"output"' $(BENCH_OUT)) output events)"
 
 # Regression gate: rerun the bench set once into the untracked
@@ -86,6 +87,14 @@ examples-smoke:
 	$(GO) build ./examples/...
 	$(GO) vet ./examples/...
 	$(GO) run ./examples/quickstart
+
+# Serving-layer smoke: boot blogserved on the demo corpus, curl every
+# endpoint, assert a cache hit, the 400 mapping and a clean SIGTERM
+# drain (scripts/serve-smoke.sh; the admission/429 path is covered
+# deterministically by the internal/server race tests). CI's examples
+# job runs this after examples-smoke.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 clean:
 	rm -f BENCH_table1.json BENCH_fresh.json

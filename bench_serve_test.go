@@ -1,0 +1,126 @@
+package blogclusters_test
+
+// Load benchmarks for the HTTP serving layer (internal/server), driven
+// through httptest against one shared Engine session. External test
+// package: internal/server imports the root package, so these cannot
+// live in the in-package bench file.
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	blogclusters "repro"
+	"repro/internal/server"
+)
+
+// --- Serving layer (internal/server over httptest) ---
+
+// benchServer boots the HTTP serving layer over a small seeded
+// news-week session, pre-materializing the artifacts so per-request
+// cost is measured, not first-build cost.
+func benchServer(b *testing.B, cacheBytes int) *httptest.Server {
+	b.Helper()
+	eng, err := blogclusters.Open(context.Background(), blogclusters.FromGenerator(blogclusters.NewsWeekCorpus(2007, 60)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	if _, err := eng.Clusters(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Index(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(server.Config{
+		CacheBytes: cacheBytes,
+		Logger:     slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	srv.SetEngine(eng)
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func benchGet(b *testing.B, client *http.Client, url string) {
+	b.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServeTimeSeries measures a light index-backed query through
+// the full HTTP stack: "cached" replays the LRU entry, "uncached"
+// (cache disabled) pays param analysis + the Engine index lookup +
+// JSON rendering every time. The gap is what the response cache buys
+// on hot keyword queries.
+func BenchmarkServeTimeSeries(b *testing.B) {
+	for _, v := range []struct {
+		name       string
+		cacheBytes int
+	}{
+		{"cached", server.DefaultCacheBytes},
+		{"uncached", -1},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			ts := benchServer(b, v.cacheBytes)
+			url := ts.URL + "/v1/timeseries?keyword=somalia"
+			benchGet(b, ts.Client(), url) // warm engine + cache
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchGet(b, ts.Client(), url)
+			}
+		})
+	}
+}
+
+// BenchmarkServeStableClusters measures the heavy aggregate query:
+// "cached" is the hot path (one solver run total, then replays),
+// "uncached" re-runs the BFS solver per request over the memoized
+// graph — the repeated-aggregate-query cost the response cache exists
+// to absorb.
+func BenchmarkServeStableClusters(b *testing.B) {
+	for _, v := range []struct {
+		name       string
+		cacheBytes int
+	}{
+		{"cached", server.DefaultCacheBytes},
+		{"uncached", -1},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			ts := benchServer(b, v.cacheBytes)
+			url := ts.URL + "/v1/stable-clusters?k=5"
+			benchGet(b, ts.Client(), url)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchGet(b, ts.Client(), url)
+			}
+		})
+	}
+}
+
+// BenchmarkServeParallelHot measures the single-flight cache under
+// contention: GOMAXPROCS client goroutines hammering one hot query.
+func BenchmarkServeParallelHot(b *testing.B) {
+	ts := benchServer(b, server.DefaultCacheBytes)
+	url := ts.URL + "/v1/stable-clusters?k=5"
+	benchGet(b, ts.Client(), url)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			benchGet(b, ts.Client(), url)
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	binenc "encoding/binary"
 	"fmt"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	"repro/internal/bicc"
@@ -710,4 +711,82 @@ func BenchmarkExtsortPostingRecords(b *testing.B) {
 			return string(buf)
 		})
 	})
+}
+
+// BenchmarkExtsortPreMergeCombine is the before/after line for
+// aggregating pre-merges (Options.Combine) on pair-count-shaped data:
+// many spilled runs that each re-emit the same hot keys, the workload
+// cooccur's sharded counting produces under a tight memory budget.
+// "plain" carries every duplicate to the consumer; "combine" collapses
+// equal keys during the grouped pre-merge, shrinking every downstream
+// merge pass.
+func BenchmarkExtsortPreMergeCombine(b *testing.B) {
+	const (
+		nRuns  = 96
+		nKeys  = 400
+		fanIn  = 8
+		keyLen = 16
+	)
+	runRecs := make([][]string, nRuns)
+	for r := range runRecs {
+		recs := make([]string, nKeys)
+		for k := 0; k < nKeys; k++ {
+			recs[k] = fmt.Sprintf("%0*x %d", keyLen, uint64(k), r+k+1)
+		}
+		runRecs[r] = recs
+	}
+	combine := func(acc, next string) (string, bool) {
+		if len(acc) <= keyLen || len(next) <= keyLen || acc[:keyLen+1] != next[:keyLen+1] {
+			return "", false
+		}
+		a, err := strconv.ParseInt(acc[keyLen+1:], 10, 64)
+		if err != nil {
+			return "", false
+		}
+		bb, err := strconv.ParseInt(next[keyLen+1:], 10, 64)
+		if err != nil {
+			return "", false
+		}
+		buf := make([]byte, 0, len(acc)+4)
+		buf = append(buf, acc[:keyLen+1]...)
+		buf = strconv.AppendInt(buf, a+bb, 10)
+		return string(buf), true
+	}
+	for _, v := range []struct {
+		name    string
+		combine func(acc, next string) (string, bool)
+	}{
+		{"plain", nil},
+		{"combine", combine},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := extsort.NewWithOptions(extsort.Options{FanIn: fanIn, Combine: v.combine})
+				for _, recs := range runRecs {
+					if err := s.AddSortedRun(recs); err != nil {
+						b.Fatal(err)
+					}
+				}
+				it, err := s.Sort()
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for {
+					if _, ok := it.Next(); !ok {
+						break
+					}
+					n++
+				}
+				if err := it.Err(); err != nil {
+					b.Fatal(err)
+				}
+				it.Close()
+				if n == 0 || (v.combine == nil && n != nRuns*nKeys) {
+					b.Fatalf("bad record count %d", n)
+				}
+			}
+		})
+	}
 }

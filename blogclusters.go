@@ -268,7 +268,7 @@ func solveStable(ctx context.Context, g *ClusterGraph, algorithm string, k, l in
 	case "brute":
 		return core.BruteKL(g, opts)
 	default:
-		return nil, fmt.Errorf("blogclusters: unknown algorithm %q (want bfs, dfs, ta or brute)", algorithm)
+		return nil, fmt.Errorf("blogclusters: unknown algorithm %q (want bfs, dfs, ta or brute): %w", algorithm, ErrInvalidQuery)
 	}
 }
 

@@ -25,8 +25,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"os/signal"
 	"strings"
 
 	blogclusters "repro"
@@ -53,7 +51,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 
 	eng, err := blogclusters.Open(ctx, src, shared.Options(blogclusters.ClusterOptions{}, blogclusters.GraphOptions{})...)

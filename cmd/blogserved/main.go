@@ -1,0 +1,150 @@
+// Command blogserved serves the blogclusters query surface over HTTP:
+// one long-running Engine session (the paper's BlogScope deployment
+// shape — load the corpus once, answer many analysis queries) behind
+// the production plumbing of internal/server: admission control,
+// per-request deadlines, a single-flight LRU response cache,
+// structured access logs and debug stats.
+//
+// Usage:
+//
+//	blogserved -demo                                # synthetic news week
+//	blogserved -input posts.jsonl -addr :8080
+//	blogserved -demo -index disk -max-inflight 128 -cache-bytes 33554432
+//
+// The listener comes up immediately; the corpus loads in the
+// background and /readyz flips to 200 when the session is attached,
+// so orchestrators can health-check during a slow load. SIGINT or
+// SIGTERM drains: the listener stops accepting, in-flight requests
+// finish (up to -drain-timeout), then the session closes (canceling
+// any still-running builds and removing a temp disk segment). See
+// README.md for the endpoint reference and curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	blogclusters "repro"
+	"repro/internal/cli"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("blogserved: ")
+
+	var shared cli.EngineFlags
+	shared.Register(flag.CommandLine)
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxInflight  = flag.Int("max-inflight", server.DefaultMaxInflight, "max concurrently admitted /v1 queries; overflow gets 429 + Retry-After")
+		cacheBytes   = flag.Int("cache-bytes", server.DefaultCacheBytes, "response-cache budget in bytes; negative disables caching")
+		reqTimeout   = flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request query deadline")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+		gap          = flag.Int("gap", 1, "gap g for the session's default cluster graph")
+		theta        = flag.Float64("theta", 0.1, "minimum affinity for a cluster-graph edge")
+		simjoin      = flag.Bool("simjoin", false, "build cluster-graph edges with the prefix-filter similarity join")
+	)
+	flag.Parse()
+
+	src, err := shared.Source()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	srv := server.New(server.Config{
+		MaxInflight:    *maxInflight,
+		CacheBytes:     *cacheBytes,
+		RequestTimeout: *reqTimeout,
+		Logger:         logger,
+	})
+
+	ctx, stop := cli.SignalContext(context.Background())
+
+	// Load the corpus in the background so the listener (and /healthz,
+	// /readyz probes) come up immediately; queries 503 until the
+	// session attaches. A signal during the load cancels Open. Every
+	// exit path joins loadDone before closing the engine: SetEngine
+	// must not race past closeEngine, or a just-attached session (and
+	// its temp disk segment) would leak.
+	engineErr := make(chan error, 1)
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		opts := shared.Options(
+			blogclusters.ClusterOptions{},
+			blogclusters.GraphOptions{Gap: *gap, Theta: *theta, UseSimJoin: *simjoin},
+		)
+		eng, err := blogclusters.Open(ctx, src, opts...)
+		if err != nil {
+			engineErr <- err
+			return
+		}
+		srv.SetEngine(eng)
+		logger.Info("engine ready")
+	}()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr)
+		serveErr <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-serveErr:
+		// Listener died before any signal (bad addr, port in use).
+		stop()
+		<-loadDone
+		closeEngine(srv, logger)
+		log.Fatal(err)
+	case err := <-engineErr:
+		// A signal during the load cancels Open; that is the graceful
+		// path (fall through to the drain), not a startup failure. The
+		// select races with ctx.Done when both are ready, so the branch
+		// must distinguish the two itself.
+		if ctx.Err() == nil || !errors.Is(err, context.Canceled) {
+			stop()
+			httpSrv.Close()
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: release the signal registration first so a
+	// second SIGINT/SIGTERM force-quits, then stop accepting and let
+	// in-flight requests finish, then close the session.
+	stop()
+	logger.Info("draining", "timeout", drainTimeout.String())
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Error("drain incomplete", "err", err)
+		httpSrv.Close()
+	}
+	// The canceled ctx aborts a still-running Open at its next poll;
+	// wait for it so the engine cannot attach after the close below.
+	<-loadDone
+	closeEngine(srv, logger)
+	logger.Info("drained; exiting")
+}
+
+// closeEngine closes the session if it ever attached, logging (not
+// dying on) close errors — at this point the process is exiting and
+// the only useful action is to report.
+func closeEngine(srv *server.Server, logger *slog.Logger) {
+	eng := srv.Engine()
+	if eng == nil {
+		return
+	}
+	if err := eng.Close(); err != nil && !errors.Is(err, context.Canceled) {
+		logger.Error("engine close", "err", err)
+	}
+}

@@ -27,7 +27,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
 	"strings"
 
 	blogclusters "repro"
@@ -60,7 +59,7 @@ func main() {
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 
 	opts := shared.Options(

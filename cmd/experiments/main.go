@@ -18,10 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
@@ -53,7 +53,7 @@ func main() {
 	}
 	// Ctrl-C cancels the pipeline stages that poll the context
 	// (keyword-graph builds, disk segment builds, extsort merges).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 	start := time.Now()
 	for _, id := range ids {

@@ -163,6 +163,13 @@ var ErrNoCorpus = errors.New("blogclusters: engine opened from cluster sets; no 
 // ErrEngineClosed is returned by queries issued after Close.
 var ErrEngineClosed = errors.New("blogclusters: engine is closed")
 
+// ErrInvalidQuery marks query-validation failures — an interval
+// outside the corpus, a query term with no analyzable keyword, an
+// unknown solver algorithm. Callers serving queries on behalf of
+// remote clients (internal/server) map it to a client error (400)
+// via errors.Is instead of sniffing message text.
+var ErrInvalidQuery = errors.New("invalid query")
+
 // Open starts a session: the corpus is loaded (or generated)
 // immediately; everything downstream is built lazily by the first
 // query that needs it. Close the Engine when done.
@@ -335,7 +342,7 @@ func (e *Engine) ClustersAt(ctx context.Context, interval int) ([]Cluster, error
 	defer cancel()
 	if sets, ok := e.sets.cached(); ok {
 		if interval < 0 || interval >= len(sets) {
-			return nil, fmt.Errorf("blogclusters: interval %d outside [0,%d)", interval, len(sets))
+			return nil, fmt.Errorf("blogclusters: interval %d outside [0,%d): %w", interval, len(sets), ErrInvalidQuery)
 		}
 		return sets[interval], nil
 	}
@@ -343,7 +350,7 @@ func (e *Engine) ClustersAt(ctx context.Context, interval int) ([]Cluster, error
 		return nil, ErrNoCorpus
 	}
 	if interval < 0 || interval >= len(e.col.Intervals) {
-		return nil, fmt.Errorf("blogclusters: interval %d outside [0,%d)", interval, len(e.col.Intervals))
+		return nil, fmt.Errorf("blogclusters: interval %d outside [0,%d): %w", interval, len(e.col.Intervals), ErrInvalidQuery)
 	}
 	e.intervalMu.Lock()
 	m, ok := e.intervalSets[interval]
@@ -398,7 +405,7 @@ func (e *Engine) kwGraph(ctx context.Context, interval int) (*KeywordGraph, erro
 		return nil, ErrNoCorpus
 	}
 	if interval < 0 || interval >= len(e.col.Intervals) {
-		return nil, fmt.Errorf("blogclusters: interval %d outside corpus (%d intervals)", interval, len(e.col.Intervals))
+		return nil, fmt.Errorf("blogclusters: interval %d outside corpus (%d intervals): %w", interval, len(e.col.Intervals), ErrInvalidQuery)
 	}
 	e.kwMu.Lock()
 	m, ok := e.kwGraphs[interval]
@@ -446,7 +453,7 @@ func (e *Engine) docTotals(ctx context.Context) ([]int64, error) {
 func analyzed(raw string) (string, error) {
 	kws := NewAnalyzer().Keywords(raw)
 	if len(kws) == 0 {
-		return "", fmt.Errorf("blogclusters: query %q has no analyzable keyword", raw)
+		return "", fmt.Errorf("blogclusters: query %q has no analyzable keyword: %w", raw, ErrInvalidQuery)
 	}
 	return kws[0], nil
 }
@@ -619,26 +626,34 @@ func (e *Engine) Describe(ctx context.Context, p Path) (string, error) {
 // --- observability ---
 
 // StageTiming is one stage's build accounting.
+//
+// The JSON field names are pinned by TestEngineStatsJSON: external
+// consumers (the serving layer's /debug/stats, dashboards scraping it)
+// parse them, so renames are breaking changes. Total marshals as
+// "total_ns" to make the nanosecond unit explicit on the wire.
 type StageTiming struct {
 	// Builds counts completed builds of the stage ("clusters" and
 	// "index" build at most once per session; "graph" and "kwgraph"
 	// once per distinct option set / interval).
-	Builds int64
+	Builds int64 `json:"builds"`
 	// Total is the cumulative wall-clock build time.
-	Total time.Duration
+	Total time.Duration `json:"total_ns"`
 }
 
 // EngineStats is a point-in-time snapshot of the session's work.
+//
+// Marshals to stable JSON (field names pinned by TestEngineStatsJSON):
+// this is the payload /debug/stats serves.
 type EngineStats struct {
 	// Queries counts Engine query/artifact calls issued.
-	Queries int64
+	Queries int64 `json:"queries"`
 	// Stages maps stage name → build accounting. Single-flight means
 	// Stages["clusters"].Builds is 1 no matter how many goroutines
 	// raced to first use.
-	Stages map[string]StageTiming
+	Stages map[string]StageTiming `json:"stages"`
 	// IndexIO is the disk index backend's I/O counters (zero for the
 	// mem backend or while the index is unbuilt).
-	IndexIO diskstore.IOStats
+	IndexIO diskstore.IOStats `json:"index_io"`
 }
 
 // Stats snapshots the session counters.

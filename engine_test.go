@@ -2,6 +2,7 @@ package blogclusters
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -443,5 +444,83 @@ func TestEngineProgress(t *testing.T) {
 		if evs[1].Err != nil {
 			t.Fatalf("stage %q finished with error %v", stage, evs[1].Err)
 		}
+	}
+}
+
+// TestEngineStatsJSON pins the EngineStats wire format: the serving
+// layer's /debug/stats (and anything scraping it) parses these field
+// names, so a rename here is a breaking API change and must fail this
+// test first.
+func TestEngineStatsJSON(t *testing.T) {
+	col := testCorpus(t, 60)
+	ctx := context.Background()
+	eng, err := Open(ctx, FromCollection(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	// Materialize the index so the stages map is non-empty and IndexIO
+	// has been through its lookup path.
+	if _, err := eng.TimeSeries(ctx, "somalia"); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := json.Marshal(eng.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	wantTop := []string{"queries", "stages", "index_io"}
+	if len(m) != len(wantTop) {
+		t.Fatalf("EngineStats JSON has %d fields, want %d: %s", len(m), len(wantTop), raw)
+	}
+	for _, k := range wantTop {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("EngineStats JSON missing %q: %s", k, raw)
+		}
+	}
+
+	var stages map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(m["stages"], &stages); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stages["index"]; !ok {
+		t.Fatalf("stages missing %q after TimeSeries: %s", "index", m["stages"])
+	}
+	for name, st := range stages {
+		for _, k := range []string{"builds", "total_ns"} {
+			if _, ok := st[k]; !ok {
+				t.Fatalf("stage %q missing field %q: %s", name, k, m["stages"])
+			}
+		}
+		if len(st) != 2 {
+			t.Fatalf("stage %q has %d fields, want 2: %s", name, len(st), m["stages"])
+		}
+	}
+
+	var io map[string]int64
+	if err := json.Unmarshal(m["index_io"], &io); err != nil {
+		t.Fatal(err)
+	}
+	wantIO := []string{"random_reads", "sequential_reads", "writes", "bytes_read", "bytes_written"}
+	if len(io) != len(wantIO) {
+		t.Fatalf("index_io has %d fields, want %d: %s", len(io), len(wantIO), m["index_io"])
+	}
+	for _, k := range wantIO {
+		if _, ok := io[k]; !ok {
+			t.Fatalf("index_io missing %q: %s", k, m["index_io"])
+		}
+	}
+
+	// Round-trip: the same names unmarshal back into the struct.
+	var back EngineStats
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Queries != eng.Stats().Queries || back.Stages["index"].Builds != 1 {
+		t.Fatalf("round-trip mismatch: %+v", back)
 	}
 }

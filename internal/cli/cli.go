@@ -1,9 +1,11 @@
-// Package cli holds the flag and corpus boilerplate shared by the
-// commands (cmd/blogscope, cmd/blogstable): corpus selection
-// (-input/-demo), pipeline knobs (-parallelism/-membudget) and index
-// backend selection (-index/-indexcache/-indexfile), mapped onto a
-// blogclusters.Engine source and option list. Each command keeps only
-// the flags specific to its own query surface.
+// Package cli holds the flag, corpus and lifecycle boilerplate shared
+// by the commands (cmd/blogscope, cmd/blogstable, cmd/blogserved,
+// cmd/experiments): corpus selection (-input/-demo), pipeline knobs
+// (-parallelism/-membudget) and index backend selection
+// (-index/-indexcache/-indexfile) mapped onto a blogclusters.Engine
+// source and option list, plus the SIGINT/SIGTERM graceful-shutdown
+// context (SignalContext) every command cancels on. Each command keeps
+// only the flags specific to its own query surface.
 package cli
 
 import (

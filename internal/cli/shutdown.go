@@ -1,0 +1,25 @@
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context canceled on SIGINT or SIGTERM — the
+// graceful-shutdown trigger shared by every command. Interactive runs
+// die to Ctrl-C exactly as before; process supervisors (systemd,
+// Kubernetes, docker stop) send SIGTERM, which previously killed the
+// commands without letting Engine sessions cancel builds or remove
+// temp disk segments.
+//
+// The returned stop function releases the signal registration,
+// restoring the default die-on-signal behavior. Callers that keep
+// running after the context fires (drain loops) should call stop at
+// that point so a second signal force-quits instead of being swallowed
+// — the standard "press Ctrl-C twice" escape hatch; cmd/blogserved
+// does exactly that.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

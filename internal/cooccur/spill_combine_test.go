@@ -1,0 +1,57 @@
+package cooccur
+
+import "testing"
+
+// TestCombineSpillRecords covers the extsort pre-merge hook directly:
+// equal keys fold with summed counts, different keys and malformed
+// records are left alone.
+func TestCombineSpillRecords(t *testing.T) {
+	a := string(appendSpillRecord(nil, pairKey(3, 7), 5))
+	b := string(appendSpillRecord(nil, pairKey(3, 7), 11))
+	c := string(appendSpillRecord(nil, pairKey(3, 8), 2))
+
+	merged, ok := combineSpillRecords(a, b)
+	if !ok {
+		t.Fatalf("equal keys did not combine: %q %q", a, b)
+	}
+	key, count, err := parseSpillRecord(merged)
+	if err != nil {
+		t.Fatalf("combined record unparseable: %v", err)
+	}
+	if key != pairKey(3, 7) || count != 16 {
+		t.Fatalf("combined to key %x count %d, want key %x count 16", key, count, pairKey(3, 7))
+	}
+	// The combined record must sort like its inputs: same key prefix.
+	if merged[:17] != a[:17] {
+		t.Fatalf("combined record changed its key prefix: %q vs %q", merged, a)
+	}
+
+	if _, ok := combineSpillRecords(a, c); ok {
+		t.Fatal("different keys combined")
+	}
+	if _, ok := combineSpillRecords("short", a); ok {
+		t.Fatal("malformed acc combined")
+	}
+	if _, ok := combineSpillRecords(a, a[:16]+"x999"); ok {
+		t.Fatal("malformed next combined")
+	}
+}
+
+// TestBuildSpillCombineEquivalence forces many tiny spilled runs (so
+// extsort pre-merges with the combine hook) and checks the graph is
+// identical to the pure in-memory build.
+func TestBuildSpillCombineEquivalence(t *testing.T) {
+	col := equivCorpus(t, 11, 400)
+	want, err := Build(col, 0, 0, BuildOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny MemBudget forces a spill per handful of documents and a
+	// tiny SortMemoryBudget splits each spill into many runs, pushing
+	// the run count past the merge fan-in so pre-merge combining runs.
+	got, err := Build(col, 0, 0, BuildOptions{Parallelism: 4, MemBudget: 4 << 10, SortMemoryBudget: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalGraphs(t, want, got, "combine-spill")
+}

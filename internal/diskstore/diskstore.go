@@ -21,12 +21,15 @@ import (
 
 // IOStats counts storage operations. Random operations are keyed
 // lookups; sequential operations come from Scan.
+//
+// The JSON field names are part of the EngineStats wire format served
+// by /debug/stats (pinned by TestEngineStatsJSON in the root package).
 type IOStats struct {
-	RandomReads     int64
-	SequentialReads int64
-	Writes          int64
-	BytesRead       int64
-	BytesWritten    int64
+	RandomReads     int64 `json:"random_reads"`
+	SequentialReads int64 `json:"sequential_reads"`
+	Writes          int64 `json:"writes"`
+	BytesRead       int64 `json:"bytes_read"`
+	BytesWritten    int64 `json:"bytes_written"`
 }
 
 // Add accumulates other into s.

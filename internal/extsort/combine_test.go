@@ -1,0 +1,160 @@
+package extsort
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// combineRec is the test record shape: "<4-digit key> <count>". The
+// fixed-width key prefix makes record order equal key order, mirroring
+// the cooccur spill codec.
+func combineRec(key, count int) string {
+	return fmt.Sprintf("%04d %d", key, count)
+}
+
+func parseCombineRec(t *testing.T, rec string) (string, int) {
+	t.Helper()
+	k, v, ok := strings.Cut(rec, " ")
+	if !ok {
+		t.Fatalf("malformed record %q", rec)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		t.Fatalf("malformed count in %q: %v", rec, err)
+	}
+	return k, n
+}
+
+func sumCombine(acc, next string) (string, bool) {
+	if len(acc) < 5 || len(next) < 5 || acc[:5] != next[:5] {
+		return "", false
+	}
+	_, a := splitCount(acc)
+	_, b := splitCount(next)
+	return acc[:5] + strconv.Itoa(a+b), true
+}
+
+func splitCount(rec string) (string, int) {
+	n, _ := strconv.Atoi(rec[5:])
+	return rec[:4], n
+}
+
+// drainTotals sorts the given sorter and folds the stream into
+// per-key totals, counting the records it saw.
+func drainTotals(t *testing.T, s *Sorter) (map[string]int, int) {
+	t.Helper()
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	totals := map[string]int{}
+	records := 0
+	for {
+		rec, ok := it.Next()
+		if !ok {
+			break
+		}
+		records++
+		k, n := parseCombineRec(t, rec)
+		totals[k] += n
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return totals, records
+}
+
+// TestCombinePreMerge proves the pre-merge aggregation is an
+// equivalence-preserving optimization: with and without Combine the
+// folded per-key totals are identical, but with Combine the stream the
+// consumer sees is collapsed to (at most a few multiples of) the
+// distinct key count, and Stats.Combined accounts for every collapsed
+// record.
+func TestCombinePreMerge(t *testing.T) {
+	const (
+		keys    = 40
+		runs    = 64 // far above FanIn, forcing multiple pre-merge passes
+		perRun  = keys
+		fanIn   = 4
+		records = runs * perRun
+	)
+	for _, bin := range []bool{false, true} {
+		name := "text"
+		if bin {
+			name = "binary"
+		}
+		t.Run(name, func(t *testing.T) {
+			build := func(combine func(string, string) (string, bool)) *Sorter {
+				s := NewWithOptions(Options{FanIn: fanIn, Binary: bin, Combine: combine})
+				for r := 0; r < runs; r++ {
+					recs := make([]string, 0, perRun)
+					for k := 0; k < keys; k++ {
+						recs = append(recs, combineRec(k, r+k+1))
+					}
+					if err := s.AddSortedRun(recs); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return s
+			}
+
+			plain := build(nil)
+			wantTotals, wantRecords := drainTotals(t, plain)
+			if wantRecords != records {
+				t.Fatalf("baseline streamed %d records, want %d", wantRecords, records)
+			}
+
+			combined := build(sumCombine)
+			gotTotals, gotRecords := drainTotals(t, combined)
+			if len(gotTotals) != len(wantTotals) {
+				t.Fatalf("combined run lost keys: %d vs %d", len(gotTotals), len(wantTotals))
+			}
+			for k, want := range wantTotals {
+				if gotTotals[k] != want {
+					t.Errorf("key %s: combined total %d, want %d", k, gotTotals[k], want)
+				}
+			}
+			if gotRecords >= wantRecords {
+				t.Fatalf("combine did not shrink the stream: %d records vs %d", gotRecords, wantRecords)
+			}
+			// The final merge reads at most FanIn pre-merged runs, each
+			// already collapsed to distinct keys, so the stream is bounded
+			// by FanIn*keys — far below the raw record count.
+			if gotRecords > fanIn*keys {
+				t.Fatalf("combined stream has %d records, want <= %d", gotRecords, fanIn*keys)
+			}
+			st := combined.Stats()
+			if st.Combined == 0 {
+				t.Fatal("Stats.Combined is zero after pre-merge with Combine")
+			}
+			if int(st.Combined) != records-gotRecords {
+				t.Fatalf("Stats.Combined = %d, want %d (records %d → %d)", st.Combined, records-gotRecords, records, gotRecords)
+			}
+		})
+	}
+}
+
+// TestCombineNotAppliedWithoutPreMerge pins the contract that the
+// final streaming merge never combines: with few runs (<= FanIn) the
+// consumer sees every record and must aggregate itself.
+func TestCombineNotAppliedWithoutPreMerge(t *testing.T) {
+	s := NewWithOptions(Options{FanIn: 16, Combine: sumCombine})
+	for r := 0; r < 4; r++ {
+		if err := s.AddSortedRun([]string{combineRec(1, 10), combineRec(2, 20)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	totals, records := drainTotals(t, s)
+	if records != 8 {
+		t.Fatalf("streamed %d records, want 8 (no pre-merge, no combining)", records)
+	}
+	if totals["0001"] != 40 || totals["0002"] != 80 {
+		t.Fatalf("bad totals: %v", totals)
+	}
+	if st := s.Stats(); st.Combined != 0 {
+		t.Fatalf("Stats.Combined = %d, want 0", st.Combined)
+	}
+}

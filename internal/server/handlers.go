@@ -1,0 +1,625 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	blogclusters "repro"
+)
+
+// --- JSON plumbing ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		// Response structs are plain data; a marshal failure is a bug.
+		http.Error(w, `{"error":"encode response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+// renderEntry marshals v into a replayable cache entry.
+func renderEntry(v any) (*cacheEntry, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return &cacheEntry{status: http.StatusOK, contentType: "application/json", body: buf.Bytes()}, nil
+}
+
+// writeEntry replays a (possibly cached) entry, tagging how the cache
+// treated it.
+func writeEntry(w http.ResponseWriter, e *cacheEntry, state cacheState) {
+	w.Header().Set("Content-Type", e.contentType)
+	w.Header().Set("X-Cache", string(state))
+	w.WriteHeader(e.status)
+	w.Write(e.body)
+}
+
+// errStatus maps an Engine/query error onto an HTTP status via its
+// sentinel: validation failures (ErrInvalidQuery) are the client's
+// fault, session-state errors are availability, everything else is a
+// server bug.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, blogclusters.ErrInvalidQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, blogclusters.ErrNoCorpus):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, blogclusters.ErrEngineClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the access log only.
+		return statusClientClosedRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// statusClientClosedRequest is nginx's conventional 499 for
+// client-canceled requests; net/http has no name for it.
+const statusClientClosedRequest = 499
+
+// serve runs one cacheable query: resolve the session, consult the
+// response cache under the normalized key, fill via the Engine on a
+// miss, replay the rendered bytes. result builds the response body;
+// it runs at most once across concurrent identical requests.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, result func(ctx context.Context, eng *blogclusters.Engine) (any, error)) {
+	eng := s.Engine()
+	if eng == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "corpus is still loading; retry shortly")
+		return
+	}
+	entry, state, err := s.cache.Do(r.Context(), key, func(ctx context.Context) (*cacheEntry, error) {
+		v, err := result(ctx, eng)
+		if err != nil {
+			return nil, err
+		}
+		return renderEntry(v)
+	})
+	if err != nil {
+		writeError(w, errStatus(err), err.Error())
+		return
+	}
+	writeEntry(w, entry, state)
+}
+
+// --- param parsing ---
+
+// params wraps url.Values with typed accessors that accumulate the
+// first error, and records every (name, value) pair it resolved —
+// including defaults — so the cache key is the normalized parameter
+// set, not the raw query string: ?k=5 and ?? (absent, default 5) and
+// ?k=05 all share one cache entry.
+type params struct {
+	q        url.Values
+	resolved [][2]string
+	err      error
+}
+
+func newParams(r *http.Request) *params { return &params{q: r.URL.Query()} }
+
+func (p *params) fail(name, val, want string) {
+	if p.err == nil {
+		p.err = fmt.Errorf("parameter %q: %q is not %s", name, val, want)
+	}
+}
+
+func (p *params) record(name, val string) {
+	p.resolved = append(p.resolved, [2]string{name, val})
+}
+
+// str returns the raw parameter or def when absent.
+func (p *params) str(name, def string) string {
+	v := p.q.Get(name)
+	if v == "" {
+		v = def
+	}
+	p.record(name, v)
+	return v
+}
+
+// requiredRaw fails when the parameter is missing or empty, without
+// recording it in the cache key: keyword- and list-shaped parameters
+// key the cache on a normalized form the handler records afterwards
+// (the analyzed keyword, the re-rendered node list), so surface
+// variants share one entry.
+func (p *params) requiredRaw(name string) string {
+	v := p.q.Get(name)
+	if v == "" && p.err == nil {
+		p.err = fmt.Errorf("parameter %q is required", name)
+	}
+	return v
+}
+
+func (p *params) intDef(name string, def int) int {
+	raw := p.q.Get(name)
+	if raw == "" {
+		p.record(name, strconv.Itoa(def))
+		return def
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		p.fail(name, raw, "an integer")
+		return def
+	}
+	p.record(name, strconv.Itoa(n))
+	return n
+}
+
+// intFloor is intDef with a floor: parsed values below floor clamp to
+// it before being recorded, so requests that mean the same thing (any
+// negative l = full paths) share one cache key.
+func (p *params) intFloor(name string, def, floor int) int {
+	raw := p.q.Get(name)
+	n := def
+	if raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil {
+			p.fail(name, raw, "an integer")
+		} else {
+			n = v
+		}
+	}
+	if n < floor {
+		n = floor
+	}
+	p.record(name, strconv.Itoa(n))
+	return n
+}
+
+func (p *params) requiredInt(name string) int {
+	raw := p.q.Get(name)
+	if raw == "" {
+		if p.err == nil {
+			p.err = fmt.Errorf("parameter %q is required", name)
+		}
+		return 0
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		p.fail(name, raw, "an integer")
+		return 0
+	}
+	p.record(name, strconv.Itoa(n))
+	return n
+}
+
+// enum returns the parameter (or def) and fails unless it is one of
+// allowed.
+func (p *params) enum(name, def string, allowed ...string) string {
+	v := p.str(name, def)
+	for _, a := range allowed {
+		if v == a {
+			return v
+		}
+	}
+	p.fail(name, v, "one of "+strings.Join(allowed, "|"))
+	return def
+}
+
+// key builds the canonical cache key: route name plus the resolved
+// (name, value) pairs in sorted order.
+func (p *params) key(route string) string {
+	pairs := make([]string, len(p.resolved))
+	for i, kv := range p.resolved {
+		pairs[i] = kv[0] + "=" + kv[1]
+	}
+	sort.Strings(pairs)
+	return route + "?" + strings.Join(pairs, "&")
+}
+
+// analyzedKeyword normalizes a raw query term exactly like the Engine
+// (and the corpus analyzer) does and records the analyzed form as the
+// parameter's cache-key value, so surface variants — "Somalia",
+// "somalia", "somalias" — share one cache entry, mirroring the
+// paper's rule that queries are analyzed exactly like documents.
+// Response bodies echo the analyzed form for the same reason: it is
+// the term the Engine actually answered for.
+func analyzedKeyword(p *params, name string, raw string) string {
+	if raw == "" {
+		return ""
+	}
+	kws := blogclusters.NewAnalyzer().Keywords(raw)
+	if len(kws) == 0 {
+		p.fail(name, raw, "an analyzable keyword")
+		return ""
+	}
+	p.record(name, kws[0])
+	return kws[0]
+}
+
+// --- response shapes ---
+
+type pathJSON struct {
+	Nodes  []int64 `json:"nodes"`
+	Length int     `json:"length"`
+	Weight float64 `json:"weight"`
+}
+
+type solverStatsJSON struct {
+	NodeReads     int64 `json:"node_reads"`
+	NodeWrites    int64 `json:"node_writes"`
+	EdgeReads     int64 `json:"edge_reads"`
+	HeapConsiders int64 `json:"heap_considers"`
+	Pruned        int64 `json:"pruned"`
+}
+
+func toPathsJSON(res *blogclusters.Result) ([]pathJSON, solverStatsJSON) {
+	paths := make([]pathJSON, len(res.Paths))
+	for i, p := range res.Paths {
+		paths[i] = pathJSON{Nodes: p.Nodes, Length: p.Length, Weight: p.Weight}
+	}
+	st := res.Stats
+	return paths, solverStatsJSON{
+		NodeReads:     st.NodeReads,
+		NodeWrites:    st.NodeWrites,
+		EdgeReads:     st.EdgeReads,
+		HeapConsiders: st.HeapConsiders,
+		Pruned:        st.Pruned,
+	}
+}
+
+// --- /v1 handlers ---
+
+// handleStableClusters answers Problems 1 and 2 and the diversity
+// variant over the session's default graph: ?variant=topk (default,
+// with ?algorithm=bfs|dfs|ta|brute, ?k, ?l), ?variant=normalized
+// (?k, ?lmin) or ?variant=diverse (?k, ?l, ?mode).
+func (s *Server) handleStableClusters(w http.ResponseWriter, r *http.Request) {
+	p := newParams(r)
+	variant := p.enum("variant", "topk", "topk", "normalized", "diverse")
+	k := p.intDef("k", 5)
+	var (
+		algorithm string
+		l, lmin   int
+		mode      string
+	)
+	switch variant {
+	case "topk":
+		algorithm = p.enum("algorithm", "bfs", "bfs", "dfs", "ta", "brute")
+		l = p.intFloor("l", -1, -1)
+	case "normalized":
+		lmin = p.intDef("lmin", 2)
+	case "diverse":
+		l = p.intFloor("l", -1, -1)
+		mode = p.enum("mode", "endpoints", "endpoints", "prefix", "suffix", "disjoint")
+	}
+	if k <= 0 {
+		p.fail("k", strconv.Itoa(k), "positive")
+	}
+	if p.err != nil {
+		writeError(w, http.StatusBadRequest, p.err.Error())
+		return
+	}
+	s.serve(w, r, p.key("stable-clusters"), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
+		solveL := l
+		if solveL < 0 {
+			solveL = blogclusters.FullPaths
+		}
+		var (
+			res *blogclusters.Result
+			err error
+		)
+		switch variant {
+		case "topk":
+			res, err = eng.StableClusters(ctx, algorithm, k, solveL)
+		case "normalized":
+			res, err = eng.NormalizedStableClusters(ctx, k, lmin)
+		case "diverse":
+			res, err = eng.DiverseStableClusters(ctx, k, solveL, diversityMode(mode))
+		}
+		if err != nil {
+			return nil, err
+		}
+		paths, stats := toPathsJSON(res)
+		return struct {
+			Variant string          `json:"variant"`
+			K       int             `json:"k"`
+			Paths   []pathJSON      `json:"paths"`
+			Stats   solverStatsJSON `json:"stats"`
+		}{variant, k, paths, stats}, nil
+	})
+}
+
+func diversityMode(mode string) blogclusters.DiversityMode {
+	switch mode {
+	case "prefix":
+		return blogclusters.DistinctPrefix
+	case "suffix":
+		return blogclusters.DistinctSuffix
+	case "disjoint":
+		return blogclusters.DisjointNodes
+	default:
+		return blogclusters.DistinctEndpoints
+	}
+}
+
+// handleTimeSeries serves A(w) per interval: ?keyword=.
+func (s *Server) handleTimeSeries(w http.ResponseWriter, r *http.Request) {
+	p := newParams(r)
+	raw := p.requiredRaw("keyword")
+	kw := analyzedKeyword(p, "keyword", raw)
+	if p.err != nil {
+		writeError(w, http.StatusBadRequest, p.err.Error())
+		return
+	}
+	s.serve(w, r, p.key("timeseries"), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
+		counts, err := eng.TimeSeries(ctx, raw)
+		if err != nil {
+			return nil, err
+		}
+		return struct {
+			Keyword string  `json:"keyword"`
+			Counts  []int64 `json:"counts"`
+		}{kw, counts}, nil
+	})
+}
+
+// handleBursts serves the keyword's information bursts: ?keyword=.
+func (s *Server) handleBursts(w http.ResponseWriter, r *http.Request) {
+	p := newParams(r)
+	raw := p.requiredRaw("keyword")
+	kw := analyzedKeyword(p, "keyword", raw)
+	if p.err != nil {
+		writeError(w, http.StatusBadRequest, p.err.Error())
+		return
+	}
+	type burstJSON struct {
+		Start int     `json:"start"`
+		End   int     `json:"end"`
+		Score float64 `json:"score"`
+	}
+	s.serve(w, r, p.key("bursts"), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
+		bursts, err := eng.Bursts(ctx, raw)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]burstJSON, len(bursts))
+		for i, b := range bursts {
+			out[i] = burstJSON{Start: b.Start, End: b.End, Score: b.Score}
+		}
+		return struct {
+			Keyword string      `json:"keyword"`
+			Bursts  []burstJSON `json:"bursts"`
+		}{kw, out}, nil
+	})
+}
+
+// handleSearch serves boolean search: ?terms=a,b,c&interval=i.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	p := newParams(r)
+	rawTerms := p.requiredRaw("terms")
+	interval := p.requiredInt("interval")
+	var terms []string
+	for _, t := range strings.Split(rawTerms, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			terms = append(terms, t)
+		}
+	}
+	if len(terms) == 0 && p.err == nil {
+		p.err = fmt.Errorf("parameter %q needs at least one term", "terms")
+	}
+	// Normalize the key on the sorted analyzed terms: boolean AND is
+	// order-insensitive, so "a,b" and "b,a" share one entry.
+	analyzer := blogclusters.NewAnalyzer()
+	analyzed := make([]string, 0, len(terms))
+	for _, t := range terms {
+		kws := analyzer.Keywords(t)
+		if len(kws) == 0 {
+			p.fail("terms", t, "an analyzable keyword")
+			break
+		}
+		analyzed = append(analyzed, kws[0])
+	}
+	sort.Strings(analyzed)
+	p.record("terms", strings.Join(analyzed, ","))
+	if p.err != nil {
+		writeError(w, http.StatusBadRequest, p.err.Error())
+		return
+	}
+	s.serve(w, r, p.key("search"), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
+		// The index treats out-of-range intervals as empty; surface a
+		// 400 instead so a typo'd interval is not a silent zero-result
+		// (matching Refine/Correlations, which validate in the Engine).
+		if col := eng.Collection(); col != nil && (interval < 0 || interval >= len(col.Intervals)) {
+			return nil, fmt.Errorf("interval %d outside [0,%d): %w", interval, len(col.Intervals), blogclusters.ErrInvalidQuery)
+		}
+		ids, err := eng.Search(ctx, terms, interval)
+		if err != nil {
+			return nil, err
+		}
+		if ids == nil {
+			ids = []int64{}
+		}
+		return struct {
+			Terms    []string `json:"terms"`
+			Interval int      `json:"interval"`
+			Count    int      `json:"count"`
+			IDs      []int64  `json:"ids"`
+		}{analyzed, interval, len(ids), ids}, nil
+	})
+}
+
+// handleRefine serves query refinement: ?query=&interval=i.
+func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	p := newParams(r)
+	raw := p.requiredRaw("query")
+	interval := p.requiredInt("interval")
+	kw := analyzedKeyword(p, "query", raw)
+	if p.err != nil {
+		writeError(w, http.StatusBadRequest, p.err.Error())
+		return
+	}
+	s.serve(w, r, p.key("refine"), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
+		kws, err := eng.Refine(ctx, raw, interval)
+		if err != nil {
+			return nil, err
+		}
+		if kws == nil {
+			kws = []string{}
+		}
+		return struct {
+			Query     string   `json:"query"`
+			Interval  int      `json:"interval"`
+			Clustered bool     `json:"clustered"`
+			Keywords  []string `json:"keywords"`
+		}{kw, interval, len(kws) > 0, kws}, nil
+	})
+}
+
+// handleCorrelations serves the strongest ρ neighbors:
+// ?keyword=&interval=i&n=5.
+func (s *Server) handleCorrelations(w http.ResponseWriter, r *http.Request) {
+	p := newParams(r)
+	raw := p.requiredRaw("keyword")
+	interval := p.requiredInt("interval")
+	n := p.intDef("n", 5)
+	kw := analyzedKeyword(p, "keyword", raw)
+	if n <= 0 {
+		p.fail("n", strconv.Itoa(n), "positive")
+	}
+	if p.err != nil {
+		writeError(w, http.StatusBadRequest, p.err.Error())
+		return
+	}
+	type correlationJSON struct {
+		Keyword string  `json:"keyword"`
+		Rho     float64 `json:"rho"`
+		Count   int64   `json:"count"`
+	}
+	s.serve(w, r, p.key("correlations"), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
+		cs, err := eng.Correlations(ctx, raw, interval, n)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]correlationJSON, len(cs))
+		for i, c := range cs {
+			out[i] = correlationJSON{Keyword: c.Keyword, Rho: c.Rho, Count: c.Count}
+		}
+		return struct {
+			Keyword      string            `json:"keyword"`
+			Interval     int               `json:"interval"`
+			Correlations []correlationJSON `json:"correlations"`
+		}{kw, interval, out}, nil
+	})
+}
+
+// handleDescribe renders a stable-cluster path with its keyword
+// clusters: ?nodes=1,5,9&weight=&length= (weight/length default 0 and
+// only affect the rendered header).
+func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
+	p := newParams(r)
+	rawNodes := p.requiredRaw("nodes")
+	length := p.intDef("length", 0)
+	weightStr := p.q.Get("weight")
+	if weightStr == "" {
+		weightStr = "0"
+	}
+	weight, werr := strconv.ParseFloat(weightStr, 64)
+	if werr != nil || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		// NaN/Inf parse fine but cannot be JSON-encoded; reject here so
+		// the client gets a 400, not an encode-time 500.
+		p.fail("weight", weightStr, "a finite number")
+	}
+	var nodes []int64
+	canonical := make([]string, 0, 4)
+	if rawNodes != "" {
+		for _, f := range strings.Split(rawNodes, ",") {
+			id, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				p.fail("nodes", rawNodes, "a comma-separated list of node ids")
+				break
+			}
+			nodes = append(nodes, id)
+			canonical = append(canonical, strconv.FormatInt(id, 10))
+		}
+	}
+	// Key on the re-rendered parsed values, not the raw strings, so
+	// "1, 5" vs "1,5" and "0.0" vs "0" share one cache entry.
+	p.record("nodes", strings.Join(canonical, ","))
+	p.record("weight", strconv.FormatFloat(weight, 'g', -1, 64))
+	if p.err != nil {
+		writeError(w, http.StatusBadRequest, p.err.Error())
+		return
+	}
+	s.serve(w, r, p.key("describe"), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
+		g, err := eng.Graph(ctx)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range nodes {
+			if id < 0 || id >= int64(g.NumNodes()) {
+				return nil, fmt.Errorf("node %d outside graph [0,%d): %w", id, g.NumNodes(), blogclusters.ErrInvalidQuery)
+			}
+		}
+		path := blogclusters.Path{Nodes: nodes, Length: length, Weight: weight}
+		desc, err := eng.Describe(ctx, path)
+		if err != nil {
+			return nil, err
+		}
+		return struct {
+			Path        pathJSON `json:"path"`
+			Description string   `json:"description"`
+		}{pathJSON{Nodes: nodes, Length: length, Weight: weight}, desc}, nil
+	})
+}
+
+// --- health and observability ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+// handleReadyz reports 200 only once the corpus is loaded (SetEngine
+// ran); load balancers should gate traffic on this, not /healthz.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Engine() == nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status string `json:"status"`
+		}{"loading"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ready"})
+}
+
+// handleDebugStats serves the session's EngineStats (stage builds,
+// wall-clock, disk IOStats) next to the server counters.
+func (s *Server) handleDebugStats(w http.ResponseWriter, r *http.Request) {
+	var eng *blogclusters.EngineStats
+	if e := s.Engine(); e != nil {
+		st := e.Stats()
+		eng = &st
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Engine *blogclusters.EngineStats `json:"engine"`
+		Server Stats                     `json:"server"`
+	}{eng, s.Stats()})
+}

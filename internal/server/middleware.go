@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the status and byte count for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// withAccessLog emits one structured record per request: method, path,
+// query, status, response bytes, wall time and the cache disposition
+// (read back from the X-Cache header the handlers set).
+func (s *Server) withAccessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.requests.Add(1)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"query", r.URL.RawQuery,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000,
+			"cache", sw.Header().Get("X-Cache"),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// withAdmission is the bounded admission semaphore: at most
+// MaxInflight /v1 queries run at once, and requests beyond that are
+// rejected immediately with 429 + Retry-After rather than queued
+// without bound. Rejecting beats queueing here because every /v1
+// query can fan into multi-second Engine builds: a queue would grow
+// faster than it drains under overload, and clients with deadlines
+// would rather retry elsewhere. Health, readiness and stats stay
+// outside the semaphore so operators can always observe an overloaded
+// server.
+func (s *Server) withAdmission(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			next(w, r)
+		default:
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server is at its in-flight query limit; retry shortly")
+		}
+	}
+}
+
+// withTimeout attaches the per-request deadline. The Engine joins this
+// context with the session lifetime, so the three ways a query dies —
+// client disconnect, deadline, session Close — all cancel the same
+// builds the same way.
+func (s *Server) withTimeout(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next(w, r.WithContext(ctx))
+	}
+}
+
+// query composes the /v1 middleware stack: admission first (reject
+// before spending anything), then the deadline.
+func (s *Server) query(next http.HandlerFunc) http.HandlerFunc {
+	return s.withAdmission(s.withTimeout(next))
+}

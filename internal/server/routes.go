@@ -1,0 +1,35 @@
+package server
+
+import "net/http"
+
+// routes maps the HTTP surface onto Engine queries. Every /v1 route is
+// a GET (queries are reads; the session is the only state), wrapped in
+// the admission semaphore and per-request deadline. The operational
+// endpoints stay outside the semaphore so probes and dashboards keep
+// working while the query surface is saturated.
+//
+//	/v1/stable-clusters  → StableClusters / NormalizedStableClusters /
+//	                       DiverseStableClusters (?variant=)
+//	/v1/bursts           → Bursts
+//	/v1/timeseries       → TimeSeries
+//	/v1/search           → Search
+//	/v1/refine           → Refine
+//	/v1/correlations     → Correlations
+//	/v1/describe         → Describe (over the default graph)
+//	/healthz             → process liveness
+//	/readyz              → corpus loaded (SetEngine ran)
+//	/debug/stats         → EngineStats + server/cache counters
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/stable-clusters", s.query(s.handleStableClusters))
+	mux.HandleFunc("GET /v1/bursts", s.query(s.handleBursts))
+	mux.HandleFunc("GET /v1/timeseries", s.query(s.handleTimeSeries))
+	mux.HandleFunc("GET /v1/search", s.query(s.handleSearch))
+	mux.HandleFunc("GET /v1/refine", s.query(s.handleRefine))
+	mux.HandleFunc("GET /v1/correlations", s.query(s.handleCorrelations))
+	mux.HandleFunc("GET /v1/describe", s.query(s.handleDescribe))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /debug/stats", s.handleDebugStats)
+	return mux
+}

@@ -1,0 +1,145 @@
+// Package server is the HTTP serving layer over one shared
+// blogclusters.Engine session — the step from library to long-running
+// queryable service named in ROADMAP (and the shape of the paper's
+// BlogScope system itself: one loaded corpus, many analysis queries).
+//
+// One Server owns one Engine. Routes map 1:1 onto Engine query
+// methods (see routes.go); everything the Engine memoizes (index,
+// cluster sets, graphs) is therefore shared by all HTTP clients, and
+// the Engine's single-flight stage builds mean a cold start under
+// concurrent load still builds each artifact exactly once.
+//
+// Production plumbing, in request order:
+//
+//   - admission control: a bounded semaphore caps in-flight /v1
+//     queries; overflow is rejected immediately with 429 + Retry-After
+//     instead of queueing without bound (Config.MaxInflight).
+//   - per-request deadlines: every query context carries
+//     Config.RequestTimeout and is joined with the session lifetime
+//     inside the Engine, so client disconnects, timeouts and server
+//     shutdown all cancel the same way.
+//   - response cache: rendered 200 responses live in a bytes-bounded
+//     LRU keyed by normalized query params, with single-flight fills —
+//     N identical hot queries cost one Engine call (cache.go).
+//   - observability: structured access logs (one slog record per
+//     request), X-Cache headers, and /debug/stats exposing
+//     EngineStats (stage builds, timings, disk IOStats) plus server
+//     counters (inflight, rejected, cache hits/misses).
+//
+// Lifecycle: New → SetEngine when the corpus is loaded (readiness
+// flips; /readyz turns 200) → http.Server.Shutdown drains in-flight
+// requests → Engine.Close. cmd/blogserved wires this to
+// SIGINT/SIGTERM via internal/cli.
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	blogclusters "repro"
+)
+
+// Config tunes one Server. The zero value serves with the defaults.
+type Config struct {
+	// MaxInflight caps concurrently admitted /v1 requests; further
+	// requests get 429 + Retry-After. Non-positive means
+	// DefaultMaxInflight.
+	MaxInflight int
+	// CacheBytes bounds the response cache. 0 means DefaultCacheBytes;
+	// negative disables response caching (every query hits the Engine).
+	CacheBytes int
+	// RequestTimeout is the per-request context deadline for /v1
+	// queries. Non-positive means DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// Logger receives one structured record per request plus lifecycle
+	// events. Nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultMaxInflight    = 64
+	DefaultCacheBytes     = 8 << 20
+	DefaultRequestTimeout = 30 * time.Second
+)
+
+// Server is the HTTP serving layer over one Engine session. Create
+// with New, attach the session with SetEngine, serve Handler().
+type Server struct {
+	cfg   Config
+	log   *slog.Logger
+	eng   atomic.Pointer[blogclusters.Engine]
+	cache *responseCache
+	sem   chan struct{}
+	start time.Time
+
+	requests atomic.Int64
+	rejected atomic.Int64
+}
+
+// New returns a Server with no Engine attached yet: /healthz answers
+// 200 immediately, /readyz and the /v1 queries answer 503 until
+// SetEngine. Opening the corpus in the background while the listener
+// is already up is exactly the intended startup shape (blogserved does
+// this), so load balancers can probe readiness during a slow load.
+func New(cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	return &Server{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		cache: newResponseCache(cfg.CacheBytes),
+		sem:   make(chan struct{}, cfg.MaxInflight),
+		start: time.Now(),
+	}
+}
+
+// SetEngine attaches the session and flips readiness. The Server does
+// not own the Engine: the caller closes it after draining HTTP (the
+// reverse order would cancel in-flight queries mid-drain).
+func (s *Server) SetEngine(e *blogclusters.Engine) { s.eng.Store(e) }
+
+// Engine returns the attached session, or nil before SetEngine.
+func (s *Server) Engine() *blogclusters.Engine { return s.eng.Load() }
+
+// Stats is the server-side half of /debug/stats.
+type Stats struct {
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Ready         bool       `json:"ready"`
+	Requests      int64      `json:"requests"`
+	Inflight      int        `json:"inflight"`
+	MaxInflight   int        `json:"max_inflight"`
+	Rejected      int64      `json:"rejected"`
+	Cache         CacheStats `json:"cache"`
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Ready:         s.Engine() != nil,
+		Requests:      s.requests.Load(),
+		Inflight:      len(s.sem),
+		MaxInflight:   s.cfg.MaxInflight,
+		Rejected:      s.rejected.Load(),
+		Cache:         s.cache.Stats(),
+	}
+}
+
+// Handler returns the full route tree wrapped in the access-log
+// middleware. Pass it to http.Server.
+func (s *Server) Handler() http.Handler {
+	return s.withAccessLog(s.routes())
+}

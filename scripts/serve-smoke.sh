@@ -1,0 +1,86 @@
+#!/bin/sh
+# serve-smoke: boot blogserved on the synthetic demo corpus, curl every
+# endpoint, check the cache and admission headers, and assert a clean
+# SIGTERM drain. `make serve-smoke` runs this; CI's examples job runs
+# that target, so the serving layer cannot drift from its routes, its
+# readiness contract, or its shutdown behavior.
+set -eu
+
+PORT="${SERVE_SMOKE_PORT:-18080}"
+BASE="http://127.0.0.1:$PORT"
+LOG="$(mktemp)"
+BINDIR="$(mktemp -d)"
+BIN="$BINDIR/blogserved"
+
+fail() {
+	echo "serve-smoke: FAIL: $1" >&2
+	echo "--- server log ---" >&2
+	cat "$LOG" >&2
+	exit 1
+}
+
+echo "serve-smoke: building blogserved"
+go build -o "$BIN" ./cmd/blogserved
+
+"$BIN" -demo -addr "127.0.0.1:$PORT" 2>"$LOG" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true; rm -f "$LOG"; rm -rf "$BINDIR"' EXIT
+
+# /healthz must answer while the corpus may still be loading; /readyz
+# flips to 200 when the session attaches.
+for i in $(seq 1 50); do
+	if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+	[ "$i" = 50 ] && fail "healthz never came up"
+	sleep 0.2
+done
+for i in $(seq 1 100); do
+	if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then break; fi
+	[ "$i" = 100 ] && fail "readyz never became ready"
+	sleep 0.2
+done
+echo "serve-smoke: ready"
+
+# Every query endpoint answers 200 with a JSON body.
+check() {
+	path="$1"; needle="$2"
+	body="$(curl -fsS "$BASE$path")" || fail "GET $path"
+	case "$body" in
+	*"$needle"*) ;;
+	*) fail "GET $path: body missing $needle: $body" ;;
+	esac
+	echo "serve-smoke: OK $path"
+}
+check '/v1/stable-clusters?k=3' '"paths"'
+check '/v1/stable-clusters?variant=normalized&k=3' '"paths"'
+check '/v1/stable-clusters?variant=diverse&k=3&mode=prefix' '"paths"'
+check '/v1/timeseries?keyword=somalia' '"counts"'
+check '/v1/bursts?keyword=somalia' '"bursts"'
+check '/v1/search?terms=somalia&interval=0' '"ids"'
+check '/v1/refine?query=somalia&interval=0' '"keywords"'
+check '/v1/correlations?keyword=somalia&interval=0&n=3' '"correlations"'
+check '/debug/stats' '"engine"'
+
+# Describe a real path: pull the first node id out of stable-clusters.
+node="$(curl -fsS "$BASE/v1/stable-clusters?k=1" | sed -n 's/.*"nodes":\[\([0-9]*\).*/\1/p')"
+[ -n "$node" ] || fail "could not extract a node id"
+check "/v1/describe?nodes=$node" '"description"'
+
+# The repeat of a hot query must be a cache hit.
+hdr="$(curl -fsS -D - -o /dev/null "$BASE/v1/stable-clusters?k=3")"
+case "$hdr" in
+*"X-Cache: hit"*) echo "serve-smoke: OK cache hit" ;;
+*) fail "repeated query was not a cache hit: $hdr" ;;
+esac
+
+# Bad parameters are 400, not 500.
+code="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/stable-clusters?algorithm=astar")"
+[ "$code" = 400 ] || fail "bad algorithm returned $code, want 400"
+
+# SIGTERM drains cleanly: process exits 0 and logs the drain.
+kill -TERM "$PID"
+EXIT=0
+wait "$PID" || EXIT=$?
+[ "$EXIT" = 0 ] || fail "blogserved exited $EXIT after SIGTERM"
+grep -q 'drained; exiting' "$LOG" || fail "no drain message in log"
+trap 'rm -f "$LOG"; rm -rf "$BINDIR"' EXIT
+echo "serve-smoke: PASS (clean drain)"

@@ -17,7 +17,7 @@ BENCH_COUNT ?= 3
 # fetched through the module cache, never added to go.mod.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build check vet test race fmt-check staticcheck bench bench-gate fuzz-smoke examples-smoke serve-smoke clean
+.PHONY: all build check vet test race fmt-check staticcheck bench bench-gate fuzz-smoke chaos examples-smoke serve-smoke clean
 
 all: check
 
@@ -79,6 +79,16 @@ FUZZTIME ?= 60s
 fuzz-smoke:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzSolverEquivalence -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/index -run '^$$' -fuzz FuzzDiskIndexRoundTrip -fuzztime $(FUZZTIME)
+
+# Chaos gate: the whole fault-injection suite under the race detector.
+# Everything prefixed TestFault* runs against internal/faultfs-injected
+# EIO/ENOSPC/cancellation, and the server degradation tests (panic
+# recovery, breaker trips, stale-on-error) exercise the failure model
+# one layer up. CI's examples job runs this target; it is also the
+# first thing to run when touching the retry/corruption/cleanup paths.
+chaos:
+	$(GO) test -race ./internal/faultfs
+	$(GO) test -race -run 'Fault|Panic|Breaker|Stale|Retry|Corrupt|ReadyzOpenFailure' ./internal/diskstore ./internal/extsort ./internal/index ./internal/server .
 
 # Example drift gate: the examples are the Engine API's showcase, so
 # they build, vet, and quickstart runs end to end against the demo

@@ -30,7 +30,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"os"
 	"sync"
 
 	"repro/internal/bicc"
@@ -40,6 +39,8 @@ import (
 	"repro/internal/cooccur"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/diskstore"
+	"repro/internal/faultfs"
 	"repro/internal/index"
 	"repro/internal/stats"
 	"repro/internal/text"
@@ -323,6 +324,13 @@ type IndexOptions struct {
 	// SortMemoryBudget bounds the external sorter used while building
 	// the disk segment; 0 means the extsort default.
 	SortMemoryBudget int
+	// FS is the filesystem beneath the disk backend's segment build and
+	// reads. Nil means the real OS; tests substitute a faultfs.Injector
+	// to exercise the retry and cleanup paths end to end.
+	FS faultfs.FS
+	// Retry bounds how the disk backend retries transient read faults
+	// (EIO, short reads). The zero value uses the diskstore defaults.
+	Retry diskstore.RetryPolicy
 }
 
 // OpenIndexReader indexes the collection with the selected backend.
@@ -333,10 +341,14 @@ type IndexOptions struct {
 // it opens the reader once, shares it across queries, and closes it
 // with the session.
 func OpenIndexReader(c *Collection, opts IndexOptions) (IndexReader, error) {
-	return openIndexReaderCtx(context.Background(), c, opts)
+	return openIndexReaderCtx(context.Background(), context.Background(), c, opts)
 }
 
-func openIndexReaderCtx(ctx context.Context, c *Collection, opts IndexOptions) (IndexReader, error) {
+// openIndexReaderCtx builds and opens the selected backend. ctx bounds
+// the build; lifetime bounds the opened reader's retry backoff sleeps
+// (the reader usually outlives the query that built it — the Engine
+// passes its session context).
+func openIndexReaderCtx(ctx, lifetime context.Context, c *Collection, opts IndexOptions) (IndexReader, error) {
 	switch opts.Backend {
 	case "", "mem":
 		if err := ctx.Err(); err != nil {
@@ -348,10 +360,14 @@ func openIndexReaderCtx(ctx context.Context, c *Collection, opts IndexOptions) (
 		}
 		return x.Reader(), nil
 	case "disk":
+		fs := opts.FS
+		if fs == nil {
+			fs = faultfs.OS()
+		}
 		path := opts.Path
 		temp := false
 		if path == "" {
-			f, err := os.CreateTemp("", "blogclusters-idx-*.seg")
+			f, err := fs.CreateTemp("", "blogclusters-idx-*.seg")
 			if err != nil {
 				return nil, fmt.Errorf("blogclusters: temp segment: %w", err)
 			}
@@ -359,21 +375,26 @@ func openIndexReaderCtx(ctx context.Context, c *Collection, opts IndexOptions) (
 			f.Close()
 			temp = true
 		}
-		if err := index.BuildDiskCtx(ctx, c, path, index.DiskOptions{SortMemoryBudget: opts.SortMemoryBudget}); err != nil {
+		if err := index.BuildDiskCtx(ctx, c, path, index.DiskOptions{SortMemoryBudget: opts.SortMemoryBudget, FS: fs}); err != nil {
 			if temp {
-				os.Remove(path)
+				fs.Remove(path)
 			}
 			return nil, err
 		}
-		d, err := index.OpenDiskOptions(path, index.OpenOptions{MemBudget: opts.MemBudget})
+		d, err := index.OpenDiskOptions(path, index.OpenOptions{
+			MemBudget: opts.MemBudget,
+			FS:        fs,
+			Retry:     opts.Retry,
+			Ctx:       lifetime,
+		})
 		if err != nil {
 			if temp {
-				os.Remove(path)
+				fs.Remove(path)
 			}
 			return nil, err
 		}
 		if temp {
-			return &tempIndexReader{IndexReader: d, path: path}, nil
+			return &tempIndexReader{IndexReader: d, path: path, fs: fs}, nil
 		}
 		return d, nil
 	default:
@@ -384,10 +405,11 @@ func openIndexReaderCtx(ctx context.Context, c *Collection, opts IndexOptions) (
 // tempIndexReader removes its private segment file on Close. Close is
 // idempotent: the Engine closes its reader on session Close, and
 // defensive callers often close again — the second call must not
-// surface a spurious os.Remove error for the already-deleted file.
+// surface a spurious Remove error for the already-deleted file.
 type tempIndexReader struct {
 	IndexReader
 	path string
+	fs   faultfs.FS
 
 	closeOnce sync.Once
 	closeErr  error
@@ -396,7 +418,7 @@ type tempIndexReader struct {
 func (r *tempIndexReader) Close() error {
 	r.closeOnce.Do(func() {
 		err := r.IndexReader.Close()
-		if rmErr := os.Remove(r.path); err == nil {
+		if rmErr := r.fs.Remove(r.path); err == nil {
 			err = rmErr
 		}
 		r.closeErr = err

@@ -10,10 +10,13 @@
 //	blogserved -demo                                # synthetic news week
 //	blogserved -input posts.jsonl -addr :8080
 //	blogserved -demo -index disk -max-inflight 128 -cache-bytes 33554432
+//	blogserved -demo -cache-ttl 30s -breaker-cooldown 5s
 //
 // The listener comes up immediately; the corpus loads in the
 // background and /readyz flips to 200 when the session is attached,
-// so orchestrators can health-check during a slow load. SIGINT or
+// so orchestrators can health-check during a slow load. If the load
+// fails, the process stays up serving 503s with the open error
+// surfaced on /readyz rather than exiting into a crash loop. SIGINT or
 // SIGTERM drains: the listener stops accepting, in-flight requests
 // finish (up to -drain-timeout), then the session closes (canceling
 // any still-running builds and removing a temp disk segment). See
@@ -46,7 +49,11 @@ func main() {
 		maxInflight  = flag.Int("max-inflight", server.DefaultMaxInflight, "max concurrently admitted /v1 queries; overflow gets 429 + Retry-After")
 		cacheBytes   = flag.Int("cache-bytes", server.DefaultCacheBytes, "response-cache budget in bytes; negative disables caching")
 		reqTimeout   = flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request query deadline")
+		cacheTTL     = flag.Duration("cache-ttl", 0, "response-cache freshness window; expired entries serve stale on refill failure (0 = never expire)")
+		breakerCool  = flag.Duration("breaker-cooldown", server.DefaultBreakerCooldown, "how long a tripped per-route circuit breaker sheds before probing")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+		readHeaderTO = flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout: drop clients that stall mid-header (slowloris)")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout: close keep-alive connections idle this long")
 		gap          = flag.Int("gap", 1, "gap g for the session's default cluster graph")
 		theta        = flag.Float64("theta", 0.1, "minimum affinity for a cluster-graph edge")
 		simjoin      = flag.Bool("simjoin", false, "build cluster-graph edges with the prefix-filter similarity join")
@@ -60,10 +67,12 @@ func main() {
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	srv := server.New(server.Config{
-		MaxInflight:    *maxInflight,
-		CacheBytes:     *cacheBytes,
-		RequestTimeout: *reqTimeout,
-		Logger:         logger,
+		MaxInflight:     *maxInflight,
+		CacheBytes:      *cacheBytes,
+		RequestTimeout:  *reqTimeout,
+		CacheTTL:        *cacheTTL,
+		BreakerCooldown: *breakerCool,
+		Logger:          logger,
 	})
 
 	ctx, stop := cli.SignalContext(context.Background())
@@ -91,7 +100,18 @@ func main() {
 		logger.Info("engine ready")
 	}()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Slowloris/idle hygiene: a client that never finishes its
+		// headers or parks a keep-alive connection must not hold a file
+		// descriptor forever. Per-request work is already bounded by the
+		// admission semaphore and -request-timeout, so these only govern
+		// the connection lifecycle around requests.
+		ReadHeaderTimeout: *readHeaderTO,
+		IdleTimeout:       *idleTimeout,
+	}
+
 	serveErr := make(chan error, 1)
 	go func() {
 		logger.Info("listening", "addr", *addr)
@@ -109,11 +129,15 @@ func main() {
 		// A signal during the load cancels Open; that is the graceful
 		// path (fall through to the drain), not a startup failure. The
 		// select races with ctx.Done when both are ready, so the branch
-		// must distinguish the two itself.
+		// must distinguish the two itself. A real open failure does NOT
+		// kill the process: the server keeps serving — /healthz 200,
+		// /readyz failing with this error in the body, /v1 503s — so
+		// operators can read the diagnosis off the running instance
+		// instead of spelunking restart loops. A signal still exits.
 		if ctx.Err() == nil || !errors.Is(err, context.Canceled) {
-			stop()
-			httpSrv.Close()
-			log.Fatal(err)
+			srv.SetOpenError(err)
+			logger.Error("engine open failed; serving 503s", "err", err)
+			<-ctx.Done()
 		}
 	case <-ctx.Done():
 	}

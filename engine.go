@@ -285,7 +285,9 @@ func (e *Engine) indexReader(ctx context.Context) (IndexReader, error) {
 	}
 	return e.index.get(ctx, func() (IndexReader, error) {
 		defer e.stage("index")()
-		r, err := openIndexReaderCtx(ctx, e.col, e.cfg.index)
+		// e.root (the session lifetime) bounds the disk backend's retry
+		// backoff sleeps: the reader outlives this query's context.
+		r, err := openIndexReaderCtx(ctx, e.root, e.col, e.cfg.index)
 		if err != nil {
 			return nil, err
 		}
@@ -724,16 +726,17 @@ func (t *stageTimings) snapshot() map[string]StageTiming {
 
 // memo is a concurrency-safe, context-aware, single-flight lazy cell.
 // The first caller runs the build on its own goroutine; concurrent
-// callers block until it finishes and share the result. Successful
-// results and domain errors are cached; cancellation is not — a build
-// aborted by its caller's context leaves the cell empty, so the next
-// query (whose context may still be live) rebuilds instead of
-// inheriting a dead artifact.
+// callers block until it finishes and share the result. Only successful
+// results are cached: a build that fails — cancellation, a transient
+// I/O fault that outlived its retries, a full disk — leaves the cell
+// empty, so the next query rebuilds instead of replaying a stale error
+// forever. Failure must never poison memoization: one unlucky build
+// turning every later query into its echo is exactly the availability
+// bug the degradation layer exists to prevent.
 type memo[T any] struct {
 	mu       sync.Mutex
 	done     bool
 	val      T
-	err      error
 	inflight chan struct{}
 	builds   atomic.Int64 // builds started; the exactly-once assertions read this
 }
@@ -749,7 +752,7 @@ func (m *memo[T]) prime(v T) {
 func (m *memo[T]) cached() (T, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.done && m.err == nil {
+	if m.done {
 		return m.val, true
 	}
 	var zero T
@@ -764,9 +767,9 @@ func (m *memo[T]) get(ctx context.Context, build func() (T, error)) (T, error) {
 	for {
 		m.mu.Lock()
 		if m.done {
-			v, err := m.val, m.err
+			v := m.val
 			m.mu.Unlock()
-			return v, err
+			return v, nil
 		}
 		if ch := m.inflight; ch != nil {
 			m.mu.Unlock()
@@ -785,10 +788,8 @@ func (m *memo[T]) get(ctx context.Context, build func() (T, error)) (T, error) {
 		v, err := build()
 		m.mu.Lock()
 		m.inflight = nil
-		// Cache results and real failures; let cancellations evaporate
-		// so a later, live query can rebuild.
-		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			m.done, m.val, m.err = true, v, err
+		if err == nil {
+			m.done, m.val = true, v
 		}
 		m.mu.Unlock()
 		close(ch)

@@ -505,7 +505,7 @@ func TestEngineStatsJSON(t *testing.T) {
 	if err := json.Unmarshal(m["index_io"], &io); err != nil {
 		t.Fatal(err)
 	}
-	wantIO := []string{"random_reads", "sequential_reads", "writes", "bytes_read", "bytes_written"}
+	wantIO := []string{"random_reads", "sequential_reads", "writes", "bytes_read", "bytes_written", "retried_reads", "corrupt_reads"}
 	if len(io) != len(wantIO) {
 		t.Fatalf("index_io has %d fields, want %d: %s", len(io), len(wantIO), m["index_io"])
 	}

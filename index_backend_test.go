@@ -144,7 +144,7 @@ func TestOpenIndexReaderErrors(t *testing.T) {
 	// A canceled context aborts the disk build and also cleans up.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := openIndexReaderCtx(ctx, col, IndexOptions{Backend: "disk"}); !errors.Is(err, context.Canceled) {
+	if _, err := openIndexReaderCtx(ctx, context.Background(), col, IndexOptions{Backend: "disk"}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled disk build returned %v, want context.Canceled", err)
 	}
 	matches, err = filepath.Glob(filepath.Join(os.TempDir(), "blogclusters-idx-*"))

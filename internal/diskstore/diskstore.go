@@ -30,6 +30,14 @@ type IOStats struct {
 	Writes          int64 `json:"writes"`
 	BytesRead       int64 `json:"bytes_read"`
 	BytesWritten    int64 `json:"bytes_written"`
+	// RetriedReads counts read attempts reissued after a transient
+	// fault (see RetryPolicy) — a nonzero value under healthy hardware
+	// means the fault-injection layer is active, a climbing value in
+	// production means the device is sick.
+	RetriedReads int64 `json:"retried_reads"`
+	// CorruptReads counts reads rejected by validation (ErrCorrupt):
+	// checksum mismatches, bad framing, skip-entry contradictions.
+	CorruptReads int64 `json:"corrupt_reads"`
 }
 
 // Add accumulates other into s.
@@ -39,6 +47,8 @@ func (s *IOStats) Add(other IOStats) {
 	s.Writes += other.Writes
 	s.BytesRead += other.BytesRead
 	s.BytesWritten += other.BytesWritten
+	s.RetriedReads += other.RetriedReads
+	s.CorruptReads += other.CorruptReads
 }
 
 // Reads returns total read operations of both kinds.
@@ -153,11 +163,13 @@ func (s *Store) readAt(loc recordLoc, wantKey int64) ([]byte, error) {
 	key := int64(binary.LittleEndian.Uint64(buf[0:8]))
 	plen := binary.LittleEndian.Uint32(buf[8:12])
 	if key != wantKey || int32(plen) != loc.len {
-		return nil, fmt.Errorf("diskstore: record %d: corrupt header (key=%d len=%d)", wantKey, key, plen)
+		s.stats.CorruptReads++
+		return nil, fmt.Errorf("diskstore: record %d: corrupt header (key=%d len=%d): %w", wantKey, key, plen, ErrCorrupt)
 	}
 	stored := binary.LittleEndian.Uint32(buf[recordHeaderLen+int(plen):])
 	if crc := crc32.ChecksumIEEE(buf[:recordHeaderLen+int(plen)]); crc != stored {
-		return nil, fmt.Errorf("diskstore: record %d: checksum mismatch", wantKey)
+		s.stats.CorruptReads++
+		return nil, fmt.Errorf("diskstore: record %d: checksum mismatch: %w", wantKey, ErrCorrupt)
 	}
 	return buf[recordHeaderLen : recordHeaderLen+int(plen)], nil
 }

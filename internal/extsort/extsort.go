@@ -46,12 +46,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"runtime"
 	"slices"
 	"strings"
 	"sync"
+
+	"repro/internal/faultfs"
 )
 
 // Stats describes the I/O behaviour of one sort.
@@ -108,6 +109,10 @@ type Options struct {
 	// consumers must still aggregate adjacent equal-key records — with
 	// Combine the stream just contains far fewer of them.
 	Combine func(acc, next string) (string, bool)
+	// FS is the filesystem beneath run files. Nil means the OS
+	// passthrough; tests substitute a faultfs.Injector to prove the
+	// sorter cleans up its spills under injected ENOSPC/EIO faults.
+	FS faultfs.FS
 }
 
 // ctxErr reports the context's error if o.Ctx is set and done.
@@ -166,6 +171,9 @@ func NewWithOptions(opts Options) *Sorter {
 	}
 	if opts.FanIn <= 1 {
 		opts.FanIn = DefaultFanIn
+	}
+	if opts.FS == nil {
+		opts.FS = faultfs.OS()
 	}
 	return &Sorter{opts: opts}
 }
@@ -244,7 +252,7 @@ func (s *Sorter) tempDir() (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dir == "" {
-		dir, err := os.MkdirTemp("", "extsort-")
+		dir, err := s.opts.FS.MkdirTemp("", "extsort-")
 		if err != nil {
 			return "", fmt.Errorf("extsort: create temp dir: %w", err)
 		}
@@ -275,7 +283,7 @@ func (s *Sorter) writeRun(recs []string) error {
 		return err
 	}
 	name := s.registerRun(dir)
-	f, err := os.Create(name)
+	f, err := s.opts.FS.Create(name)
 	if err != nil {
 		return fmt.Errorf("extsort: create run file: %w", err)
 	}
@@ -337,19 +345,19 @@ func (s *Sorter) Sort() (*Iterator, error) {
 	// Pre-merge in parallel until the final merge's fan-in is modest.
 	for len(runs) > s.opts.FanIn {
 		if err := s.opts.ctxErr(); err != nil {
-			os.RemoveAll(s.dir)
+			s.opts.FS.RemoveAll(s.dir)
 			return nil, err
 		}
 		merged, err := s.preMerge(runs)
 		if err != nil {
-			os.RemoveAll(s.dir)
+			s.opts.FS.RemoveAll(s.dir)
 			return nil, err
 		}
 		runs = merged
 	}
-	it := &Iterator{dir: s.dir}
+	it := &Iterator{dir: s.dir, fs: s.opts.FS}
 	for _, name := range runs {
-		src, err := openRunSource(name, s.opts.Binary)
+		src, err := openRunSource(name, s.opts.Binary, s.opts.FS)
 		if err != nil {
 			it.Close()
 			return nil, err
@@ -384,7 +392,7 @@ func (s *Sorter) Discard() {
 		return
 	}
 	if s.dir != "" {
-		os.RemoveAll(s.dir)
+		s.opts.FS.RemoveAll(s.dir)
 		s.dir = ""
 		s.runFiles = nil
 	}
@@ -445,7 +453,7 @@ func mergeRuns(dir, name string, runs []string, opts Options) (path string, comb
 		}
 	}
 	for _, rn := range runs {
-		src, err := openRunSource(rn, opts.Binary)
+		src, err := openRunSource(rn, opts.Binary, opts.FS)
 		if err != nil {
 			closeAll()
 			return "", 0, err
@@ -462,7 +470,7 @@ func mergeRuns(dir, name string, runs []string, opts Options) (path string, comb
 	}
 	heap.Init(&h)
 	path = filepath.Join(dir, name)
-	f, err := os.Create(path)
+	f, err := opts.FS.Create(path)
 	if err != nil {
 		closeAll()
 		return "", 0, fmt.Errorf("extsort: create merged run: %w", err)
@@ -536,7 +544,7 @@ func mergeRuns(dir, name string, runs []string, opts Options) (path string, comb
 		return "", 0, fmt.Errorf("extsort: close merged run: %w", err)
 	}
 	for _, rn := range runs {
-		os.Remove(rn)
+		opts.FS.Remove(rn)
 	}
 	return path, combined, nil
 }
@@ -601,7 +609,7 @@ var readerPool = sync.Pool{
 
 // runSource reads one sorted run file (text or binary framing).
 type runSource struct {
-	f    *os.File
+	f    faultfs.File
 	br   *bufio.Reader
 	bin  bool
 	buf  []byte // binary-mode payload scratch
@@ -610,8 +618,8 @@ type runSource struct {
 	done bool
 }
 
-func openRunSource(name string, bin bool) (*runSource, error) {
-	f, err := os.Open(name)
+func openRunSource(name string, bin bool, fs faultfs.FS) (*runSource, error) {
+	f, err := fs.Open(name)
 	if err != nil {
 		return nil, fmt.Errorf("extsort: open run: %w", err)
 	}
@@ -700,6 +708,7 @@ type Iterator struct {
 	pos int
 	// Merge path.
 	dir string
+	fs  faultfs.FS
 	h   mergeHeap
 	err error
 }
@@ -746,7 +755,7 @@ func (it *Iterator) Close() error {
 	}
 	it.h = nil
 	if it.dir != "" {
-		if err := os.RemoveAll(it.dir); err != nil {
+		if err := it.fs.RemoveAll(it.dir); err != nil {
 			return fmt.Errorf("extsort: remove temp dir: %w", err)
 		}
 		it.dir = ""

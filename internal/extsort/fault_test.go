@@ -1,0 +1,97 @@
+package extsort
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+// recorderFS remembers the temp dirs it hands out so tests can assert
+// they are gone after cleanup.
+type recorderFS struct {
+	faultfs.FS
+	dirs []string
+}
+
+func (r *recorderFS) MkdirTemp(dir, pattern string) (string, error) {
+	d, err := r.FS.MkdirTemp(dir, pattern)
+	if err == nil {
+		r.dirs = append(r.dirs, d)
+	}
+	return d, err
+}
+
+// TestFaultSpillENOSPCDiscardCleansTempDir proves the cleanup contract
+// under a full disk: a spill that dies with ENOSPC must not orphan the
+// run directory once the sorter is discarded.
+func TestFaultSpillENOSPCDiscardCleansTempDir(t *testing.T) {
+	in := faultfs.NewInjector(nil, 1)
+	in.AddRule(faultfs.Rule{Op: faultfs.OpWrite, Path: "run-", Err: syscall.ENOSPC})
+	rec := &recorderFS{FS: in}
+	s := NewWithOptions(Options{MemoryBudget: 64, FS: rec})
+	var err error
+	for i := 0; i < 1000 && err == nil; i++ {
+		err = s.Add(fmt.Sprintf("record-%06d", i))
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Add under injected ENOSPC = %v, want ENOSPC", err)
+	}
+	if len(rec.dirs) != 1 {
+		t.Fatalf("sorter created %d temp dirs, want 1", len(rec.dirs))
+	}
+	s.Discard()
+	if _, err := os.Stat(rec.dirs[0]); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp dir %s survives Discard after ENOSPC (stat err: %v)", rec.dirs[0], err)
+	}
+}
+
+// cancelOnCreateFS cancels a context when the Nth file is created,
+// modelling an operator abandoning a build mid-spill.
+type cancelOnCreateFS struct {
+	faultfs.FS
+	cancel  context.CancelFunc
+	creates int
+	onNth   int
+}
+
+func (c *cancelOnCreateFS) Create(name string) (faultfs.File, error) {
+	f, err := c.FS.Create(name)
+	if err == nil {
+		if c.creates++; c.creates == c.onNth {
+			c.cancel()
+		}
+	}
+	return f, err
+}
+
+// TestFaultCancellationDiscardCleansTempDir proves that a sort
+// cancelled between spills removes its run directory: the next
+// writeRun observes the dead context and Discard sweeps the dir.
+func TestFaultCancellationDiscardCleansTempDir(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rec := &recorderFS{FS: faultfs.OS()}
+	cfs := &cancelOnCreateFS{FS: rec, cancel: cancel, onNth: 2}
+	s := NewWithOptions(Options{MemoryBudget: 64, FS: cfs, Ctx: ctx})
+	var err error
+	for i := 0; i < 1000 && err == nil; i++ {
+		err = s.Add(fmt.Sprintf("record-%06d", i))
+	}
+	if err == nil {
+		_, err = s.Sort()
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sort = %v, want context.Canceled", err)
+	}
+	s.Discard()
+	for _, d := range rec.dirs {
+		if _, err := os.Stat(d); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("temp dir %s survives Discard after cancellation (stat err: %v)", d, err)
+		}
+	}
+}

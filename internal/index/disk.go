@@ -32,11 +32,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"strings"
 
 	"repro/internal/corpus"
 	"repro/internal/extsort"
+	"repro/internal/faultfs"
 )
 
 const (
@@ -61,6 +61,11 @@ type DiskOptions struct {
 	// extsort default. Tiny budgets force spilled runs, exercising the
 	// larger-than-RAM route.
 	SortMemoryBudget int
+	// FS is the filesystem the segment (and the sorter's spill runs)
+	// are written through. Nil means the OS passthrough; tests
+	// substitute a faultfs.Injector to prove the build cleans up its
+	// .partial file under injected ENOSPC and cancellation.
+	FS faultfs.FS
 }
 
 // encodePosting renders one (interval, term, doc) tuple as a binary
@@ -82,7 +87,7 @@ const postingFixedLen = 4 + 1 + 8 // interval + NUL + doc id
 
 func decodePosting(rec string) (interval int, term string, doc int64, err error) {
 	if len(rec) < postingFixedLen || rec[len(rec)-9] != 0 {
-		return 0, "", 0, fmt.Errorf("index: malformed posting record %q", rec)
+		return 0, "", 0, corruptf("index: malformed posting record %q", rec)
 	}
 	iv := uint32(rec[0])<<24 | uint32(rec[1])<<16 | uint32(rec[2])<<8 | uint32(rec[3])
 	var id uint64
@@ -130,11 +135,16 @@ func BuildDiskCtx(ctx context.Context, c *corpus.Collection, path string, opts D
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
+	fs := opts.FS
+	if fs == nil {
+		fs = faultfs.OS()
+	}
 	const pollEvery = 4096
 	sorter := extsort.NewWithOptions(extsort.Options{
 		MemoryBudget: opts.SortMemoryBudget,
 		Binary:       true,
 		Ctx:          ctx,
+		FS:           fs,
 	})
 	defer sorter.Discard()
 	var scratch []string
@@ -172,14 +182,14 @@ func BuildDiskCtx(ctx context.Context, c *corpus.Collection, path string, opts D
 	defer it.Close()
 
 	tmp := path + ".partial"
-	sw, err := newSegmentWriter(tmp)
+	sw, err := newSegmentWriter(fs, tmp)
 	if err != nil {
 		return err
 	}
 	defer func() {
 		if err != nil {
 			sw.f.Close()
-			os.Remove(tmp)
+			fs.Remove(tmp)
 		}
 	}()
 	if err = sw.write([]byte(segMagic)); err != nil {
@@ -297,17 +307,17 @@ func BuildDiskCtx(ctx context.Context, c *corpus.Collection, path string, opts D
 	if err = sw.finish(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	return fs.Rename(tmp, path)
 }
 
 type segmentWriter struct {
-	f   *os.File
+	f   faultfs.File
 	w   *bufio.Writer
 	off int64
 }
 
-func newSegmentWriter(path string) (*segmentWriter, error) {
-	f, err := os.Create(path)
+func newSegmentWriter(fs faultfs.FS, path string) (*segmentWriter, error) {
+	f, err := fs.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("index: create segment: %w", err)
 	}

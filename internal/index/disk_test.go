@@ -1,6 +1,7 @@
 package index
 
 import (
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -265,13 +266,21 @@ func TestDiskCorruptionSingleByteFlips(t *testing.T) {
 		}
 		d, err := OpenDiskOptions(mut, OpenOptions{})
 		if err != nil {
-			continue // detected at open: fine
+			// Detected at open: must carry the typed sentinel so the
+			// serving layers can tell corruption from transient faults.
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("byte %d flipped: open error %v does not wrap ErrCorrupt", pos, err)
+			}
+			continue
 		}
 		// Open survived (the flip is in a lazily-read block): every
 		// query must now either error or agree with the reference.
 		for k, want := range ref {
 			got, err := d.Postings(k.w, k.i)
 			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("byte %d flipped: Postings(%q, %d) error %v does not wrap ErrCorrupt", pos, k.w, k.i, err)
+				}
 				continue
 			}
 			if !reflect.DeepEqual(got, want) {

@@ -1,14 +1,15 @@
 package index
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"sort"
 	"sync"
 
 	"repro/internal/diskstore"
+	"repro/internal/faultfs"
 )
 
 // OpenOptions configures OpenDiskOptions.
@@ -17,6 +18,20 @@ type OpenOptions struct {
 	// cache (the same convention as ClusterOptions.MemBudget).
 	// Non-positive means DefaultDiskMemBudget.
 	MemBudget int
+	// FS is the filesystem the segment is opened through. Nil means
+	// the OS passthrough; tests substitute a faultfs.Injector to
+	// exercise the retry path below.
+	FS faultfs.FS
+	// Retry bounds how block and section reads retry transient faults
+	// (EIO, short reads). The zero value uses the diskstore defaults;
+	// Attempts=1 disables retry. Corrupt blocks (ErrCorrupt) are never
+	// retried — re-reading wrong bytes yields the same wrong bytes.
+	Retry diskstore.RetryPolicy
+	// Ctx bounds retry backoff sleeps for the life of the index, not
+	// just the opening call: the DiskIndex outlives the query that
+	// opened it, so pass a session-lifetime context. Nil means no
+	// cancellation.
+	Ctx context.Context
 }
 
 // DiskIndex serves the keyword primitives from an immutable segment
@@ -24,11 +39,13 @@ type OpenOptions struct {
 // skip indexes are resident; posting blocks are read on demand through
 // a bytes-bounded LRU cache. Safe for concurrent readers.
 type DiskIndex struct {
-	f     *os.File
+	f     faultfs.File
 	size  int64
 	docs  []int
 	dicts []diskDict
 	cache *blockCache
+	retry diskstore.RetryPolicy
+	rctx  context.Context // bounds retry backoff sleeps
 
 	mu    sync.Mutex
 	stats diskstore.IOStats
@@ -56,7 +73,11 @@ func OpenDisk(path string) (*DiskIndex, error) {
 // OpenDiskOptions opens a segment file written by BuildDisk, loading
 // the footer and every interval dictionary (CRC-verified) into memory.
 func OpenDiskOptions(path string, opts OpenOptions) (*DiskIndex, error) {
-	f, err := os.Open(path)
+	fs := opts.FS
+	if fs == nil {
+		fs = faultfs.OS()
+	}
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("index: open segment: %w", err)
 	}
@@ -68,39 +89,39 @@ func OpenDiskOptions(path string, opts OpenOptions) (*DiskIndex, error) {
 	return d, nil
 }
 
-func openDisk(f *os.File, opts OpenOptions) (*DiskIndex, error) {
+func openDisk(f faultfs.File, opts OpenOptions) (*DiskIndex, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return nil, fmt.Errorf("index: stat segment: %w", err)
 	}
 	size := st.Size()
 	if size < int64(len(segMagic)+segTailLen) {
-		return nil, fmt.Errorf("index: segment too short (%d bytes)", size)
+		return nil, corruptf("index: segment too short (%d bytes)", size)
 	}
 	budget := opts.MemBudget
 	if budget <= 0 {
 		budget = DefaultDiskMemBudget
 	}
-	d := &DiskIndex{f: f, size: size, cache: newBlockCache(int64(budget))}
+	d := &DiskIndex{f: f, size: size, cache: newBlockCache(int64(budget)), retry: opts.Retry, rctx: opts.Ctx}
 
 	head, err := d.readSection(0, int64(len(segMagic)))
 	if err != nil {
 		return nil, err
 	}
 	if string(head) != segMagic {
-		return nil, fmt.Errorf("index: bad segment magic %q", head)
+		return nil, corruptf("index: bad segment magic %q", head)
 	}
 	tail, err := d.readSection(size-int64(segTailLen), int64(segTailLen))
 	if err != nil {
 		return nil, err
 	}
 	if string(tail[16:]) != footMagic {
-		return nil, fmt.Errorf("index: bad segment tail magic %q", tail[16:])
+		return nil, corruptf("index: bad segment tail magic %q", tail[16:])
 	}
 	footOff := int64(binary.LittleEndian.Uint64(tail[0:8]))
 	footLen := int64(binary.LittleEndian.Uint64(tail[8:16]))
 	if footOff < int64(len(segMagic)) || footLen < 4 || footOff+footLen != size-int64(segTailLen) {
-		return nil, fmt.Errorf("index: corrupt segment tail (footer %d+%d, size %d)", footOff, footLen, size)
+		return nil, corruptf("index: corrupt segment tail (footer %d+%d, size %d)", footOff, footLen, size)
 	}
 	foot, err := d.readChecked(footOff, footLen, "footer")
 	if err != nil {
@@ -109,7 +130,7 @@ func openDisk(f *os.File, opts OpenOptions) (*DiskIndex, error) {
 	fr := &byteReader{b: foot}
 	m := int(fr.uvarint())
 	if fr.err != nil || m < 0 || int64(m) > footLen {
-		return nil, fmt.Errorf("index: corrupt footer (numIntervals)")
+		return nil, corruptf("index: corrupt footer (numIntervals)")
 	}
 	d.docs = make([]int, m)
 	dictOff := make([]int64, m)
@@ -120,12 +141,12 @@ func openDisk(f *os.File, opts OpenOptions) (*DiskIndex, error) {
 		dictLen[i] = int64(fr.uvarint())
 	}
 	if fr.err != nil || fr.pos != len(foot) {
-		return nil, fmt.Errorf("index: corrupt footer")
+		return nil, corruptf("index: corrupt footer")
 	}
 	d.dicts = make([]diskDict, m)
 	for i := 0; i < m; i++ {
 		if dictOff[i] < int64(len(segMagic)) || dictLen[i] < 4 || dictOff[i]+dictLen[i] > footOff {
-			return nil, fmt.Errorf("index: interval %d: dictionary outside segment", i)
+			return nil, corruptf("index: interval %d: dictionary outside segment", i)
 		}
 		raw, err := d.readChecked(dictOff[i], dictLen[i], fmt.Sprintf("interval %d dictionary", i))
 		if err != nil {
@@ -144,7 +165,7 @@ func (d *DiskIndex) parseDict(i int, raw []byte, dictStart int64) error {
 	r := &byteReader{b: raw}
 	n := int(r.uvarint())
 	if r.err != nil || n < 0 || n > len(raw) {
-		return fmt.Errorf("index: interval %d: corrupt dictionary", i)
+		return corruptf("index: interval %d: corrupt dictionary", i)
 	}
 	dict := diskDict{
 		terms:   make([]string, 0, n),
@@ -156,7 +177,7 @@ func (d *DiskIndex) parseDict(i int, raw []byte, dictStart int64) error {
 		e := diskTerm{docFreq: int64(r.uvarint())}
 		nb := int(r.uvarint())
 		if r.err != nil || nb < 0 || nb > len(raw) {
-			return fmt.Errorf("index: interval %d: corrupt dictionary entry %d", i, t)
+			return corruptf("index: interval %d: corrupt dictionary entry %d", i, t)
 		}
 		e.blocks = make([]blockRef, nb)
 		var total int64
@@ -171,40 +192,48 @@ func (d *DiskIndex) parseDict(i int, raw []byte, dictStart int64) error {
 			if r.err != nil || ref.length < 5 || ref.count < 1 ||
 				ref.off < int64(len(segMagic)) || ref.off+int64(ref.length) > dictStart ||
 				ref.first > ref.last {
-				return fmt.Errorf("index: interval %d term %q: bad skip entry %d", i, term, b)
+				return corruptf("index: interval %d term %q: bad skip entry %d", i, term, b)
 			}
 			if b > 0 && ref.first <= e.blocks[b-1].last {
-				return fmt.Errorf("index: interval %d term %q: skip entries out of order", i, term)
+				return corruptf("index: interval %d term %q: skip entries out of order", i, term)
 			}
 			e.blocks[b] = ref
 			total += int64(ref.count)
 		}
 		if total != e.docFreq {
-			return fmt.Errorf("index: interval %d term %q: docFreq %d != %d postings in blocks", i, term, e.docFreq, total)
+			return corruptf("index: interval %d term %q: docFreq %d != %d postings in blocks", i, term, e.docFreq, total)
 		}
 		if len(dict.terms) > 0 && term <= dict.terms[len(dict.terms)-1] {
-			return fmt.Errorf("index: interval %d: dictionary terms out of order at %q", i, term)
+			return corruptf("index: interval %d: dictionary terms out of order at %q", i, term)
 		}
 		dict.terms = append(dict.terms, term)
 		dict.entries = append(dict.entries, e)
 	}
 	if r.err != nil || r.pos != len(raw) {
-		return fmt.Errorf("index: interval %d: corrupt dictionary", i)
+		return corruptf("index: interval %d: corrupt dictionary", i)
 	}
 	d.dicts[i] = dict
 	return nil
 }
 
 // readSection reads [off, off+n) counting one sequential read.
+// Transient faults are retried under the index's RetryPolicy.
 func (d *DiskIndex) readSection(off, n int64) ([]byte, error) {
 	buf := make([]byte, n)
-	if _, err := d.f.ReadAt(buf, off); err != nil {
+	retries, err := d.retry.Do(d.rctx, func() error {
+		_, rerr := d.f.ReadAt(buf, off)
+		return rerr
+	})
+	d.mu.Lock()
+	d.stats.RetriedReads += int64(retries)
+	if err == nil {
+		d.stats.SequentialReads++
+		d.stats.BytesRead += n
+	}
+	d.mu.Unlock()
+	if err != nil {
 		return nil, fmt.Errorf("index: read segment at %d: %w", off, err)
 	}
-	d.mu.Lock()
-	d.stats.SequentialReads++
-	d.stats.BytesRead += n
-	d.mu.Unlock()
 	return buf, nil
 }
 
@@ -218,7 +247,10 @@ func (d *DiskIndex) readChecked(off, n int64, what string) ([]byte, error) {
 	payload := raw[:n-4]
 	stored := binary.LittleEndian.Uint32(raw[n-4:])
 	if crc32.ChecksumIEEE(payload) != stored {
-		return nil, fmt.Errorf("index: %s: checksum mismatch", what)
+		d.mu.Lock()
+		d.stats.CorruptReads++
+		d.mu.Unlock()
+		return nil, corruptf("index: %s: checksum mismatch", what)
 	}
 	return payload, nil
 }
@@ -237,21 +269,33 @@ func (d *DiskIndex) lookup(w string, i int) *diskTerm {
 }
 
 // fetchBlock returns the decoded postings of one block, reading and
-// CRC-verifying it on cache miss (one random read).
+// CRC-verifying it on cache miss (one random read). Transient read
+// faults are retried; a block that fails validation is counted as a
+// corrupt read and returned as ErrCorrupt, never retried.
 func (d *DiskIndex) fetchBlock(ref blockRef) ([]int64, error) {
 	if ids, ok := d.cache.get(ref.off); ok {
 		return ids, nil
 	}
 	buf := make([]byte, ref.length)
-	if _, err := d.f.ReadAt(buf, ref.off); err != nil {
+	retries, err := d.retry.Do(d.rctx, func() error {
+		_, rerr := d.f.ReadAt(buf, ref.off)
+		return rerr
+	})
+	d.mu.Lock()
+	d.stats.RetriedReads += int64(retries)
+	if err == nil {
+		d.stats.RandomReads++
+		d.stats.BytesRead += int64(ref.length)
+	}
+	d.mu.Unlock()
+	if err != nil {
 		return nil, fmt.Errorf("index: read block at %d: %w", ref.off, err)
 	}
-	d.mu.Lock()
-	d.stats.RandomReads++
-	d.stats.BytesRead += int64(ref.length)
-	d.mu.Unlock()
 	ids, err := decodeBlock(buf, ref)
 	if err != nil {
+		d.mu.Lock()
+		d.stats.CorruptReads++
+		d.mu.Unlock()
 		return nil, err
 	}
 	d.cache.put(ref.off, ids)
@@ -263,32 +307,32 @@ func (d *DiskIndex) fetchBlock(ref blockRef) ([]int64, error) {
 // wrong results.
 func decodeBlock(raw []byte, ref blockRef) ([]int64, error) {
 	if len(raw) < 5 {
-		return nil, fmt.Errorf("index: block at %d: too short", ref.off)
+		return nil, corruptf("index: block at %d: too short", ref.off)
 	}
 	payload := raw[:len(raw)-4]
 	stored := binary.LittleEndian.Uint32(raw[len(raw)-4:])
 	if crc32.ChecksumIEEE(payload) != stored {
-		return nil, fmt.Errorf("index: block at %d: checksum mismatch", ref.off)
+		return nil, corruptf("index: block at %d: checksum mismatch", ref.off)
 	}
 	r := &byteReader{b: payload}
 	count := int(r.uvarint())
 	if r.err != nil || count != int(ref.count) {
-		return nil, fmt.Errorf("index: block at %d: count %d does not match skip entry %d", ref.off, count, ref.count)
+		return nil, corruptf("index: block at %d: count %d does not match skip entry %d", ref.off, count, ref.count)
 	}
 	ids := make([]int64, count)
 	ids[0] = int64(r.uvarint())
 	for k := 1; k < count; k++ {
 		delta := int64(r.uvarint())
 		if delta <= 0 {
-			return nil, fmt.Errorf("index: block at %d: non-increasing posting", ref.off)
+			return nil, corruptf("index: block at %d: non-increasing posting", ref.off)
 		}
 		ids[k] = ids[k-1] + delta
 	}
 	if r.err != nil || r.pos != len(payload) {
-		return nil, fmt.Errorf("index: block at %d: malformed payload", ref.off)
+		return nil, corruptf("index: block at %d: malformed payload", ref.off)
 	}
 	if ids[0] != ref.first || ids[count-1] != ref.last {
-		return nil, fmt.Errorf("index: block at %d: postings disagree with skip entry", ref.off)
+		return nil, corruptf("index: block at %d: postings disagree with skip entry", ref.off)
 	}
 	return ids, nil
 }

@@ -1,0 +1,33 @@
+// Typed corruption errors for the disk segment format. Every format
+// violation — bad magic, checksum mismatch, skip entries that
+// contradict their blocks — flows through corruptf so callers can test
+// errors.Is(err, ErrCorrupt) instead of sniffing message text. The
+// wrapper also chains diskstore.ErrCorrupt, which is what keeps the
+// retry layer honest: diskstore.IsTransient refuses anything carrying
+// that sentinel, so corrupt bytes are never re-read in a retry loop.
+package index
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/diskstore"
+)
+
+// ErrCorrupt marks a segment whose bytes fail validation. All format
+// errors raised by OpenDisk, the dictionary parser, and the block
+// decoder wrap it (and diskstore.ErrCorrupt).
+var ErrCorrupt = errors.New("index: corrupt segment")
+
+// corruptf builds a format-violation error that satisfies
+// errors.Is(err, ErrCorrupt) and errors.Is(err, diskstore.ErrCorrupt).
+func corruptf(format string, args ...any) error {
+	return &corruptError{fmt.Errorf(format, args...)}
+}
+
+type corruptError struct{ err error }
+
+func (e *corruptError) Error() string { return e.err.Error() }
+func (e *corruptError) Unwrap() []error {
+	return []error{ErrCorrupt, diskstore.ErrCorrupt, e.err}
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"time"
 )
 
 // cacheEntry is one cached response: everything needed to replay it to
@@ -13,6 +14,15 @@ type cacheEntry struct {
 	status      int
 	contentType string
 	body        []byte
+	// expires is when the entry stops being fresh (zero = never). An
+	// expired entry is not deleted: it stays resident as the stale
+	// fallback until a successful refill replaces it or the LRU evicts
+	// it, which is what makes stale-on-error possible at all.
+	expires time.Time
+}
+
+func (e *cacheEntry) fresh(now time.Time) bool {
+	return e.expires.IsZero() || now.Before(e.expires)
 }
 
 func (e *cacheEntry) size(key string) int {
@@ -23,9 +33,13 @@ func (e *cacheEntry) size(key string) int {
 // CacheStats is a point-in-time snapshot of the response cache,
 // served by /debug/stats.
 type CacheStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Bypass    int64 `json:"bypass"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Bypass int64 `json:"bypass"`
+	// Stale counts responses served from an expired entry because the
+	// refill failed (stale-on-error). Nonzero means clients got old but
+	// valid answers during an Engine outage.
+	Stale     int64 `json:"stale"`
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
 	Bytes     int   `json:"bytes"`
@@ -46,8 +60,9 @@ type responseCache struct {
 	entries  map[string]*list.Element // value: *lruItem
 	order    *list.List               // front = most recently used
 	inflight map[string]*inflightFill
+	ttl      time.Duration // 0 = entries never expire
 
-	hits, misses, bypass, evictions int64
+	hits, misses, bypass, stale, evictions int64
 }
 
 type lruItem struct {
@@ -68,10 +83,15 @@ type inflightFill struct {
 
 // newResponseCache returns a cache bounded to maxBytes. Non-positive
 // maxBytes disables caching entirely: Do degrades to calling fill,
-// with no single-flight (the bypass path).
-func newResponseCache(maxBytes int) *responseCache {
+// with no single-flight (the bypass path). Non-positive ttl means
+// entries never go stale (the pre-TTL behavior).
+func newResponseCache(maxBytes int, ttl time.Duration) *responseCache {
+	if ttl < 0 {
+		ttl = 0
+	}
 	return &responseCache{
 		maxBytes: maxBytes,
+		ttl:      ttl,
 		entries:  map[string]*list.Element{},
 		order:    list.New(),
 		inflight: map[string]*inflightFill{},
@@ -86,6 +106,9 @@ const (
 	cacheHit    cacheState = "hit"
 	cacheMiss   cacheState = "miss"
 	cacheBypass cacheState = "bypass"
+	// cacheStale marks a response replayed from an expired entry
+	// because its refill failed — correct data, old snapshot.
+	cacheStale cacheState = "stale"
 )
 
 // Do returns the entry for key, filling it at most once across
@@ -107,12 +130,18 @@ func (c *responseCache) Do(ctx context.Context, key string, fill func(context.Co
 	}
 	for {
 		c.mu.Lock()
+		var stale *cacheEntry
 		if el, ok := c.entries[key]; ok {
-			c.order.MoveToFront(el)
-			c.hits++
 			e := el.Value.(*lruItem).entry
-			c.mu.Unlock()
-			return e, cacheHit, nil
+			if e.fresh(time.Now()) {
+				c.order.MoveToFront(el)
+				c.hits++
+				c.mu.Unlock()
+				return e, cacheHit, nil
+			}
+			// Expired: refill below, but keep the old bytes at hand as
+			// the stale-on-error fallback.
+			stale = e
 		}
 		if f, ok := c.inflight[key]; ok {
 			c.mu.Unlock()
@@ -138,6 +167,20 @@ func (c *responseCache) Do(ctx context.Context, key string, fill func(context.Co
 		c.mu.Unlock()
 
 		e, err := fill(ctx)
+		if err != nil && stale != nil && ctx.Err() == nil {
+			// The refill failed but the client is still here and we hold
+			// yesterday's answer: serve it, marked stale, instead of the
+			// error. The stale entry is also handed to waiters so a burst
+			// against a down Engine costs one failed fill, not N.
+			e, err = stale, nil
+			c.mu.Lock()
+			c.stale++
+			f.e, f.err = e, nil
+			delete(c.inflight, key)
+			c.mu.Unlock()
+			close(f.ch)
+			return e, cacheStale, nil
+		}
 		c.mu.Lock()
 		f.e, f.err = e, err
 		delete(c.inflight, key)
@@ -154,6 +197,9 @@ func (c *responseCache) Do(ctx context.Context, key string, fill func(context.Co
 // byte budget holds. An entry larger than the whole budget is not
 // cached at all (it would evict everything for one query).
 func (c *responseCache) insertLocked(key string, e *cacheEntry) {
+	if c.ttl > 0 {
+		e.expires = time.Now().Add(c.ttl)
+	}
 	sz := e.size(key)
 	if sz > c.maxBytes {
 		return
@@ -190,6 +236,7 @@ func (c *responseCache) Stats() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Bypass:    c.bypass,
+		Stale:     c.stale,
 		Evictions: c.evictions,
 		Entries:   len(c.entries),
 		Bytes:     c.bytes,

@@ -21,7 +21,7 @@ func fillWith(status int, body string) func(context.Context) (*cacheEntry, error
 func TestCacheLRUEviction(t *testing.T) {
 	body := strings.Repeat("x", 256)
 	perEntry := (&cacheEntry{body: []byte(body)}).size("k0")
-	c := newResponseCache(3 * perEntry)
+	c := newResponseCache(3*perEntry, 0)
 	ctx := context.Background()
 
 	for i := 0; i < 3; i++ {
@@ -55,7 +55,7 @@ func TestCacheLRUEviction(t *testing.T) {
 // error fills, non-200 entries, and entries bigger than the whole
 // budget.
 func TestCacheRefusesNon200AndErrors(t *testing.T) {
-	c := newResponseCache(1 << 10)
+	c := newResponseCache(1<<10, 0)
 	ctx := context.Background()
 
 	// Probes refill with a 502 (itself uncacheable), so a miss proves
@@ -88,7 +88,7 @@ func TestCacheRefusesNon200AndErrors(t *testing.T) {
 // TestCacheBypass pins the disabled mode: no residency, no
 // single-flight, every call runs its own fill.
 func TestCacheBypass(t *testing.T) {
-	c := newResponseCache(0)
+	c := newResponseCache(0, 0)
 	ctx := context.Background()
 	calls := 0
 	for i := 0; i < 3; i++ {
@@ -113,7 +113,7 @@ func TestCacheBypass(t *testing.T) {
 // concurrent waiters through the in-flight rendezvous — one fill, not
 // one per waiter — even though nothing lands in the LRU.
 func TestCacheSingleFlightUncacheable(t *testing.T) {
-	c := newResponseCache(64) // far below the body size
+	c := newResponseCache(64, 0) // far below the body size
 	ctx := context.Background()
 	huge := strings.Repeat("x", 1<<10)
 	var mu sync.Mutex
@@ -168,7 +168,7 @@ func TestCacheSingleFlightUncacheable(t *testing.T) {
 // TestCacheSingleFlightWaiters hammers one cold key from many
 // goroutines: exactly one fill runs, everyone gets its bytes.
 func TestCacheSingleFlightWaiters(t *testing.T) {
-	c := newResponseCache(1 << 20)
+	c := newResponseCache(1<<20, 0)
 	ctx := context.Background()
 	var mu sync.Mutex
 	fills := 0

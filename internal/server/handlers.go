@@ -88,7 +88,11 @@ const statusClientClosedRequest = 499
 func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, result func(ctx context.Context, eng *blogclusters.Engine) (any, error)) {
 	eng := s.Engine()
 	if eng == nil {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryHint)
+		if p := s.openErr.Load(); p != nil {
+			writeError(w, http.StatusServiceUnavailable, "corpus failed to load: "+p.err.Error())
+			return
+		}
 		writeError(w, http.StatusServiceUnavailable, "corpus is still loading; retry shortly")
 		return
 	}
@@ -595,19 +599,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{"ok"})
 }
 
-// handleReadyz reports 200 only once the corpus is loaded (SetEngine
-// ran); load balancers should gate traffic on this, not /healthz.
+// handleReadyz reports the three-state health model: "failing" (no
+// Engine — still loading, or the background open died; 503 so load
+// balancers pull the instance), "degraded" (serving, but some route's
+// circuit breaker is shedding; still 200 — a degraded server beats no
+// server), or "ok". The reason field explains the non-ok states; an
+// open failure surfaces its error here instead of killing the process.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if s.Engine() == nil {
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, struct {
-			Status string `json:"status"`
-		}{"loading"})
+	state, reason := s.health()
+	body := struct {
+		Status string `json:"status"`
+		Reason string `json:"reason,omitempty"`
+	}{state, reason}
+	if state == healthFailing {
+		w.Header().Set("Retry-After", s.retryHint)
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-	}{"ready"})
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleDebugStats serves the session's EngineStats (stage builds,

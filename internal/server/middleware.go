@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"net/http"
+	"runtime/debug"
 	"time"
 )
 
@@ -54,6 +55,66 @@ func (s *Server) withAccessLog(next http.Handler) http.Handler {
 	})
 }
 
+// withRecovery turns a handler panic into a 500 and a stack-trace log
+// record instead of a dead process. net/http would recover the panic
+// itself, but only after killing the connection with an empty reply;
+// catching it here lets the client see a real error and lets the
+// breaker (which re-raises panics to us) count it. http.ErrAbortHandler
+// is the sanctioned "hang up now" panic and is re-raised untouched.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.panics.Add(1)
+			s.log.Error("panic in handler",
+				"path", r.URL.Path,
+				"panic", v,
+				"stack", string(debug.Stack()),
+			)
+			// Best effort: if the handler already wrote, this is a no-op.
+			writeError(w, http.StatusInternalServerError, "internal error")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withBreaker consults and feeds the route's circuit breaker. Requests
+// to an open route shed immediately — 503 + Retry-After — before
+// touching the admission semaphore or the Engine, so a route stuck in
+// multi-second failing builds cannot starve the healthy ones. Only
+// 5xx responses (and panics, re-raised for withRecovery) count as
+// failures: 4xx is the client's fault.
+func (s *Server) withBreaker(route string, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		b := s.breakerFor(route)
+		if !b.allow() {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", s.retryHint)
+			writeError(w, http.StatusServiceUnavailable,
+				"route "+route+" is failing; circuit breaker open, retry later")
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				b.record(true)
+				panic(v)
+			}
+			b.record(sw.status >= 500)
+		}()
+		next(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+	}
+}
+
 // withAdmission is the bounded admission semaphore: at most
 // MaxInflight /v1 queries run at once, and requests beyond that are
 // rejected immediately with 429 + Retry-After rather than queued
@@ -71,7 +132,7 @@ func (s *Server) withAdmission(next http.HandlerFunc) http.HandlerFunc {
 			next(w, r)
 		default:
 			s.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryHint)
 			writeError(w, http.StatusTooManyRequests, "server is at its in-flight query limit; retry shortly")
 		}
 	}
@@ -89,8 +150,9 @@ func (s *Server) withTimeout(next http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// query composes the /v1 middleware stack: admission first (reject
-// before spending anything), then the deadline.
-func (s *Server) query(next http.HandlerFunc) http.HandlerFunc {
-	return s.withAdmission(s.withTimeout(next))
+// query composes the /v1 middleware stack: the route breaker first
+// (an open route sheds without consuming an admission slot), then
+// admission, then the deadline.
+func (s *Server) query(route string, next http.HandlerFunc) http.HandlerFunc {
+	return s.withBreaker(route, s.withAdmission(s.withTimeout(next)))
 }

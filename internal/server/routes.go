@@ -4,9 +4,10 @@ import "net/http"
 
 // routes maps the HTTP surface onto Engine queries. Every /v1 route is
 // a GET (queries are reads; the session is the only state), wrapped in
-// the admission semaphore and per-request deadline. The operational
-// endpoints stay outside the semaphore so probes and dashboards keep
-// working while the query surface is saturated.
+// its circuit breaker, the admission semaphore and the per-request
+// deadline. The operational endpoints stay outside all three so probes
+// and dashboards keep working while the query surface is saturated or
+// shedding.
 //
 //	/v1/stable-clusters  → StableClusters / NormalizedStableClusters /
 //	                       DiverseStableClusters (?variant=)
@@ -21,13 +22,13 @@ import "net/http"
 //	/debug/stats         → EngineStats + server/cache counters
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/stable-clusters", s.query(s.handleStableClusters))
-	mux.HandleFunc("GET /v1/bursts", s.query(s.handleBursts))
-	mux.HandleFunc("GET /v1/timeseries", s.query(s.handleTimeSeries))
-	mux.HandleFunc("GET /v1/search", s.query(s.handleSearch))
-	mux.HandleFunc("GET /v1/refine", s.query(s.handleRefine))
-	mux.HandleFunc("GET /v1/correlations", s.query(s.handleCorrelations))
-	mux.HandleFunc("GET /v1/describe", s.query(s.handleDescribe))
+	mux.HandleFunc("GET /v1/stable-clusters", s.query("stable-clusters", s.handleStableClusters))
+	mux.HandleFunc("GET /v1/bursts", s.query("bursts", s.handleBursts))
+	mux.HandleFunc("GET /v1/timeseries", s.query("timeseries", s.handleTimeSeries))
+	mux.HandleFunc("GET /v1/search", s.query("search", s.handleSearch))
+	mux.HandleFunc("GET /v1/refine", s.query("refine", s.handleRefine))
+	mux.HandleFunc("GET /v1/correlations", s.query("correlations", s.handleCorrelations))
+	mux.HandleFunc("GET /v1/describe", s.query("describe", s.handleDescribe))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/stats", s.handleDebugStats)

@@ -35,6 +35,7 @@ package server
 import (
 	"log/slog"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -53,6 +54,17 @@ type Config struct {
 	// RequestTimeout is the per-request context deadline for /v1
 	// queries. Non-positive means DefaultRequestTimeout.
 	RequestTimeout time.Duration
+	// CacheTTL is how long a cached response stays fresh. After it
+	// expires the next request refills through the Engine — and if that
+	// refill fails, the expired entry is served anyway with
+	// "X-Cache: stale" (stale-on-error). 0 means entries never expire
+	// (and the stale path never engages); the TTL only matters for
+	// sessions whose answers can change or fail, so blogserved sets it.
+	CacheTTL time.Duration
+	// BreakerCooldown is how long an open per-route circuit breaker
+	// sheds load before letting a probe through. Non-positive means
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 	// Logger receives one structured record per request plus lifecycle
 	// events. Nil means slog.Default().
 	Logger *slog.Logger
@@ -68,16 +80,25 @@ const (
 // Server is the HTTP serving layer over one Engine session. Create
 // with New, attach the session with SetEngine, serve Handler().
 type Server struct {
-	cfg   Config
-	log   *slog.Logger
-	eng   atomic.Pointer[blogclusters.Engine]
-	cache *responseCache
-	sem   chan struct{}
-	start time.Time
+	cfg       Config
+	log       *slog.Logger
+	eng       atomic.Pointer[blogclusters.Engine]
+	openErr   atomic.Pointer[openFailure]
+	cache     *responseCache
+	sem       chan struct{}
+	start     time.Time
+	retryHint string // shared Retry-After value, derived from RequestTimeout
+
+	breakerMu sync.Mutex
+	breakers  map[string]*breaker
 
 	requests atomic.Int64
 	rejected atomic.Int64
+	panics   atomic.Int64
 }
+
+// openFailure boxes a background Engine.Open error for atomic storage.
+type openFailure struct{ err error }
 
 // New returns a Server with no Engine attached yet: /healthz answers
 // 200 immediately, /readyz and the /v1 queries answer 503 until
@@ -94,52 +115,88 @@ func New(cfg Config) *Server {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = DefaultRequestTimeout
 	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
 	return &Server{
-		cfg:   cfg,
-		log:   cfg.Logger,
-		cache: newResponseCache(cfg.CacheBytes),
-		sem:   make(chan struct{}, cfg.MaxInflight),
-		start: time.Now(),
+		cfg:       cfg,
+		log:       cfg.Logger,
+		cache:     newResponseCache(cfg.CacheBytes, cfg.CacheTTL),
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		start:     time.Now(),
+		retryHint: retryAfterSeconds(cfg.RequestTimeout),
+		breakers:  map[string]*breaker{},
 	}
 }
 
-// SetEngine attaches the session and flips readiness. The Server does
-// not own the Engine: the caller closes it after draining HTTP (the
-// reverse order would cancel in-flight queries mid-drain).
-func (s *Server) SetEngine(e *blogclusters.Engine) { s.eng.Store(e) }
+// SetEngine attaches the session and flips readiness (clearing any
+// recorded open failure). The Server does not own the Engine: the
+// caller closes it after draining HTTP (the reverse order would cancel
+// in-flight queries mid-drain).
+func (s *Server) SetEngine(e *blogclusters.Engine) {
+	s.eng.Store(e)
+	s.openErr.Store(nil)
+}
+
+// SetOpenError records that the background Engine.Open failed. The
+// server keeps serving — /healthz stays 200, /readyz reports failing
+// with the error in the body, /v1 queries get 503 + Retry-After —
+// so operators can see why the corpus never loaded instead of finding
+// a dead process. A later SetEngine (a retried load) clears it.
+func (s *Server) SetOpenError(err error) {
+	if err == nil {
+		return
+	}
+	s.openErr.Store(&openFailure{err: err})
+}
 
 // Engine returns the attached session, or nil before SetEngine.
 func (s *Server) Engine() *blogclusters.Engine { return s.eng.Load() }
 
 // Stats is the server-side half of /debug/stats.
 type Stats struct {
-	UptimeSeconds float64    `json:"uptime_seconds"`
-	Ready         bool       `json:"ready"`
-	Requests      int64      `json:"requests"`
-	Inflight      int        `json:"inflight"`
-	MaxInflight   int        `json:"max_inflight"`
-	Rejected      int64      `json:"rejected"`
-	Cache         CacheStats `json:"cache"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Ready         bool    `json:"ready"`
+	// Health is the three-state summary ("ok", "degraded", "failing");
+	// HealthReason explains the non-ok states.
+	Health       string `json:"health"`
+	HealthReason string `json:"health_reason,omitempty"`
+	Requests     int64  `json:"requests"`
+	Inflight     int    `json:"inflight"`
+	MaxInflight  int    `json:"max_inflight"`
+	Rejected     int64  `json:"rejected"`
+	// Panics counts handler panics swallowed by the recovery
+	// middleware; nonzero means a bug, but the process survived it.
+	Panics int64 `json:"panics"`
+	// Breakers maps each /v1 route seen so far to its circuit-breaker
+	// state ("closed", "open", "half-open").
+	Breakers map[string]string `json:"breakers"`
+	Cache    CacheStats        `json:"cache"`
 }
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
+	health, reason := s.health()
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Ready:         s.Engine() != nil,
+		Health:        health,
+		HealthReason:  reason,
 		Requests:      s.requests.Load(),
 		Inflight:      len(s.sem),
 		MaxInflight:   s.cfg.MaxInflight,
 		Rejected:      s.rejected.Load(),
+		Panics:        s.panics.Load(),
+		Breakers:      s.breakerStates(),
 		Cache:         s.cache.Stats(),
 	}
 }
 
-// Handler returns the full route tree wrapped in the access-log
-// middleware. Pass it to http.Server.
+// Handler returns the full route tree wrapped in the access-log and
+// panic-recovery middleware. Pass it to http.Server.
 func (s *Server) Handler() http.Handler {
-	return s.withAccessLog(s.routes())
+	return s.withAccessLog(s.withRecovery(s.routes()))
 }

@@ -81,7 +81,7 @@ func TestEndpoints(t *testing.T) {
 
 	resp, m = get(t, ts, "/readyz")
 	wantStatus(t, resp, m, 200)
-	if m["status"] != "ready" {
+	if m["status"] != "ok" {
 		t.Fatalf("readyz body %v", m)
 	}
 

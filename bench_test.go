@@ -6,9 +6,11 @@ package blogclusters
 // sweeps live in cmd/experiments (go run ./cmd/experiments -scale 1).
 
 import (
+	"context"
 	binenc "encoding/binary"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -47,6 +49,17 @@ func benchGraph(b *testing.B, m, n, d, g int) *clustergraph.Graph {
 		b.Fatal(err)
 	}
 	return cg
+}
+
+// benchSolve runs one unified-dispatch solve; the paper-figure benches
+// pin Parallelism to 1 so their numbers stay comparable with the
+// sequential history, and BenchmarkAblationParallelSolvers measures the
+// worker fan-out explicitly.
+func benchSolve(b *testing.B, g *clustergraph.Graph, req core.Request) {
+	b.Helper()
+	if _, err := core.Solve(context.Background(), g, req); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkTable1KeywordGraph measures keyword-graph construction (the
@@ -95,31 +108,14 @@ func BenchmarkFig6ArtVsRho(b *testing.B) {
 // full paths (Table 3; n scaled down, m = 6).
 func BenchmarkTable3BFSvsDFSvsTA(b *testing.B) {
 	g := benchGraph(b, 6, 100, 5, 0)
-	opts := core.Options{K: 5, L: core.FullPaths}
-	b.Run("BFS", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := core.BFS(g, core.BFSOptions{Options: opts}); err != nil {
-				b.Fatal(err)
+	for _, algo := range []string{"bfs", "dfs", "ta"} {
+		b.Run(algo, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchSolve(b, g, core.Request{Algorithm: algo, K: 5, L: core.FullPaths, Parallelism: 1})
 			}
-		}
-	})
-	b.Run("DFS", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := core.DFS(g, core.DFSOptions{Options: opts}); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("TA", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := core.TA(g, core.TAOptions{Options: opts}); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+		})
+	}
 }
 
 // BenchmarkFig7BFSGap sweeps the gap (Figure 7).
@@ -129,9 +125,7 @@ func BenchmarkFig7BFSGap(b *testing.B) {
 		b.Run(fmt.Sprintf("g%d", gap), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.BFS(g, core.BFSOptions{Options: core.Options{K: 5, L: core.FullPaths}}); err != nil {
-					b.Fatal(err)
-				}
+				benchSolve(b, g, core.Request{K: 5, L: core.FullPaths, Parallelism: 1})
 			}
 		})
 	}
@@ -144,9 +138,7 @@ func BenchmarkFig8BFSDegree(b *testing.B) {
 		b.Run(fmt.Sprintf("d%d", d), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.BFS(g, core.BFSOptions{Options: core.Options{K: 5, L: core.FullPaths}}); err != nil {
-					b.Fatal(err)
-				}
+				benchSolve(b, g, core.Request{K: 5, L: core.FullPaths, Parallelism: 1})
 			}
 		})
 	}
@@ -159,9 +151,7 @@ func BenchmarkFig9BFSScale(b *testing.B) {
 		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.BFS(g, core.BFSOptions{Options: core.Options{K: 5, L: core.FullPaths}}); err != nil {
-					b.Fatal(err)
-				}
+				benchSolve(b, g, core.Request{K: 5, L: core.FullPaths, Parallelism: 1})
 			}
 		})
 	}
@@ -174,9 +164,7 @@ func BenchmarkFig10BFSSubpaths(b *testing.B) {
 		b.Run(fmt.Sprintf("l%d", l), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.BFS(g, core.BFSOptions{Options: core.Options{K: 5, L: l}}); err != nil {
-					b.Fatal(err)
-				}
+				benchSolve(b, g, core.Request{K: 5, L: l, Parallelism: 1})
 			}
 		})
 	}
@@ -189,9 +177,7 @@ func BenchmarkFig11DFS(b *testing.B) {
 		b.Run(fmt.Sprintf("m%d", m), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.DFS(g, core.DFSOptions{Options: core.Options{K: 5, L: core.FullPaths}}); err != nil {
-					b.Fatal(err)
-				}
+				benchSolve(b, g, core.Request{Algorithm: "dfs", K: 5, L: core.FullPaths, Parallelism: 1})
 			}
 		})
 	}
@@ -205,9 +191,7 @@ func BenchmarkFig12DFSGapDegree(b *testing.B) {
 		b.Run(fmt.Sprintf("g%d", gap), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.DFS(g, core.DFSOptions{Options: core.Options{K: 5, L: core.FullPaths}}); err != nil {
-					b.Fatal(err)
-				}
+				benchSolve(b, g, core.Request{Algorithm: "dfs", K: 5, L: core.FullPaths, Parallelism: 1})
 			}
 		})
 	}
@@ -221,9 +205,7 @@ func BenchmarkFig13DFSSubpaths(b *testing.B) {
 		b.Run(fmt.Sprintf("l%d", l), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.DFS(g, core.DFSOptions{Options: core.Options{K: 5, L: l}}); err != nil {
-					b.Fatal(err)
-				}
+				benchSolve(b, g, core.Request{Algorithm: "dfs", K: 5, L: l, Parallelism: 1})
 			}
 		})
 	}
@@ -237,9 +219,7 @@ func BenchmarkFig14Normalized(b *testing.B) {
 		b.Run(fmt.Sprintf("lmin%d", lmin), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.NormalizedBFS(g, core.NormalizedOptions{K: 5, LMin: lmin}); err != nil {
-					b.Fatal(err)
-				}
+				benchSolve(b, g, core.Request{Algorithm: "normalized", K: 5, LMin: lmin, Parallelism: 1})
 			}
 		})
 	}
@@ -252,9 +232,7 @@ func BenchmarkKSensitivity(b *testing.B) {
 		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.BFS(g, core.BFSOptions{Options: core.Options{K: k, L: core.FullPaths}}); err != nil {
-					b.Fatal(err)
-				}
+				benchSolve(b, g, core.Request{K: k, L: core.FullPaths, Parallelism: 1})
 			}
 		})
 	}
@@ -274,12 +252,7 @@ func BenchmarkAblationDFSChildOrder(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.DFS(g, core.DFSOptions{
-					Options:            core.Options{K: 5, L: core.FullPaths},
-					WorstFirstChildren: worst,
-				}); err != nil {
-					b.Fatal(err)
-				}
+				benchSolve(b, g, core.Request{Algorithm: "dfs", K: 5, L: core.FullPaths, WorstFirstChildren: worst, Parallelism: 1})
 			}
 		})
 	}
@@ -296,12 +269,7 @@ func BenchmarkAblationDFSPruning(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.DFS(g, core.DFSOptions{
-					Options:        core.Options{K: 5, L: core.FullPaths},
-					DisablePruning: disabled,
-				}); err != nil {
-					b.Fatal(err)
-				}
+				benchSolve(b, g, core.Request{Algorithm: "dfs", K: 5, L: core.FullPaths, DisablePruning: disabled, Parallelism: 1})
 			}
 		})
 	}
@@ -319,12 +287,7 @@ func BenchmarkAblationTAHashTables(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.TA(g, core.TAOptions{
-					Options:                core.Options{K: 5, L: core.FullPaths},
-					DisableBoundHashTables: disabled,
-				}); err != nil {
-					b.Fatal(err)
-				}
+				benchSolve(b, g, core.Request{Algorithm: "ta", K: 5, L: core.FullPaths, DisableBoundHashTables: disabled, Parallelism: 1})
 			}
 		})
 	}
@@ -342,10 +305,93 @@ func BenchmarkAblationBFSFullPathFastPath(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.BFS(g, core.BFSOptions{
-					Options:                 core.Options{K: 5, L: core.FullPaths},
-					DisableFullPathFastPath: disabled,
-				}); err != nil {
+				benchSolve(b, g, core.Request{K: 5, L: core.FullPaths, DisableFullPathFastPath: disabled, Parallelism: 1})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallelSolvers: the interval-level worker fan-out
+// of each solver (Parallelism 0 = GOMAXPROCS) vs the sequential
+// reference path (Parallelism 1). All variants return byte-identical
+// paths (see internal/core parallel equivalence tests); this measures
+// what that interchangeability buys. The graph is the ablation shape
+// scaled up so per-interval node counts dominate coordination costs.
+func BenchmarkAblationParallelSolvers(b *testing.B) {
+	graphs := map[string]*clustergraph.Graph{
+		"bfs":        benchGraph(b, 10, 2000, 5, 1),
+		"dfs":        benchGraph(b, 6, 400, 5, 1),
+		"ta":         benchGraph(b, 6, 300, 5, 0),
+		"normalized": benchGraph(b, 8, 300, 3, 0),
+	}
+	// The parallel arm pins an explicit worker count > 1 so the fan-out
+	// machinery is always on the measured path (core treats 0 and 1 as
+	// the sequential loop); on a single-core box this records the
+	// coordination overhead rather than a speedup.
+	parWorkers := runtime.GOMAXPROCS(0)
+	if parWorkers < 2 {
+		parWorkers = 2
+	}
+	for _, algo := range []string{"bfs", "dfs", "ta", "normalized"} {
+		g := graphs[algo]
+		for _, workers := range []int{1, parWorkers} {
+			name := fmt.Sprintf("%s/seq", algo)
+			if workers > 1 {
+				name = fmt.Sprintf("%s/par", algo)
+			}
+			b.Run(name, func(b *testing.B) {
+				req := core.Request{Algorithm: algo, K: 5, Parallelism: workers}
+				if algo == "normalized" {
+					req.LMin = 3
+				} else {
+					req.L = core.FullPaths
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					benchSolve(b, g, req)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationPlannerOverhead: the steady-state cost of routing a
+// query through the planner (warm plan cache) vs forcing the algorithm,
+// measured over Engine.Solve on a memoized graph — the per-query planner
+// tax the serving layer pays for auto queries.
+func BenchmarkAblationPlannerOverhead(b *testing.B) {
+	col, err := GenerateCorpus(NewsWeekCorpus(2007, 120))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	eng, err := Open(ctx, FromCollection(col), WithGraphOptions(GraphOptions{Gap: 1, Theta: 0.1}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	// Warm until the plan cache serves hits, so the timed loop measures
+	// the steady state and never the exploration solves (the planner
+	// tries each candidate algorithm once before caching the cheapest).
+	for i := 0; i < 10 && eng.Stats().Planner.CacheHits == 0; i++ {
+		if _, err := eng.Solve(ctx, QuerySpec{K: 5, L: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if eng.Stats().Planner.CacheHits == 0 {
+		b.Fatal("plan cache never warmed")
+	}
+	for _, v := range []struct {
+		name string
+		spec QuerySpec
+	}{
+		{"forced", QuerySpec{Algorithm: "bfs", K: 5, L: 3}},
+		{"planned", QuerySpec{K: 5, L: 3}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Solve(ctx, v.spec); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -529,7 +575,7 @@ func BenchmarkAblationParallelClusters(b *testing.B) {
 		b.Run(v.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				sets, err := AllIntervalClusters(col, v.opts)
+				sets, err := allIntervalClustersCtx(context.Background(), col, v.opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -639,15 +685,16 @@ func BenchmarkQualitativePipeline(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sets, err := AllIntervalClusters(col, ClusterOptions{})
+		ctx := context.Background()
+		sets, err := allIntervalClustersCtx(ctx, col, ClusterOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		g, err := BuildClusterGraph(sets, GraphOptions{Gap: 2, Theta: 0.1})
+		g, err := buildClusterGraphCtx(ctx, sets, GraphOptions{Gap: 2, Theta: 0.1})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := StableClusters(g, "bfs", 5, 4); err != nil {
+		if _, err := core.Solve(ctx, g, core.Request{K: 5, L: 4}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -19,11 +19,15 @@
 // module map and EXPERIMENTS.md for the reproduction of the paper's
 // evaluation.
 //
-// The recommended entry point is the Engine (engine.go): a session
-// object that loads the corpus once and memoizes every stage artifact
-// across queries, with context cancellation end to end. The free
-// functions below remain for one-shot use and as the Engine's
-// stateless building blocks.
+// The entry point is the Engine (engine.go): a session object that
+// loads the corpus once and memoizes every stage artifact across
+// queries, with context cancellation end to end. Stable-cluster
+// queries go through Engine.Solve (or the StableClusters wrappers),
+// which validates a QuerySpec once, lets the cost-based planner pick
+// the solver for "auto" queries, and runs the solvers with the
+// session's parallelism. A handful of stateless helpers (per-interval
+// clustering, cluster-set serialization, corpus generation) remain as
+// free functions.
 package blogclusters
 
 import (
@@ -42,6 +46,7 @@ import (
 	"repro/internal/diskstore"
 	"repro/internal/faultfs"
 	"repro/internal/index"
+	"repro/internal/plan"
 	"repro/internal/stats"
 	"repro/internal/text"
 	"repro/internal/topk"
@@ -72,6 +77,12 @@ type (
 	Stream = core.Stream
 	// StreamOptions configures a Stream.
 	StreamOptions = core.StreamOptions
+	// QuerySpec is the normalized description of a stable-cluster query
+	// (variant, algorithm, k, lengths, diversity mode) shared by
+	// Engine.Solve, the HTTP layer's parameter parsing and the query
+	// planner's cache keys. The zero value plus K is a valid top-k
+	// query; Algorithm "" or "auto" lets the planner choose.
+	QuerySpec = plan.QuerySpec
 )
 
 // NewAnalyzer returns the paper's text pipeline: stemming on, default
@@ -169,24 +180,6 @@ func intervalClustersCtx(ctx context.Context, c *Collection, interval int, opts 
 	return out, nil
 }
 
-// AllIntervalClusters runs IntervalClusters for every interval.
-// Intervals are independent, so with Parallelism != 1 they run on a
-// bounded worker pool: up to min(Parallelism, m) interval builds are in
-// flight at once, each granted an equal share of MemBudget (so total
-// residency stays within the budget) and an equal share of the
-// remaining worker count for its internal keyword-graph pipeline. The
-// per-interval cluster sets are identical at any worker count;
-// Parallelism: 1 keeps the plain sequential loop as the ablation
-// baseline.
-//
-// Deprecated: for anything beyond a one-shot build, use
-// Engine.Clusters, which memoizes the sets, shares them across
-// queries, and supports cancellation. This wrapper runs the same code
-// with a background context.
-func AllIntervalClusters(c *Collection, opts ClusterOptions) ([][]Cluster, error) {
-	return allIntervalClustersCtx(context.Background(), c, opts)
-}
-
 // WriteClusterSets persists per-interval cluster sets as JSONL so the
 // cluster-generation and stable-cluster stages can run separately.
 func WriteClusterSets(w io.Writer, sets [][]Cluster) error {
@@ -220,17 +213,6 @@ type GraphOptions struct {
 	Parallelism int
 }
 
-// BuildClusterGraph links per-interval cluster sets into the cluster
-// graph G.
-//
-// Deprecated: for anything beyond a one-shot build, use Engine.Graph
-// (or Engine.GraphWith for explicit options), which memoizes graphs
-// per option set and supports cancellation. This wrapper runs the same
-// code with a background context.
-func BuildClusterGraph(sets [][]Cluster, opts GraphOptions) (*ClusterGraph, error) {
-	return buildClusterGraphCtx(context.Background(), sets, opts)
-}
-
 // resolveAffinity maps GraphOptions.Affinity to the affinity function
 // plus the normalization flag (intersection weights exceed 1).
 func resolveAffinity(opts GraphOptions) (cluster.AffinityFunc, bool, error) {
@@ -242,42 +224,6 @@ func resolveAffinity(opts GraphOptions) (cluster.AffinityFunc, bool, error) {
 		return nil, false, err
 	}
 	return f, true, nil
-}
-
-// StableClusters solves the kl-stable-clusters problem (Problem 1):
-// the k highest-weight paths of temporal length l. Algorithm is "bfs"
-// (default; Algorithm 2), "dfs" (Algorithm 3), "ta" (Section 4.4; full
-// paths only) or "brute" (exhaustive oracle).
-//
-// Engine.StableClusters answers the same query over the session's
-// memoized graph, with cancellation.
-func StableClusters(g *ClusterGraph, algorithm string, k, l int) (*Result, error) {
-	return solveStable(context.Background(), g, algorithm, k, l)
-}
-
-// solveStable dispatches one Problem 1 query; shared by the free
-// function and the Engine.
-func solveStable(ctx context.Context, g *ClusterGraph, algorithm string, k, l int) (*Result, error) {
-	opts := core.Options{K: k, L: l, Ctx: ctx}
-	switch algorithm {
-	case "", "bfs":
-		return core.BFS(g, core.BFSOptions{Options: opts})
-	case "dfs":
-		return core.DFS(g, core.DFSOptions{Options: opts})
-	case "ta":
-		return core.TA(g, core.TAOptions{Options: opts})
-	case "brute":
-		return core.BruteKL(g, opts)
-	default:
-		return nil, fmt.Errorf("blogclusters: unknown algorithm %q (want bfs, dfs, ta or brute): %w", algorithm, ErrInvalidQuery)
-	}
-}
-
-// NormalizedStableClusters solves Problem 2: the k paths of length at
-// least lmin with the highest stability (weight/length). The Weight
-// field of returned paths holds the stability.
-func NormalizedStableClusters(g *ClusterGraph, k, lmin int) (*Result, error) {
-	return core.NormalizedBFS(g, core.NormalizedOptions{K: k, LMin: lmin})
 }
 
 // NewStream starts an online stable-cluster maintainer (Section 4.6):
@@ -499,19 +445,13 @@ func RefineQuery(clusters []Cluster, query string) []string {
 // shared prefixes/suffixes discarded; see Section 4 of the paper).
 type DiversityMode = core.DiversityMode
 
-// Diversity modes for DiverseStableClusters.
+// Diversity modes for Engine.DiverseStableClusters.
 const (
 	DistinctEndpoints = core.DistinctEndpoints
 	DistinctPrefix    = core.DistinctPrefix
 	DistinctSuffix    = core.DistinctSuffix
 	DisjointNodes     = core.DisjointNodes
 )
-
-// DiverseStableClusters answers the constrained kl-variant: top-k
-// paths that do not share prefixes/suffixes/endpoints per mode.
-func DiverseStableClusters(g *ClusterGraph, k, l int, mode DiversityMode) (*Result, error) {
-	return core.DiverseKL(g, core.Options{K: k, L: l}, mode, 0)
-}
 
 // GenerateCorpus builds a synthetic blog corpus (the BlogScope-data
 // substitution; see DESIGN.md).

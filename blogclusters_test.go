@@ -1,9 +1,23 @@
 package blogclusters
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
+
+// openTestEngine opens a session over the collection; closed via
+// t.Cleanup. The facade tests exercise the pipeline through the Engine,
+// the package's one query path.
+func openTestEngine(t *testing.T, c *Collection, opts ...Option) *Engine {
+	t.Helper()
+	eng, err := Open(context.Background(), FromCollection(c), opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
 
 // endToEndCorpus builds a small corpus with one persistent event and
 // one single-burst event.
@@ -33,9 +47,11 @@ func endToEndCorpus(t *testing.T) *Collection {
 
 func TestEndToEndPipeline(t *testing.T) {
 	c := endToEndCorpus(t)
-	sets, err := AllIntervalClusters(c, ClusterOptions{})
+	ctx := context.Background()
+	eng := openTestEngine(t, c, WithGraphOptions(GraphOptions{Gap: 0, Theta: 0.1}))
+	sets, err := eng.Clusters(ctx)
 	if err != nil {
-		t.Fatalf("AllIntervalClusters: %v", err)
+		t.Fatalf("Clusters: %v", err)
 	}
 	if len(sets) != 4 {
 		t.Fatalf("got %d interval cluster sets, want 4", len(sets))
@@ -65,11 +81,11 @@ func TestEndToEndPipeline(t *testing.T) {
 		t.Errorf("burst event leaked into interval 0: %v", leak.Keywords)
 	}
 
-	g, err := BuildClusterGraph(sets, GraphOptions{Gap: 0, Theta: 0.1})
+	g, err := eng.Graph(ctx)
 	if err != nil {
-		t.Fatalf("BuildClusterGraph: %v", err)
+		t.Fatalf("Graph: %v", err)
 	}
-	res, err := StableClusters(g, "bfs", 1, FullPaths)
+	res, err := eng.StableClusters(ctx, "bfs", 1, FullPaths)
 	if err != nil {
 		t.Fatalf("StableClusters: %v", err)
 	}
@@ -90,20 +106,14 @@ func TestEndToEndPipeline(t *testing.T) {
 
 func TestAlgorithmsAgreeEndToEnd(t *testing.T) {
 	c := endToEndCorpus(t)
-	sets, err := AllIntervalClusters(c, ClusterOptions{})
+	ctx := context.Background()
+	eng := openTestEngine(t, c, WithGraphOptions(GraphOptions{Gap: 1, Theta: 0.1}))
+	want, err := eng.StableClusters(ctx, "brute", 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, err := BuildClusterGraph(sets, GraphOptions{Gap: 1, Theta: 0.1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	want, err := StableClusters(g, "brute", 3, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, alg := range []string{"bfs", "dfs"} {
-		got, err := StableClusters(g, alg, 3, 2)
+	for _, alg := range []string{"bfs", "dfs", "auto"} {
+		got, err := eng.StableClusters(ctx, alg, 3, 2)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
@@ -116,22 +126,15 @@ func TestAlgorithmsAgreeEndToEnd(t *testing.T) {
 			}
 		}
 	}
-	if _, err := StableClusters(g, "nope", 1, 1); err == nil {
+	if _, err := eng.StableClusters(ctx, "nope", 1, 1); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }
 
 func TestNormalizedFacade(t *testing.T) {
 	c := endToEndCorpus(t)
-	sets, err := AllIntervalClusters(c, ClusterOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	g, err := BuildClusterGraph(sets, GraphOptions{Gap: 0, Theta: 0.1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := NormalizedStableClusters(g, 2, 2)
+	eng := openTestEngine(t, c, WithGraphOptions(GraphOptions{Gap: 0, Theta: 0.1}))
+	res, err := eng.NormalizedStableClusters(context.Background(), 2, 2)
 	if err != nil {
 		t.Fatalf("NormalizedStableClusters: %v", err)
 	}
@@ -147,7 +150,8 @@ func TestNormalizedFacade(t *testing.T) {
 
 func TestStreamFacade(t *testing.T) {
 	c := endToEndCorpus(t)
-	sets, err := AllIntervalClusters(c, ClusterOptions{})
+	eng := openTestEngine(t, c)
+	sets, err := eng.Clusters(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,15 +188,8 @@ func TestRefineQuery(t *testing.T) {
 
 func TestDiverseStableClustersFacade(t *testing.T) {
 	c := endToEndCorpus(t)
-	sets, err := AllIntervalClusters(c, ClusterOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	g, err := BuildClusterGraph(sets, GraphOptions{Gap: 0, Theta: 0.1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := DiverseStableClusters(g, 3, 2, DistinctEndpoints)
+	eng := openTestEngine(t, c, WithGraphOptions(GraphOptions{Gap: 0, Theta: 0.1}))
+	res, err := eng.DiverseStableClusters(context.Background(), 3, 2, DistinctEndpoints)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,18 +247,16 @@ func TestIndexAndBurstsFacade(t *testing.T) {
 
 func TestIntersectionAffinityFacade(t *testing.T) {
 	c := endToEndCorpus(t)
-	sets, err := AllIntervalClusters(c, ClusterOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	g, err := BuildClusterGraph(sets, GraphOptions{Gap: 0, Theta: 1, Affinity: "intersection"})
+	ctx := context.Background()
+	eng := openTestEngine(t, c)
+	g, err := eng.GraphWith(ctx, GraphOptions{Gap: 0, Theta: 1, Affinity: "intersection"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g.MaxWeight() > 1 {
 		t.Errorf("intersection weights not normalized: max %g", g.MaxWeight())
 	}
-	if _, err := BuildClusterGraph(sets, GraphOptions{Affinity: "cosine"}); err == nil {
+	if _, err := eng.GraphWith(ctx, GraphOptions{Affinity: "cosine"}); err == nil {
 		t.Error("unknown affinity accepted")
 	}
 }

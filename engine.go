@@ -18,6 +18,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/diskstore"
 	"repro/internal/par"
+	"repro/internal/plan"
 	"repro/internal/stats"
 )
 
@@ -68,6 +69,10 @@ type Engine struct {
 	kwMu         sync.Mutex
 	kwGraphs     map[int]*memo[*KeywordGraph]
 
+	// planner learns per-shape solver costs and picks the algorithm for
+	// auto queries (see internal/plan); nil never — Open always sets it.
+	planner *plan.Planner
+
 	queries atomic.Int64
 	timings stageTimings
 }
@@ -78,6 +83,12 @@ type engineConfig struct {
 	graph    GraphOptions
 	index    IndexOptions
 	progress func(StageEvent)
+	// planOff disables the cost-based planner: auto queries fall back
+	// to the registry default instead of a learned choice.
+	planOff bool
+	// parallelism is the solver worker count for stable-cluster
+	// queries; 0 means GOMAXPROCS, 1 forces the sequential path.
+	parallelism int
 }
 
 // Option configures an Engine at Open time.
@@ -100,6 +111,24 @@ func WithGraphOptions(o GraphOptions) Option {
 // materialized by index-backed queries (Search, TimeSeries, Bursts).
 func WithIndexOptions(o IndexOptions) Option {
 	return func(c *engineConfig) { c.index = o }
+}
+
+// WithPlanMode selects how auto-algorithm stable-cluster queries pick
+// their solver: "auto" (the default) uses the session's cost-based
+// planner, which explores the candidate algorithms once per graph
+// shape and then exploits the cheapest observed one; "off" disables
+// planning and always runs the registry default. Unrecognized values
+// behave like "auto".
+func WithPlanMode(mode string) Option {
+	return func(c *engineConfig) { c.planOff = mode == "off" }
+}
+
+// WithSolverParallelism sets the worker count the stable-cluster
+// solvers fan out to. 0 (the default) uses GOMAXPROCS; 1 forces the
+// sequential reference path; values beyond GOMAXPROCS are clamped by
+// the solver.
+func WithSolverParallelism(n int) Option {
+	return func(c *engineConfig) { c.parallelism = n }
 }
 
 // WithProgress registers a hook invoked at the start and end of every
@@ -165,10 +194,12 @@ var ErrEngineClosed = errors.New("blogclusters: engine is closed")
 
 // ErrInvalidQuery marks query-validation failures — an interval
 // outside the corpus, a query term with no analyzable keyword, an
-// unknown solver algorithm. Callers serving queries on behalf of
-// remote clients (internal/server) map it to a client error (400)
-// via errors.Is instead of sniffing message text.
-var ErrInvalidQuery = errors.New("invalid query")
+// unknown solver algorithm. It is the solver core's sentinel, so a
+// validation failure raised anywhere between the HTTP layer's
+// QuerySpec parsing and a solver's Request check matches the same
+// errors.Is test; callers serving remote clients (internal/server)
+// map it to a client error (400) instead of sniffing message text.
+var ErrInvalidQuery = core.ErrInvalidRequest
 
 // Open starts a session: the corpus is loaded (or generated)
 // immediately; everything downstream is built lazily by the first
@@ -183,6 +214,7 @@ func Open(ctx context.Context, src Source, opts ...Option) (*Engine, error) {
 		intervalSets: map[int]*memo[[]Cluster]{},
 		graphs:       map[GraphOptions]*memo[*ClusterGraph]{},
 		kwGraphs:     map[int]*memo[*KeywordGraph]{},
+		planner:      plan.New(),
 	}
 	e.root, e.stop = context.WithCancel(context.Background())
 
@@ -460,16 +492,25 @@ func analyzed(raw string) (string, error) {
 	return kws[0], nil
 }
 
-// StableClusters answers Problem 1 (top-k highest-weight paths of
-// temporal length l) over the session's default cluster graph.
-// Algorithm is "bfs" (default), "dfs", "ta" or "brute".
-func (e *Engine) StableClusters(ctx context.Context, algorithm string, k, l int) (*Result, error) {
-	return e.StableClustersOn(ctx, e.cfg.graph, algorithm, k, l)
+// Solve answers a stable-cluster query described by a QuerySpec over
+// the session's default cluster graph. It is the one dispatch path for
+// all three query variants (topk, normalized, diverse): the spec is
+// validated once, the algorithm is either the spec's own or — when the
+// spec leaves it to "auto" — the session planner's cost-based pick for
+// this graph shape, and completed planned solves feed their wall-clock
+// back into the planner. The StableClusters wrappers and the HTTP
+// layer both route here.
+func (e *Engine) Solve(ctx context.Context, spec QuerySpec) (*Result, error) {
+	return e.SolveOn(ctx, e.cfg.graph, spec)
 }
 
-// StableClustersOn is StableClusters over the graph built with an
-// explicit option set (memoized like GraphWith).
-func (e *Engine) StableClustersOn(ctx context.Context, gopts GraphOptions, algorithm string, k, l int) (*Result, error) {
+// SolveOn is Solve over the graph built with an explicit option set
+// (memoized like GraphWith).
+func (e *Engine) SolveOn(ctx context.Context, gopts GraphOptions, spec QuerySpec) (*Result, error) {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	g, err := e.GraphWith(ctx, gopts)
 	if err != nil {
 		return nil, err
@@ -479,38 +520,81 @@ func (e *Engine) StableClustersOn(ctx context.Context, gopts GraphOptions, algor
 		return nil, err
 	}
 	defer cancel()
-	return solveStable(ctx, g, algorithm, k, l)
+
+	meta := plan.GraphMeta{
+		Nodes:     g.NumNodes(),
+		Edges:     g.NumEdges(),
+		Intervals: g.NumIntervals(),
+		Gap:       g.Gap(),
+		MaxWeight: g.MaxWeight(),
+	}
+	algorithm := spec.Algorithm
+	planned := false
+	if algorithm == "" {
+		if e.cfg.planOff {
+			if spec.Variant == plan.VariantNormalized {
+				algorithm = "normalized"
+			} else {
+				algorithm = core.DefaultAlgorithm
+			}
+		} else {
+			algorithm = e.planner.Decide(spec, meta).Algorithm
+			planned = true
+		}
+	}
+	req := spec.Request(algorithm)
+	// core treats 0 as the sequential path, so the "0 = GOMAXPROCS"
+	// contract of WithSolverParallelism resolves here.
+	req.Parallelism = e.cfg.parallelism
+	if req.Parallelism == 0 {
+		req.Parallelism = runtime.GOMAXPROCS(0)
+	}
+
+	start := time.Now()
+	var res *Result
+	if spec.Variant == plan.VariantDiverse {
+		mode, merr := core.ParseDiversityMode(spec.Mode)
+		if merr != nil {
+			return nil, merr
+		}
+		res, err = core.DiverseKL(ctx, g, req, mode, 0)
+	} else {
+		res, err = core.Solve(ctx, g, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if planned {
+		e.planner.Observe(algorithm, meta, time.Since(start).Nanoseconds())
+	}
+	return res, nil
+}
+
+// StableClusters answers Problem 1 (top-k highest-weight paths of
+// temporal length l) over the session's default cluster graph.
+// Algorithm is "auto" (or "") to let the planner choose, or one of
+// "bfs", "dfs", "ta", "brute" to force a solver.
+func (e *Engine) StableClusters(ctx context.Context, algorithm string, k, l int) (*Result, error) {
+	return e.StableClustersOn(ctx, e.cfg.graph, algorithm, k, l)
+}
+
+// StableClustersOn is StableClusters over the graph built with an
+// explicit option set (memoized like GraphWith).
+func (e *Engine) StableClustersOn(ctx context.Context, gopts GraphOptions, algorithm string, k, l int) (*Result, error) {
+	return e.SolveOn(ctx, gopts, QuerySpec{Algorithm: algorithm, K: k, L: l})
 }
 
 // NormalizedStableClusters answers Problem 2: the top-k paths of
 // length at least lmin by stability (weight/length), over the default
 // graph. The Weight field of returned paths holds the stability.
 func (e *Engine) NormalizedStableClusters(ctx context.Context, k, lmin int) (*Result, error) {
-	g, err := e.Graph(ctx)
-	if err != nil {
-		return nil, err
-	}
-	ctx, cancel, err := e.queryCtx(ctx)
-	if err != nil {
-		return nil, err
-	}
-	defer cancel()
-	return core.NormalizedBFS(g, core.NormalizedOptions{K: k, LMin: lmin, Ctx: ctx})
+	return e.Solve(ctx, QuerySpec{Variant: plan.VariantNormalized, K: k, LMin: lmin})
 }
 
 // DiverseStableClusters answers the constrained kl-variant: top-k
 // paths that do not share prefixes/suffixes/endpoints per mode.
 func (e *Engine) DiverseStableClusters(ctx context.Context, k, l int, mode DiversityMode) (*Result, error) {
-	g, err := e.Graph(ctx)
-	if err != nil {
-		return nil, err
-	}
-	ctx, cancel, err := e.queryCtx(ctx)
-	if err != nil {
-		return nil, err
-	}
-	defer cancel()
-	return core.DiverseKL(g, core.Options{K: k, L: l, Ctx: ctx}, mode, 0)
+	return e.Solve(ctx, QuerySpec{Variant: plan.VariantDiverse, K: k, L: l, Mode: mode.String()})
 }
 
 // TimeSeries returns the keyword's per-interval document frequency
@@ -656,6 +740,10 @@ type EngineStats struct {
 	// IndexIO is the disk index backend's I/O counters (zero for the
 	// mem backend or while the index is unbuilt).
 	IndexIO diskstore.IOStats `json:"index_io"`
+	// Planner is the query planner's activity: decisions made,
+	// plan-cache hits/misses/invalidations, observations absorbed and
+	// picks per algorithm.
+	Planner plan.Stats `json:"planner"`
 }
 
 // Stats snapshots the session counters.
@@ -663,6 +751,7 @@ func (e *Engine) Stats() EngineStats {
 	st := EngineStats{
 		Queries: e.queries.Load(),
 		Stages:  e.timings.snapshot(),
+		Planner: e.planner.Stats(),
 	}
 	if r, ok := e.index.cached(); ok {
 		if io, ok := r.(interface{ Stats() diskstore.IOStats }); ok {

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/core"
 )
 
 // testCorpus returns a small seeded news week shared by the Engine
@@ -25,7 +27,7 @@ func testCorpus(t *testing.T, posts int) *Collection {
 }
 
 // TestEngineEquivalence proves the Engine's query methods return
-// byte-identical results to the legacy free functions on a seeded
+// byte-identical results to the underlying stateless stages on a seeded
 // corpus (the acceptance criterion of the API redesign): same cluster
 // sets, same solver outputs on the same graph, same index answers,
 // same bursts, refinements and correlations.
@@ -43,21 +45,21 @@ func TestEngineEquivalence(t *testing.T) {
 	defer eng.Close()
 
 	// Stage artifacts.
-	wantSets, err := AllIntervalClusters(col, copts)
+	wantSets, err := allIntervalClustersCtx(ctx, col, copts)
 	if err != nil {
-		t.Fatalf("legacy clusters: %v", err)
+		t.Fatalf("reference clusters: %v", err)
 	}
 	gotSets, err := eng.Clusters(ctx)
 	if err != nil {
 		t.Fatalf("engine clusters: %v", err)
 	}
 	if !reflect.DeepEqual(wantSets, gotSets) {
-		t.Fatalf("cluster sets differ between Engine and AllIntervalClusters")
+		t.Fatalf("cluster sets differ between Engine and the stateless build")
 	}
 
-	wantG, err := BuildClusterGraph(wantSets, gopts)
+	wantG, err := buildClusterGraphCtx(ctx, wantSets, gopts)
 	if err != nil {
-		t.Fatalf("legacy graph: %v", err)
+		t.Fatalf("reference graph: %v", err)
 	}
 	gotG, err := eng.Graph(ctx)
 	if err != nil {
@@ -70,21 +72,21 @@ func TestEngineEquivalence(t *testing.T) {
 
 	// Solvers, across algorithms and problems.
 	for _, alg := range []string{"bfs", "dfs", "brute"} {
-		want, err := StableClusters(wantG, alg, 4, 2)
+		want, err := core.Solve(ctx, wantG, core.Request{Algorithm: alg, K: 4, L: 2})
 		if err != nil {
-			t.Fatalf("legacy %s: %v", alg, err)
+			t.Fatalf("reference %s: %v", alg, err)
 		}
 		got, err := eng.StableClusters(ctx, alg, 4, 2)
 		if err != nil {
 			t.Fatalf("engine %s: %v", alg, err)
 		}
 		if !reflect.DeepEqual(want.Paths, got.Paths) {
-			t.Fatalf("%s paths differ between Engine and StableClusters", alg)
+			t.Fatalf("%s paths differ between Engine and core.Solve", alg)
 		}
 	}
-	wantN, err := NormalizedStableClusters(wantG, 4, 2)
+	wantN, err := core.Solve(ctx, wantG, core.Request{Algorithm: "normalized", K: 4, LMin: 2})
 	if err != nil {
-		t.Fatalf("legacy normalized: %v", err)
+		t.Fatalf("reference normalized: %v", err)
 	}
 	gotN, err := eng.NormalizedStableClusters(ctx, 4, 2)
 	if err != nil {
@@ -93,9 +95,9 @@ func TestEngineEquivalence(t *testing.T) {
 	if !reflect.DeepEqual(wantN.Paths, gotN.Paths) {
 		t.Fatalf("normalized paths differ")
 	}
-	wantD, err := DiverseStableClusters(wantG, 3, 2, DistinctEndpoints)
+	wantD, err := core.DiverseKL(ctx, wantG, core.Request{K: 3, L: 2}, DistinctEndpoints, 0)
 	if err != nil {
-		t.Fatalf("legacy diverse: %v", err)
+		t.Fatalf("reference diverse: %v", err)
 	}
 	gotD, err := eng.DiverseStableClusters(ctx, 3, 2, DistinctEndpoints)
 	if err != nil {
@@ -383,11 +385,11 @@ func TestEngineClustersAt(t *testing.T) {
 // and path queries work, corpus-backed ones return ErrNoCorpus.
 func TestEngineClusterSetsSource(t *testing.T) {
 	col := testCorpus(t, 80)
-	sets, err := AllIntervalClusters(col, ClusterOptions{})
+	ctx := context.Background()
+	sets, err := allIntervalClustersCtx(ctx, col, ClusterOptions{})
 	if err != nil {
 		t.Fatalf("clusters: %v", err)
 	}
-	ctx := context.Background()
 	eng, err := Open(ctx, FromClusterSets(sets),
 		WithGraphOptions(GraphOptions{Gap: 0, Theta: 0.1}))
 	if err != nil {
@@ -473,7 +475,7 @@ func TestEngineStatsJSON(t *testing.T) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		t.Fatal(err)
 	}
-	wantTop := []string{"queries", "stages", "index_io"}
+	wantTop := []string{"queries", "stages", "index_io", "planner"}
 	if len(m) != len(wantTop) {
 		t.Fatalf("EngineStats JSON has %d fields, want %d: %s", len(m), len(wantTop), raw)
 	}
@@ -522,5 +524,83 @@ func TestEngineStatsJSON(t *testing.T) {
 	}
 	if back.Queries != eng.Stats().Queries || back.Stages["index"].Builds != 1 {
 		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}
+
+// TestEnginePlanner checks the planner's Engine integration: auto
+// queries are planned (decisions and cache activity show up in Stats),
+// forced-algorithm queries bypass the planner, and WithPlanMode("off")
+// disables it entirely while auto queries still answer.
+func TestEnginePlanner(t *testing.T) {
+	col := testCorpus(t, 150)
+	ctx := context.Background()
+
+	eng, err := Open(ctx, FromCollection(col),
+		WithGraphOptions(GraphOptions{Gap: 1, Theta: 0.1}))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer eng.Close()
+
+	// Forced algorithm: no planner involvement.
+	if _, err := eng.StableClusters(ctx, "bfs", 4, 2); err != nil {
+		t.Fatalf("forced solve: %v", err)
+	}
+	if st := eng.Stats().Planner; st.Decisions != 0 {
+		t.Fatalf("forced solve planned: %+v", st)
+	}
+
+	// Auto queries: every solve is one planner decision, and repeating
+	// the same query eventually hits the plan cache (once each
+	// candidate has been explored and the exploit decision is cached).
+	want, err := eng.StableClusters(ctx, "auto", 4, 2)
+	if err != nil {
+		t.Fatalf("auto solve: %v", err)
+	}
+	const rounds = 6
+	for i := 1; i < rounds; i++ {
+		got, err := eng.StableClusters(ctx, "auto", 4, 2)
+		if err != nil {
+			t.Fatalf("auto solve %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want.Paths, got.Paths) {
+			t.Fatalf("auto solve %d returned different paths", i)
+		}
+	}
+	st := eng.Stats().Planner
+	if st.Decisions != rounds {
+		t.Fatalf("Decisions = %d, want %d", st.Decisions, rounds)
+	}
+	if st.Observations != rounds {
+		t.Fatalf("Observations = %d, want %d", st.Observations, rounds)
+	}
+	if st.CacheHits == 0 {
+		t.Fatalf("no plan-cache hits after %d identical auto queries: %+v", rounds, st)
+	}
+	var picks int64
+	for _, n := range st.ByAlgorithm {
+		picks += n
+	}
+	if picks != st.Decisions {
+		t.Fatalf("ByAlgorithm totals %d, want %d", picks, st.Decisions)
+	}
+
+	// Plan mode off: auto still answers (registry default), planner
+	// stays idle, and the result matches the planned engine's.
+	off, err := Open(ctx, FromCollection(col),
+		WithGraphOptions(GraphOptions{Gap: 1, Theta: 0.1}), WithPlanMode("off"))
+	if err != nil {
+		t.Fatalf("open planless: %v", err)
+	}
+	defer off.Close()
+	got, err := off.StableClusters(ctx, "auto", 4, 2)
+	if err != nil {
+		t.Fatalf("planless auto solve: %v", err)
+	}
+	if !reflect.DeepEqual(want.Paths, got.Paths) {
+		t.Fatalf("planless auto solve returned different paths")
+	}
+	if st := off.Stats().Planner; st.Decisions != 0 || st.Observations != 0 {
+		t.Fatalf("planless engine used planner: %+v", st)
 	}
 }

@@ -31,6 +31,10 @@ type EngineFlags struct {
 	IndexBackend string
 	IndexCache   int
 	IndexFile    string
+
+	// Stable-cluster query execution.
+	PlanMode          string
+	SolverParallelism int
 }
 
 // Register installs the shared flags on fs (use flag.CommandLine in
@@ -43,6 +47,8 @@ func (f *EngineFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.IndexBackend, "index", "mem", "keyword-index backend: mem (resident) or disk (segment file + LRU block cache)")
 	fs.IntVar(&f.IndexCache, "indexcache", 0, "disk backend: block-cache budget in bytes; 0 = default (8 MiB)")
 	fs.StringVar(&f.IndexFile, "indexfile", "", "disk backend: segment file path; empty = private temp file")
+	fs.StringVar(&f.PlanMode, "plan", "auto", "solver planning for auto-algorithm queries: auto (cost-based planner) or off (registry default)")
+	fs.IntVar(&f.SolverParallelism, "solver-parallelism", 0, "worker count for the stable-cluster solvers; 0 = GOMAXPROCS, 1 = sequential")
 }
 
 // Source maps -input/-demo onto an Engine corpus source.
@@ -83,5 +89,7 @@ func (f *EngineFlags) Options(clusterBase blogclusters.ClusterOptions, graph blo
 		blogclusters.WithClusterOptions(f.ClusterOptions(clusterBase)),
 		blogclusters.WithGraphOptions(graph),
 		blogclusters.WithIndexOptions(f.IndexOptions()),
+		blogclusters.WithPlanMode(f.PlanMode),
+		blogclusters.WithSolverParallelism(f.SolverParallelism),
 	}
 }

@@ -1,54 +1,50 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/clustergraph"
+	"repro/internal/par"
 	"repro/internal/topk"
 )
 
-// BFSOptions extends Options with knobs specific to Algorithm 2.
-type BFSOptions struct {
-	Options
-	// MaxWindowNodes caps the number of window nodes whose heaps may be
-	// held in memory at once. When the g+1-interval window exceeds the
-	// cap, the interval is processed in block-nested-loop passes, each
-	// pass re-reading the current interval's nodes — exactly the
-	// Mreq/M-passes behaviour described at the end of Section 4.2.
-	// Zero means unlimited (the paper's default assumption).
-	MaxWindowNodes int
-	// DisableFullPathFastPath turns off the single-heap optimization
-	// for l = m−1 ("maintaining one heap per node suffices"); used by
-	// the ablation benchmark.
-	DisableFullPathFastPath bool
-}
-
-// BFS solves the kl-stable-clusters problem with Algorithm 2: process
-// intervals left to right, keeping the nodes of the previous g+1
-// intervals (with their heaps) in memory, and annotate every node cij
-// with heaps h^x_ij of the top-k subpaths of each length x ≤ l ending
-// there. The global heap H accumulates the top-k paths of length
+// solveBFS solves the kl-stable-clusters problem with Algorithm 2:
+// process intervals left to right, keeping the nodes of the previous
+// g+1 intervals (with their heaps) in memory, and annotate every node
+// cij with heaps h^x_ij of the top-k subpaths of each length x ≤ l
+// ending there. The global heap H accumulates the top-k paths of length
 // exactly l.
-func BFS(g *clustergraph.Graph, opts BFSOptions) (*Result, error) {
-	l, err := opts.resolveL(g)
+//
+// With Parallelism > 1 the nodes of each interval are expanded on a
+// bounded pool: intra-interval nodes are independent (edges only span
+// distinct intervals, so interval i's nodes read only frozen window
+// state and write only their own heaps), each worker collects its
+// global-heap candidates and counters in a private sink, and the sinks
+// are merged after the join. The merge order does not matter — the
+// top-k order is a strict total order — so results and Stats are
+// byte-identical to the sequential pass.
+func solveBFS(ctx context.Context, g *clustergraph.Graph, req Request) (*Result, error) {
+	l, err := req.resolveL(g)
 	if err != nil {
 		return nil, err
 	}
-	if opts.MaxWindowNodes < 0 {
-		return nil, fmt.Errorf("core: MaxWindowNodes must be >= 0, got %d", opts.MaxWindowNodes)
+	if req.MaxWindowNodes < 0 {
+		return nil, fmt.Errorf("%w: MaxWindowNodes must be >= 0, got %d", ErrInvalidRequest, req.MaxWindowNodes)
 	}
 	r := &bfsRun{
 		g:        g,
-		k:        opts.K,
+		k:        req.K,
 		l:        l,
-		fullPath: l == g.NumIntervals()-1 && !opts.DisableFullPathFastPath,
-		window:   opts.MaxWindowNodes,
-		store:    newStoreBackend(opts.Store),
+		fullPath: l == g.NumIntervals()-1 && !req.DisableFullPathFastPath,
+		window:   req.MaxWindowNodes,
+		workers:  req.workers(),
+		store:    newStoreBackend(req.Store),
 		heaps:    make(map[int64]map[int]*topk.K),
-		global:   topk.NewK(opts.K),
+		global:   topk.NewK(req.K),
 	}
 	for i := 0; i < g.NumIntervals(); i++ {
-		if err := opts.ctxErr(); err != nil {
+		if err := ctxErr(ctx); err != nil {
 			return nil, err
 		}
 		if err := r.processInterval(i); err != nil {
@@ -65,6 +61,7 @@ type bfsRun struct {
 	k, l     int
 	fullPath bool
 	window   int // MaxWindowNodes; 0 = unlimited
+	workers  int // 1 = sequential
 	store    *storeBackend
 
 	// heaps maps node id → (path length → heap). In full-path mode each
@@ -72,6 +69,14 @@ type bfsRun struct {
 	heaps  map[int64]map[int]*topk.K
 	global *topk.K
 	stats  Stats
+}
+
+// bfsSink receives one worker's global-heap offers and counters. The
+// sequential path uses a sink aliasing the run's own heap and stats, so
+// both paths run the same code.
+type bfsSink struct {
+	stats  *Stats
+	global *topk.K
 }
 
 // processInterval computes heaps for every node of interval i, using
@@ -101,13 +106,24 @@ func (r *bfsRun) processInterval(i int) error {
 		for _, id := range block {
 			inBlock[id] = true
 		}
-		for _, id := range nodes {
-			for _, ph := range r.g.Parents(id) {
-				if !inBlock[ph.Peer] {
-					continue
+		if r.workers > 1 && len(nodes) > 1 {
+			stats := make([]Stats, len(nodes))
+			locals := make([]*topk.K, len(nodes))
+			par.ForEach(len(nodes), r.workers, func(n int) error {
+				locals[n] = topk.NewK(r.k)
+				r.extendNode(nodes[n], inBlock, bfsSink{stats: &stats[n], global: locals[n]})
+				return nil
+			})
+			for n := range nodes {
+				r.stats.add(stats[n])
+				for _, p := range locals[n].Items() {
+					r.global.Consider(p)
 				}
-				r.stats.EdgeReads++
-				r.extend(id, ph)
+			}
+		} else {
+			sk := bfsSink{stats: &r.stats, global: r.global}
+			for _, id := range nodes {
+				r.extendNode(id, inBlock, sk)
 			}
 		}
 	}
@@ -125,27 +141,38 @@ func (r *bfsRun) processInterval(i int) error {
 	return nil
 }
 
+// extendNode folds every in-block parent of node id across its edge.
+func (r *bfsRun) extendNode(id int64, inBlock map[int64]bool, sk bfsSink) {
+	for _, ph := range r.g.Parents(id) {
+		if !inBlock[ph.Peer] {
+			continue
+		}
+		sk.stats.EdgeReads++
+		r.extend(id, ph, sk)
+	}
+}
+
 // extend merges parent ph's heaps into node id's heaps across the edge
 // (Algorithm 2 lines 7–14).
-func (r *bfsRun) extend(id int64, ph clustergraph.Half) {
+func (r *bfsRun) extend(id int64, ph clustergraph.Half, sk bfsSink) {
 	edgeLen := ph.Length
 	parentHeaps := r.heaps[ph.Peer]
 	// The edge alone is a path of length edgeLen (the implicit h^0 =
 	// {empty path} case).
-	r.offer(id, topk.Path{Nodes: []int64{ph.Peer}}.Append(id, edgeLen, ph.Weight))
+	r.offer(id, topk.Path{Nodes: []int64{ph.Peer}}.Append(id, edgeLen, ph.Weight), sk)
 	for x, h := range parentHeaps {
 		if x+edgeLen > r.l {
 			continue
 		}
 		for _, pi := range h.Items() {
-			r.offer(id, pi.Append(id, edgeLen, ph.Weight))
+			r.offer(id, pi.Append(id, edgeLen, ph.Weight), sk)
 		}
 	}
 }
 
 // offer places path p (ending at node id) into the appropriate h^x heap
-// and, when it has length exactly l, into the global heap.
-func (r *bfsRun) offer(id int64, p topk.Path) {
+// and, when it has length exactly l, into the sink's global heap.
+func (r *bfsRun) offer(id int64, p topk.Path, sk bfsSink) {
 	if p.Length > r.l {
 		return
 	}
@@ -162,11 +189,11 @@ func (r *bfsRun) offer(id int64, p topk.Path) {
 		h = topk.NewK(r.k)
 		hs[p.Length] = h
 	}
-	r.stats.HeapConsiders++
+	sk.stats.HeapConsiders++
 	h.Consider(p)
 	if p.Length == r.l {
-		r.stats.HeapConsiders++
-		r.global.Consider(p)
+		sk.stats.HeapConsiders++
+		sk.global.Consider(p)
 	}
 }
 

@@ -2,90 +2,40 @@
 // for the kl-stable-clusters problem (Problem 1) and the normalized
 // stable-clusters problem (Problem 2) over a cluster graph.
 //
-// Three solutions to Problem 1 are provided, mirroring Section 4:
+// Every algorithm is reached through one unified surface: build a
+// Request, call Solve (solve.go). The registry dispatches on
+// Request.Algorithm, mirroring Section 4:
 //
-//   - BFS (Algorithm 2): a single pass over the intervals keeping the
+//   - "bfs" (Algorithm 2): a single pass over the intervals keeping the
 //     previous g+1 intervals in memory, with per-node top-k heaps of
 //     subpaths of each length (bfs.go).
-//   - DFS (Algorithm 3): a stack-based depth-first traversal with
+//   - "dfs" (Algorithm 3): a stack-based depth-first traversal with
 //     maxweight-based pruning, visited-flag unmarking and bestpaths
 //     back-propagation; low memory, more I/O (dfs.go).
-//   - TA (Section 4.4): an adaptation of the threshold algorithm over
+//   - "ta" (Section 4.4): an adaptation of the threshold algorithm over
 //     per-interval-pair edge lists sorted by weight; full paths only
 //     (ta.go).
+//   - "normalized" (Section 4.5): Problem 2 via the BFS framework plus
+//     the Theorem 1 prefix pruning (normalized.go).
+//   - "brute", "brute-normalized": exhaustive oracles (brute.go).
 //
-// Problem 2 is solved with the BFS framework plus the Theorem 1 prefix
-// pruning (normalized.go). Streaming versions (Section 4.6) are in
-// online.go. A brute-force enumerator (brute.go) serves as the
-// correctness oracle for all of them.
+// Request.Parallelism > 1 fans each solver out on a bounded worker
+// pool; results are byte-identical at any worker count because the
+// top-k order (topk.Better) is a strict total order and heap contents
+// are offer-order independent. Streaming versions (Section 4.6) are in
+// online.go.
 package core
 
 import (
-	"context"
-	"fmt"
-
-	"repro/internal/clustergraph"
-	"repro/internal/diskstore"
 	"repro/internal/topk"
 )
 
-// Options parameterizes a kl-stable-clusters query.
-type Options struct {
-	// K is the number of top paths to return.
-	K int
-	// L is the exact temporal path length sought. The special value
-	// FullPaths (or m-1) requests full paths, enabling the paper's
-	// single-heap fast path in BFS and the TA algorithm.
-	L int
-	// Store, when non-nil, persists per-node algorithm state (heaps,
-	// maxweight annotations) to secondary storage so that the I/O
-	// behaviour of the algorithms is real and measurable. Nil keeps all
-	// state in memory; logical I/O counters are maintained either way.
-	Store *diskstore.Store
-	// Ctx, when non-nil, cancels the solve: each algorithm polls it at
-	// its natural loop boundary (BFS per interval, DFS every few
-	// thousand stack steps, TA per round) and returns its error. Nil
-	// means no cancellation.
-	Ctx context.Context
-}
-
-// ctxErr reports the options context's error, if any.
-func (o Options) ctxErr() error {
-	if o.Ctx == nil {
-		return nil
-	}
-	select {
-	case <-o.Ctx.Done():
-		return o.Ctx.Err()
-	default:
-		return nil
-	}
-}
-
-// FullPaths is a sentinel for Options.L meaning l = m−1.
+// FullPaths is a sentinel for Request.L meaning l = m−1.
 const FullPaths = -1
-
-// resolveL normalizes Options.L against the graph's interval count.
-func (o Options) resolveL(g *clustergraph.Graph) (int, error) {
-	if o.K <= 0 {
-		return 0, fmt.Errorf("core: K must be positive, got %d", o.K)
-	}
-	l := o.L
-	if l == FullPaths {
-		l = g.NumIntervals() - 1
-	}
-	if l <= 0 {
-		return 0, fmt.Errorf("core: path length must be positive, got %d", l)
-	}
-	if l > g.NumIntervals()-1 {
-		return 0, fmt.Errorf("core: path length %d exceeds m-1 = %d", l, g.NumIntervals()-1)
-	}
-	return l, nil
-}
 
 // Stats describes the work an algorithm performed, in the cost model
 // the paper uses: node-state reads and writes against secondary
-// storage, plus algorithm-specific counters. When Options.Store is set,
+// storage, plus algorithm-specific counters. When Request.Store is set,
 // NodeReads/NodeWrites correspond to real store operations.
 type Stats struct {
 	// NodeReads counts node-state loads.
@@ -108,6 +58,21 @@ type Stats struct {
 	// in per-node state — the memory-footprint proxy behind the paper's
 	// "DFS needed 2MB vs BFS 35MB" claim.
 	PeakStatePaths int64
+}
+
+// add folds a worker's counters into the aggregate. Flow counters sum;
+// PeakStatePaths sums too — concurrent workers hold their state
+// simultaneously, so the sum of their peaks is the honest footprint
+// bound.
+func (s *Stats) add(o Stats) {
+	s.NodeReads += o.NodeReads
+	s.NodeWrites += o.NodeWrites
+	s.EdgeReads += o.EdgeReads
+	s.HeapConsiders += o.HeapConsiders
+	s.Pruned += o.Pruned
+	s.Repushes += o.Repushes
+	s.RandomSeeks += o.RandomSeeks
+	s.PeakStatePaths += o.PeakStatePaths
 }
 
 // Result is the answer to a stable-clusters query.

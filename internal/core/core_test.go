@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -13,6 +14,12 @@ import (
 )
 
 const eps = 1e-9
+
+// solve is shorthand for Solve with a background context; tests that
+// exercise cancellation pass their own context to Solve directly.
+func solve(g *clustergraph.Graph, req Request) (*Result, error) {
+	return Solve(context.Background(), g, req)
+}
 
 func almostEqual(a, b float64) bool { return math.Abs(a-b) < eps }
 
@@ -33,7 +40,7 @@ func weightsAlmostEqual(a, b []float64) bool {
 // best two paths are identified as c13c22c31 and c13c22c33."
 func TestPaperSection42BFSExample(t *testing.T) {
 	g, ids := synth.Figure5()
-	res, err := BFS(g, BFSOptions{Options: Options{K: 2, L: 2}})
+	res, err := solve(g, Request{K: 2, L: 2})
 	if err != nil {
 		t.Fatalf("BFS: %v", err)
 	}
@@ -62,7 +69,7 @@ func TestPaperSection42HeapContents(t *testing.T) {
 	defer st.Close()
 	// Use the generic (non-full-path) machinery so every h^x is
 	// maintained, as in the paper's walk-through.
-	if _, err := BFS(g, BFSOptions{Options: Options{K: 2, L: 2, Store: st}, DisableFullPathFastPath: true}); err != nil {
+	if _, err := solve(g, Request{K: 2, L: 2, Store: st, DisableFullPathFastPath: true}); err != nil {
 		t.Fatalf("BFS: %v", err)
 	}
 	heaps := func(id int64) map[int][][]int64 {
@@ -133,7 +140,7 @@ func TestPaperSection42HeapContents(t *testing.T) {
 // pruning fires (the paper prunes c22 on first contact when min-k=1.2).
 func TestPaperTable2Trace(t *testing.T) {
 	g, ids := synth.Figure5()
-	res, err := DFS(g, DFSOptions{Options: Options{K: 1, L: 2}})
+	res, err := solve(g, Request{Algorithm: "dfs", K: 1, L: 2})
 	if err != nil {
 		t.Fatalf("DFS: %v", err)
 	}
@@ -152,7 +159,7 @@ func TestPaperTable2Trace(t *testing.T) {
 // TestPaperSection44TA runs the TA adaptation on the Figure 5 graph.
 func TestPaperSection44TA(t *testing.T) {
 	g, ids := synth.Figure5()
-	res, err := TA(g, TAOptions{Options: Options{K: 2, L: FullPaths}})
+	res, err := solve(g, Request{Algorithm: "ta", K: 2, L: FullPaths})
 	if err != nil {
 		t.Fatalf("TA: %v", err)
 	}
@@ -173,16 +180,16 @@ func TestPaperSection44TA(t *testing.T) {
 
 func TestBruteOnFigure5(t *testing.T) {
 	g, _ := synth.Figure5()
-	res, err := BruteKL(g, Options{K: 3, L: 2})
+	res, err := solve(g, Request{Algorithm: "brute", K: 3, L: 2})
 	if err != nil {
-		t.Fatalf("BruteKL: %v", err)
+		t.Fatalf("brute: %v", err)
 	}
 	want := []float64{1.7, 1.5, 1.2}
 	if !weightsAlmostEqual(res.Weights(), want) {
 		t.Errorf("brute weights = %v, want %v", res.Weights(), want)
 	}
 	// Subpaths of length 1 are single edges; the best is c22c33 (0.9).
-	res, err = BruteKL(g, Options{K: 1, L: 1})
+	res, err = solve(g, Request{Algorithm: "brute", K: 1, L: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,37 +200,37 @@ func TestBruteOnFigure5(t *testing.T) {
 
 func TestOptionValidation(t *testing.T) {
 	g, _ := synth.Figure5()
-	if _, err := BFS(g, BFSOptions{Options: Options{K: 0, L: 1}}); err == nil {
+	if _, err := solve(g, Request{K: 0, L: 1}); err == nil {
 		t.Error("BFS accepted K=0")
 	}
-	if _, err := BFS(g, BFSOptions{Options: Options{K: 1, L: 0}}); err == nil {
+	if _, err := solve(g, Request{K: 1, L: 0}); err == nil {
 		t.Error("BFS accepted L=0")
 	}
-	if _, err := BFS(g, BFSOptions{Options: Options{K: 1, L: 7}}); err == nil {
+	if _, err := solve(g, Request{K: 1, L: 7}); err == nil {
 		t.Error("BFS accepted L > m-1")
 	}
-	if _, err := BFS(g, BFSOptions{Options: Options{K: 1, L: 1}, MaxWindowNodes: -1}); err == nil {
+	if _, err := solve(g, Request{K: 1, L: 1, MaxWindowNodes: -1}); err == nil {
 		t.Error("BFS accepted negative window")
 	}
-	if _, err := DFS(g, DFSOptions{Options: Options{K: 0, L: 1}}); err == nil {
+	if _, err := solve(g, Request{Algorithm: "dfs", K: 0, L: 1}); err == nil {
 		t.Error("DFS accepted K=0")
 	}
-	if _, err := TA(g, TAOptions{Options: Options{K: 1, L: 1}}); err == nil {
+	if _, err := solve(g, Request{Algorithm: "ta", K: 1, L: 1}); err == nil {
 		t.Error("TA accepted subpath query")
 	}
-	if _, err := BruteKL(g, Options{K: -1, L: 1}); err == nil {
-		t.Error("BruteKL accepted K=-1")
+	if _, err := solve(g, Request{Algorithm: "brute", K: -1, L: 1}); err == nil {
+		t.Error("brute accepted K=-1")
 	}
-	if _, err := BruteNormalized(g, 0, 1); err == nil {
+	if _, err := solve(g, Request{Algorithm: "brute-normalized", K: 0, LMin: 1}); err == nil {
 		t.Error("BruteNormalized accepted K=0")
 	}
-	if _, err := BruteNormalized(g, 1, 0); err == nil {
+	if _, err := solve(g, Request{Algorithm: "brute-normalized", K: 1, LMin: 0}); err == nil {
 		t.Error("BruteNormalized accepted lmin=0")
 	}
-	if _, err := NormalizedBFS(g, NormalizedOptions{K: 1, LMin: 0}); err == nil {
+	if _, err := solve(g, Request{Algorithm: "normalized", K: 1, LMin: 0}); err == nil {
 		t.Error("NormalizedBFS accepted lmin=0")
 	}
-	if _, err := NormalizedBFS(g, NormalizedOptions{K: 1, LMin: 9}); err == nil {
+	if _, err := solve(g, Request{Algorithm: "normalized", K: 1, LMin: 9}); err == nil {
 		t.Error("NormalizedBFS accepted lmin > m-1")
 	}
 }
@@ -233,7 +240,7 @@ func TestTASeekBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = TA(g, TAOptions{Options: Options{K: 5, L: FullPaths}, MaxSeeks: 10})
+	_, err = solve(g, Request{Algorithm: "ta", K: 5, L: FullPaths, MaxSeeks: 10})
 	if err == nil {
 		t.Fatal("TA ignored the seek budget")
 	}
@@ -243,10 +250,10 @@ func TestDFSRejectsUnnormalizedWeights(t *testing.T) {
 	// Build a graph with weight > 1 via the synth path is impossible;
 	// construct directly.
 	g := mustWeightedGraph(t, 2.5)
-	if _, err := DFS(g, DFSOptions{Options: Options{K: 1, L: 1}}); err == nil {
+	if _, err := solve(g, Request{Algorithm: "dfs", K: 1, L: 1}); err == nil {
 		t.Error("DFS with pruning accepted weights > 1")
 	}
-	if _, err := DFS(g, DFSOptions{Options: Options{K: 1, L: 1}, DisablePruning: true}); err != nil {
+	if _, err := solve(g, Request{Algorithm: "dfs", K: 1, L: 1, DisablePruning: true}); err != nil {
 		t.Errorf("DFS without pruning rejected weights > 1: %v", err)
 	}
 }

@@ -1,29 +1,20 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/clustergraph"
+	"repro/internal/par"
 	"repro/internal/topk"
 )
-
-// DFSOptions extends Options with knobs specific to Algorithm 3.
-type DFSOptions struct {
-	Options
-	// DisablePruning turns off the maxweight/CanPrune machinery (used
-	// by the ablation benchmark).
-	DisablePruning bool
-	// WorstFirstChildren reverses the paper's heuristic of visiting
-	// children in descending edge-weight order (ablation).
-	WorstFirstChildren bool
-}
 
 // sourceID is the virtual source node pushed first (Section 4.3 "start
 // by pushing the source node"). Its edges have weight and length zero.
 const sourceID int64 = -1
 
-// DFS solves the kl-stable-clusters problem with Algorithm 3: a
+// solveDFS solves the kl-stable-clusters problem with Algorithm 3: a
 // depth-first traversal that annotates every node with maxweight (the
 // best known prefix weight per prefix length, used for pruning) and
 // bestpaths (top-k paths of each length starting at the node, built
@@ -41,30 +32,75 @@ const sourceID int64 = -1
 // prefix yet still host high-weight paths starting inside them; the
 // extra case keeps the algorithm exact for subpath queries (verified
 // against brute force in the tests).
-func DFS(g *clustergraph.Graph, opts DFSOptions) (*Result, error) {
-	l, err := opts.resolveL(g)
+//
+// With Parallelism > 1 the virtual source's children are split into
+// contiguous chunks dispatched to a bounded pool (more chunks than
+// workers, so finished workers steal remaining chunks). Each chunk is
+// an independent sequential traversal with its own state map, local
+// top-k and — when store-backed — its own key namespace; chunk-local
+// pruning thresholds are at most the final global threshold, so the
+// pruning stays admissible and the merged top-k is byte-identical to
+// the sequential answer. Stats (Pruned, Repushes, reads/writes) differ
+// in parallel runs: chunks prune against weaker local thresholds.
+func solveDFS(ctx context.Context, g *clustergraph.Graph, req Request) (*Result, error) {
+	l, err := req.resolveL(g)
 	if err != nil {
 		return nil, err
 	}
-	if !opts.DisablePruning && g.MaxWeight() > 1 {
+	if !req.DisablePruning && g.MaxWeight() > 1 {
 		return nil, fmt.Errorf("core: DFS pruning requires edge weights in (0,1]; graph max weight is %g (normalize the graph or disable pruning)", g.MaxWeight())
 	}
-	r := &dfsRun{
-		g:        g,
-		k:        opts.K,
-		l:        l,
-		fullPath: l == g.NumIntervals()-1,
-		prune:    !opts.DisablePruning,
-		worst:    opts.WorstFirstChildren,
-		store:    newStoreBackend(opts.Store),
-		opts:     opts.Options,
-		states:   make(map[int64]*dfsState),
-		global:   topk.NewK(opts.K),
+	newRun := func(keyBase int64) *dfsRun {
+		return &dfsRun{
+			g:        g,
+			k:        req.K,
+			l:        l,
+			fullPath: l == g.NumIntervals()-1,
+			prune:    !req.DisablePruning,
+			worst:    req.WorstFirstChildren,
+			store:    newStoreBackend(req.Store),
+			keyBase:  keyBase,
+			ctx:      ctx,
+			states:   make(map[int64]*dfsState),
+			global:   topk.NewK(req.K),
+		}
 	}
-	if err := r.run(); err != nil {
+	root := newRun(0)
+	children := root.sourceChildren()
+	workers := req.workers()
+	if workers <= 1 || len(children) < 2 {
+		if err := root.run(children); err != nil {
+			return nil, err
+		}
+		return &Result{Paths: root.global.Items(), Stats: root.stats}, nil
+	}
+	// Over-partition so the pool load-balances uneven subtrees.
+	chunks := workers * 4
+	if chunks > len(children) {
+		chunks = len(children)
+	}
+	runs := make([]*dfsRun, chunks)
+	err = par.ForEachCtx(ctx, chunks, workers, func(ci int) error {
+		lo := ci * len(children) / chunks
+		hi := (ci + 1) * len(children) / chunks
+		// Disjoint per-chunk key namespaces keep store-backed chunks from
+		// reading each other's threshold-dependent partial state.
+		sub := newRun(int64(ci) * int64(g.NumNodes()))
+		runs[ci] = sub
+		return sub.run(children[lo:hi])
+	})
+	if err != nil {
 		return nil, err
 	}
-	return &Result{Paths: r.global.Items(), Stats: r.stats}, nil
+	merged := topk.NewK(req.K)
+	var stats Stats
+	for _, sub := range runs {
+		stats.add(sub.stats)
+		for _, p := range sub.global.Items() {
+			merged.Consider(p)
+		}
+	}
+	return &Result{Paths: merged.Items(), Stats: stats}, nil
 }
 
 type dfsRun struct {
@@ -74,7 +110,8 @@ type dfsRun struct {
 	prune    bool
 	worst    bool
 	store    *storeBackend
-	opts     Options // for cancellation polls
+	keyBase  int64 // store-key namespace offset (parallel chunks)
+	ctx      context.Context
 
 	// states holds node state: all nodes when running purely in memory,
 	// or only stack-resident nodes when a store is attached.
@@ -118,8 +155,8 @@ func (r *dfsRun) maxSteps() int64 {
 	return 1000 * v * e
 }
 
-func (r *dfsRun) run() error {
-	stack := []dfsFrame{{node: sourceID, children: r.sourceChildren()}}
+func (r *dfsRun) run(sourceChildren []clustergraph.Half) error {
+	stack := []dfsFrame{{node: sourceID, children: sourceChildren}}
 	var steps int64
 	limit := r.maxSteps()
 	const pollEvery = 4096
@@ -128,7 +165,7 @@ func (r *dfsRun) run() error {
 			return fmt.Errorf("core: DFS exceeded %d steps; suspected re-exploration loop", limit)
 		}
 		if steps%pollEvery == 0 {
-			if err := r.opts.ctxErr(); err != nil {
+			if err := ctxErr(r.ctx); err != nil {
 				return err
 			}
 		}
@@ -218,7 +255,7 @@ func (r *dfsRun) loadState(id int64) (*dfsState, error) {
 		return s, nil
 	}
 	if r.store != nil {
-		b, ok, err := r.store.load(id)
+		b, ok, err := r.store.load(r.keyBase + id)
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +281,7 @@ func (r *dfsRun) saveState(id int64) error {
 		return nil
 	}
 	s := r.states[id]
-	if err := r.store.save(id, encodeDFSState(s)); err != nil {
+	if err := r.store.save(r.keyBase+id, encodeDFSState(s)); err != nil {
 		return err
 	}
 	delete(r.states, id)
@@ -291,7 +328,7 @@ func (r *dfsRun) updateMaxweight(parent int64, edge clustergraph.Half, child *df
 // when, for every feasible prefix length x, even the best known prefix
 // extended by a maximum-weight suffix cannot beat the current top-k
 // threshold. Feasible x additionally includes 0 when a sought path can
-// start at the node (see the deviation note on DFS).
+// start at the node (see the deviation note on solveDFS).
 func (r *dfsRun) canPrune(id int64, s *dfsState) bool {
 	minK := r.global.Threshold()
 	i := r.g.Interval(id)

@@ -51,25 +51,25 @@ func TestBFSDFSBruteEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err := BruteKL(g, Options{K: c.k, L: c.l})
+			want, err := solve(g, Request{Algorithm: "brute", K: c.k, L: c.l})
 			if err != nil {
 				t.Fatal(err)
 			}
-			bfs, err := BFS(g, BFSOptions{Options: Options{K: c.k, L: c.l}})
+			bfs, err := solve(g, Request{K: c.k, L: c.l})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if !weightsAlmostEqual(bfs.Weights(), want.Weights()) {
 				t.Errorf("BFS weights %v != brute %v", bfs.Weights(), want.Weights())
 			}
-			dfs, err := DFS(g, DFSOptions{Options: Options{K: c.k, L: c.l}})
+			dfs, err := solve(g, Request{Algorithm: "dfs", K: c.k, L: c.l})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if !weightsAlmostEqual(dfs.Weights(), want.Weights()) {
 				t.Errorf("DFS weights %v != brute %v", dfs.Weights(), want.Weights())
 			}
-			dfsNoPrune, err := DFS(g, DFSOptions{Options: Options{K: c.k, L: c.l}, DisablePruning: true})
+			dfsNoPrune, err := solve(g, Request{Algorithm: "dfs", K: c.k, L: c.l, DisablePruning: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -77,14 +77,14 @@ func TestBFSDFSBruteEquivalence(t *testing.T) {
 				t.Errorf("unpruned DFS weights %v != brute %v", dfsNoPrune.Weights(), want.Weights())
 			}
 			if c.l == c.cfg.M-1 {
-				ta, err := TA(g, TAOptions{Options: Options{K: c.k, L: c.l}})
+				ta, err := solve(g, Request{Algorithm: "ta", K: c.k, L: c.l})
 				if err != nil {
 					t.Fatal(err)
 				}
 				if !weightsAlmostEqual(ta.Weights(), want.Weights()) {
 					t.Errorf("TA weights %v != brute %v", ta.Weights(), want.Weights())
 				}
-				taNoBound, err := TA(g, TAOptions{Options: Options{K: c.k, L: c.l}, DisableBoundHashTables: true})
+				taNoBound, err := solve(g, Request{Algorithm: "ta", K: c.k, L: c.l, DisableBoundHashTables: true})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -102,11 +102,11 @@ func TestBFSFastPathMatchesGeneric(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fast, err := BFS(g, BFSOptions{Options: Options{K: 4, L: FullPaths}})
+		fast, err := solve(g, Request{K: 4, L: FullPaths})
 		if err != nil {
 			t.Fatal(err)
 		}
-		slow, err := BFS(g, BFSOptions{Options: Options{K: 4, L: FullPaths}, DisableFullPathFastPath: true})
+		slow, err := solve(g, Request{K: 4, L: FullPaths, DisableFullPathFastPath: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,11 +122,11 @@ func TestBFSBlockNestedMatchesUnlimited(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		full, err := BFS(g, BFSOptions{Options: Options{K: 3, L: 3}})
+		full, err := solve(g, Request{K: 3, L: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
-		blocked, err := BFS(g, BFSOptions{Options: Options{K: 3, L: 3}, MaxWindowNodes: 7})
+		blocked, err := solve(g, Request{K: 3, L: 3, MaxWindowNodes: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,7 +147,7 @@ func TestStoreBackedMatchesInMemory(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, l := range []int{2, 4} {
-			mem, err := BFS(g, BFSOptions{Options: Options{K: 3, L: l}})
+			mem, err := solve(g, Request{K: 3, L: l})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -155,7 +155,7 @@ func TestStoreBackedMatchesInMemory(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			disk, err := BFS(g, BFSOptions{Options: Options{K: 3, L: l, Store: st}})
+			disk, err := solve(g, Request{K: 3, L: l, Store: st})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -167,7 +167,7 @@ func TestStoreBackedMatchesInMemory(t *testing.T) {
 			}
 			st.Close()
 
-			memD, err := DFS(g, DFSOptions{Options: Options{K: 3, L: l}})
+			memD, err := solve(g, Request{Algorithm: "dfs", K: 3, L: l})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -175,7 +175,7 @@ func TestStoreBackedMatchesInMemory(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			diskD, err := DFS(g, DFSOptions{Options: Options{K: 3, L: l, Store: st2}})
+			diskD, err := solve(g, Request{Algorithm: "dfs", K: 3, L: l, Store: st2})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -215,7 +215,7 @@ func TestStatsPopulated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bfs, err := BFS(g, BFSOptions{Options: Options{K: 5, L: 3}})
+	bfs, err := solve(g, Request{K: 5, L: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestStatsPopulated(t *testing.T) {
 		bfs.Stats.HeapConsiders == 0 || bfs.Stats.PeakStatePaths == 0 {
 		t.Errorf("BFS stats unpopulated: %+v", bfs.Stats)
 	}
-	dfs, err := DFS(g, DFSOptions{Options: Options{K: 5, L: 3}})
+	dfs, err := solve(g, Request{Algorithm: "dfs", K: 5, L: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,85 +2,50 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/clustergraph"
+	"repro/internal/par"
 	"repro/internal/topk"
 )
 
-// NormalizedOptions parameterizes a normalized-stable-clusters query
-// (Problem 2): the top-k paths of temporal length at least LMin with
-// the highest stability = weight/length.
-type NormalizedOptions struct {
-	// K is the number of top paths to return.
-	K int
-	// LMin is the minimum temporal path length (avoids trivial
-	// single-strong-edge answers).
-	LMin int
-	// SuffixDominance additionally deletes a retained path that is a
-	// suffix of another retained path, as Section 4.5 suggests. It is
-	// off by default: the deleted suffix can out-extend the longer path
-	// when a heavy continuation arrives, losing results.
-	SuffixDominance bool
-	// DisableTheorem1Pruning keeps every candidate path instead of
-	// dropping prefixes per Theorem 1. The paper's pruning preserves
-	// the top-1 stability value exactly (see the analysis in the
-	// tests), but because Theorem 1 is conditional — it only covers
-	// suffixes that improve the combined path — ranks below the
-	// dominating retained path can be under-filled. Disabling the
-	// pruning makes the algorithm exact for every k at the cost of
-	// larger per-node state.
-	DisableTheorem1Pruning bool
-	// BeamWidth, when positive, caps each node's bestpaths to the
-	// BeamWidth highest-stability candidates. The paper describes
-	// bestpaths as "a list of top scoring paths", and without some
-	// bound the candidate sets grow combinatorially with m (every
-	// qualifying path ending at the node survives); the beam is the
-	// reading that makes the measured Figure 14 sweep feasible. The
-	// result becomes a (usually exact in practice, not guaranteed)
-	// approximation; 0 keeps the unbounded exact behaviour.
-	BeamWidth int
-	// Ctx, when non-nil, cancels the solve between intervals.
-	Ctx context.Context
-}
-
-// NormalizedBFS solves Problem 2 with the BFS framework of Section 4.5:
-// nodes are processed interval by interval; each node carries
-// smallpaths (all paths of length < lmin ending there) and bestpaths
-// (candidate paths of length >= lmin ending there, pruned with the
-// Theorem 1 prefix rule). Every generated path of qualifying length is
-// checked against the global top-k by stability.
+// solveNormalized solves Problem 2 (the top-k paths of temporal length
+// at least LMin with the highest stability = weight/length) with the
+// BFS framework of Section 4.5: nodes are processed interval by
+// interval; each node carries smallpaths (all paths of length < lmin
+// ending there) and bestpaths (candidate paths of length >= lmin ending
+// there, pruned with the Theorem 1 prefix rule). Every generated path
+// of qualifying length is checked against the global top-k by
+// stability.
 //
 // The Weight field of returned paths holds the stability score.
-func NormalizedBFS(g *clustergraph.Graph, opts NormalizedOptions) (*Result, error) {
-	if opts.K <= 0 {
-		return nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
-	}
-	if opts.LMin <= 0 {
-		return nil, fmt.Errorf("core: LMin must be positive, got %d", opts.LMin)
-	}
-	if opts.BeamWidth < 0 {
-		return nil, fmt.Errorf("core: BeamWidth must be >= 0, got %d", opts.BeamWidth)
-	}
-	if opts.LMin > g.NumIntervals()-1 {
-		return nil, fmt.Errorf("core: LMin %d exceeds m-1 = %d", opts.LMin, g.NumIntervals()-1)
+//
+// Parallelism follows the BFS pattern: each interval's nodes are
+// expanded concurrently (they read only frozen window state and write
+// only their own smallpaths/bestpaths), with per-worker sinks for the
+// global heap and counters merged after the join — results and Stats
+// are byte-identical to the sequential pass.
+func solveNormalized(ctx context.Context, g *clustergraph.Graph, req Request) (*Result, error) {
+	lmin, err := req.resolveLMin(g)
+	if err != nil {
+		return nil, err
 	}
 	r := &normRun{
 		g:       g,
-		k:       opts.K,
-		lmin:    opts.LMin,
-		suffix:  opts.SuffixDominance,
-		noPrune: opts.DisableTheorem1Pruning,
-		beam:    opts.BeamWidth,
+		k:       req.K,
+		lmin:    lmin,
+		suffix:  req.SuffixDominance,
+		noPrune: req.DisableTheorem1Pruning,
+		beam:    req.BeamWidth,
+		workers: req.workers(),
 		small:   make(map[int64]map[int][]topk.Path),
 		best:    make(map[int64]map[string]topk.Path),
-		global:  topk.NewK(opts.K),
+		global:  topk.NewK(req.K),
 	}
 	for i := 0; i < g.NumIntervals(); i++ {
-		if err := (Options{Ctx: opts.Ctx}).ctxErr(); err != nil {
+		if err := ctxErr(ctx); err != nil {
 			return nil, err
 		}
 		r.processInterval(i)
@@ -95,6 +60,7 @@ type normRun struct {
 	suffix  bool
 	noPrune bool
 	beam    int
+	workers int
 
 	// small[c][x] holds all paths of length x < lmin ending at c.
 	small map[int64]map[int][]topk.Path
@@ -103,6 +69,14 @@ type normRun struct {
 	best   map[int64]map[string]topk.Path
 	global *topk.K
 	stats  Stats
+}
+
+// normSink receives one worker's global-heap offers and counters (the
+// same split as bfsSink). Offered paths already carry their stability
+// in Weight, so merged items go straight into the run's global heap.
+type normSink struct {
+	stats  *Stats
+	global *topk.K
 }
 
 func (r *normRun) processInterval(i int) {
@@ -116,55 +90,98 @@ func (r *normRun) processInterval(i int) {
 	}
 	r.stats.NodeReads += int64(window)
 
-	for _, id := range r.g.NodesAt(i) {
+	nodes := r.g.NodesAt(i)
+	for _, id := range nodes {
 		r.small[id] = make(map[int][]topk.Path)
 		r.best[id] = make(map[string]topk.Path)
-		for _, ph := range r.g.Parents(id) {
-			r.stats.EdgeReads++
-			r.extend(id, ph)
+	}
+	if r.workers > 1 && len(nodes) > 1 {
+		stats := make([]Stats, len(nodes))
+		locals := make([]*topk.K, len(nodes))
+		par.ForEach(len(nodes), r.workers, func(n int) error {
+			locals[n] = topk.NewK(r.k)
+			r.processNode(nodes[n], normSink{stats: &stats[n], global: locals[n]})
+			return nil
+		})
+		for n := range nodes {
+			r.stats.add(stats[n])
+			for _, p := range locals[n].Items() {
+				r.global.Consider(p)
+			}
 		}
-		if r.suffix {
-			r.dropDominatedSuffixes(id)
+	} else {
+		sk := normSink{stats: &r.stats, global: r.global}
+		for _, id := range nodes {
+			r.processNode(id, sk)
 		}
-		if r.beam > 0 {
-			r.capBeam(id)
-		}
-		r.stats.NodeWrites++
 	}
 	r.evict(i)
 	r.trackPeak()
 }
 
+// processNode runs one node's full interval step: extend across every
+// parent edge, then the optional suffix-dominance and beam filters.
+func (r *normRun) processNode(id int64, sk normSink) {
+	for _, ph := range r.g.Parents(id) {
+		sk.stats.EdgeReads++
+		r.extend(id, ph, sk)
+	}
+	if r.suffix {
+		r.dropDominatedSuffixes(id)
+	}
+	if r.beam > 0 {
+		r.capBeam(id)
+	}
+	sk.stats.NodeWrites++
+}
+
 // extend folds the parent's paths across the edge into the node's
 // smallpaths/bestpaths, per the update rules of Section 4.5.
-func (r *normRun) extend(id int64, ph clustergraph.Half) {
+func (r *normRun) extend(id int64, ph clustergraph.Half, sk normSink) {
 	el := ph.Length
 	// The edge alone.
-	r.place(id, topk.Path{Nodes: []int64{ph.Peer}}.Append(id, el, ph.Weight))
+	r.place(id, topk.Path{Nodes: []int64{ph.Peer}}.Append(id, el, ph.Weight), sk)
 	// Extensions of the parent's smallpaths (all lengths; gap edges can
 	// jump from below lmin to above it, so unlike the paper's formula —
 	// written for the exact x = lmin − length(c'c) — every extension is
-	// routed by its resulting length).
-	for _, paths := range r.small[ph.Peer] {
-		for _, p := range paths {
-			r.place(id, p.Append(id, el, ph.Weight))
+	// routed by its resulting length). Both parent maps are iterated in
+	// sorted order: the same path signature can be regenerated with
+	// weights differing in the last ulp (direct summation vs Theorem 1's
+	// subtraction), and the retained-variant choice is first-write-wins,
+	// so randomized map order would make even sequential runs
+	// bit-nondeterministic.
+	small := r.small[ph.Peer]
+	lens := make([]int, 0, len(small))
+	for x := range small {
+		lens = append(lens, x)
+	}
+	sort.Ints(lens)
+	for _, x := range lens {
+		for _, p := range small[x] {
+			r.place(id, p.Append(id, el, ph.Weight), sk)
 		}
 	}
 	// Extensions of the parent's bestpaths.
-	for _, p := range r.best[ph.Peer] {
-		r.place(id, p.Append(id, el, ph.Weight))
+	best := r.best[ph.Peer]
+	sigs := make([]string, 0, len(best))
+	for s := range best {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	for _, s := range sigs {
+		r.place(id, best[s].Append(id, el, ph.Weight), sk)
 	}
 }
 
 // place routes a newly generated path ending at id: short paths go to
 // smallpaths; qualifying paths are checked against the global heap,
 // pruned with Theorem 1, and retained as candidates.
-func (r *normRun) place(id int64, p topk.Path) {
+func (r *normRun) place(id int64, p topk.Path, sk normSink) {
 	if p.Length < r.lmin {
 		r.small[id][p.Length] = append(r.small[id][p.Length], p)
 		return
 	}
-	r.considerGlobal(p)
+	r.considerGlobal(p, sk)
 	if r.noPrune {
 		r.best[id][signature(p.Nodes)] = p
 		return
@@ -174,16 +191,16 @@ func (r *normRun) place(id int64, p topk.Path) {
 		// The pruned remainder is itself a qualifying path that future
 		// edges will extend; it was generated independently too, but
 		// checking here is cheap and keeps the invariant local.
-		r.considerGlobal(pruned)
+		r.considerGlobal(pruned, sk)
 	}
 	r.best[id][signature(pruned.Nodes)] = pruned
 }
 
-// considerGlobal offers a qualifying path to the global top-k, ranked
+// considerGlobal offers a qualifying path to the sink's top-k, ranked
 // by stability.
-func (r *normRun) considerGlobal(p topk.Path) {
-	r.stats.HeapConsiders++
-	r.global.Consider(topk.Path{Nodes: p.Nodes, Length: p.Length, Weight: p.Stability()})
+func (r *normRun) considerGlobal(p topk.Path, sk normSink) {
+	sk.stats.HeapConsiders++
+	sk.global.Consider(topk.Path{Nodes: p.Nodes, Length: p.Length, Weight: p.Stability()})
 }
 
 // pruneTheorem1 repeatedly drops prefixes justified by Theorem 1: if
@@ -262,7 +279,7 @@ func (r *normRun) capBeam(id int64) {
 
 // dropDominatedSuffixes removes retained paths that are suffixes of
 // other retained paths (the optional, unsound-in-general rule the
-// paper sketches; see NormalizedOptions.SuffixDominance).
+// paper sketches; see Request.SuffixDominance).
 func (r *normRun) dropDominatedSuffixes(id int64) {
 	best := r.best[id]
 	for sigA, a := range best {

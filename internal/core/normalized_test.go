@@ -15,7 +15,7 @@ import (
 // stability(pre·curr·suff) <= stability(curr·suff). The antecedent
 // matters: suffixes that worsen the combined path are not covered,
 // which is why the derived pruning preserves the top-1 value but not
-// necessarily deeper ranks (see NormalizedOptions).
+// necessarily deeper ranks (see Request.DisableTheorem1Pruning).
 func TestTheorem1(t *testing.T) {
 	for wp := 0.1; wp <= 2.0; wp += 0.3 {
 		for np := 1; np <= 4; np++ {
@@ -62,7 +62,7 @@ func TestNormalizedOnFigure5(t *testing.T) {
 	g, ids := synth.Figure5()
 	// lmin = 2: candidates are all length-2 paths; the most stable is
 	// c13c22c33 with stability 1.7/2 = 0.85.
-	res, err := NormalizedBFS(g, NormalizedOptions{K: 1, LMin: 2})
+	res, err := solve(g, Request{Algorithm: "normalized", K: 1, LMin: 2})
 	if err != nil {
 		t.Fatalf("NormalizedBFS: %v", err)
 	}
@@ -78,7 +78,7 @@ func TestNormalizedOnFigure5(t *testing.T) {
 		t.Errorf("path = %v, want c13c22c33", p.Nodes)
 	}
 	// lmin = 1 admits the single heavy edge c22c33 (stability 0.9).
-	res, err = NormalizedBFS(g, NormalizedOptions{K: 1, LMin: 1})
+	res, err = solve(g, Request{Algorithm: "normalized", K: 1, LMin: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +105,11 @@ func TestNormalizedMatchesBrute(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					want, err := BruteNormalized(cg, k, lmin)
+					want, err := solve(cg, Request{Algorithm: "brute-normalized", K: k, LMin: lmin})
 					if err != nil {
 						t.Fatal(err)
 					}
-					exact, err := NormalizedBFS(cg, NormalizedOptions{K: k, LMin: lmin, DisableTheorem1Pruning: true})
+					exact, err := solve(cg, Request{Algorithm: "normalized", K: k, LMin: lmin, DisableTheorem1Pruning: true})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -117,7 +117,7 @@ func TestNormalizedMatchesBrute(t *testing.T) {
 						t.Errorf("m=%d g=%d lmin=%d k=%d seed=%d: exact normalized %v != brute %v",
 							m, g, lmin, k, seed, exact.Weights(), want.Weights())
 					}
-					paper, err := NormalizedBFS(cg, NormalizedOptions{K: k, LMin: lmin})
+					paper, err := solve(cg, Request{Algorithm: "normalized", K: k, LMin: lmin})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -148,7 +148,7 @@ func TestNormalizedPruningReducesState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NormalizedBFS(g, NormalizedOptions{K: 5, LMin: 2})
+	res, err := solve(g, Request{Algorithm: "normalized", K: 5, LMin: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestNormalizedSuffixDominanceRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := NormalizedBFS(g, NormalizedOptions{K: 3, LMin: 2, SuffixDominance: true})
+	res, err := solve(g, Request{Algorithm: "normalized", K: 3, LMin: 2, SuffixDominance: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestNormalizedSuffixDominanceRuns(t *testing.T) {
 }
 
 func TestNormalizedBeam(t *testing.T) {
-	if _, err := NormalizedBFS(nil, NormalizedOptions{K: 1, LMin: 1, BeamWidth: -1}); err == nil {
+	if _, err := solve(nil, Request{Algorithm: "normalized", K: 1, LMin: 1, BeamWidth: -1}); err == nil {
 		t.Error("negative beam accepted")
 	}
 	seed := int64(900)
@@ -196,11 +196,11 @@ func TestNormalizedBeam(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exact, err := NormalizedBFS(g, NormalizedOptions{K: 3, LMin: 2, DisableTheorem1Pruning: true})
+		exact, err := solve(g, Request{Algorithm: "normalized", K: 3, LMin: 2, DisableTheorem1Pruning: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		beam, err := NormalizedBFS(g, NormalizedOptions{K: 3, LMin: 2, BeamWidth: 3})
+		beam, err := solve(g, Request{Algorithm: "normalized", K: 3, LMin: 2, BeamWidth: 3})
 		if err != nil {
 			t.Fatal(err)
 		}

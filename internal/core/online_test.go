@@ -36,7 +36,7 @@ func TestStreamMatchesBatchAtEveryPrefix(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					batch, err := BFS(g, BFSOptions{Options: Options{K: 3, L: l}})
+					batch, err := solve(g, Request{K: 3, L: l})
 					if err != nil {
 						t.Fatal(err)
 					}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/diskstore"
+	"repro/internal/synth"
+)
+
+// The parallel solvers' contract: for every algorithm and any worker
+// count, Solve returns byte-identical Result.Paths to the sequential
+// (Parallelism: 1) run. The top-k heap's strict total order plus the
+// admissibility of every concurrent pruning decision make this exact,
+// not approximate — see the solver file comments for the arguments.
+
+func TestParallelSolversMatchSequential(t *testing.T) {
+	algos := []struct {
+		name string
+		req  func(k, l int) Request
+	}{
+		{"bfs", func(k, l int) Request { return Request{Algorithm: "bfs", K: k, L: l} }},
+		{"dfs", func(k, l int) Request { return Request{Algorithm: "dfs", K: k, L: l} }},
+		{"normalized", func(k, l int) Request { return Request{Algorithm: "normalized", K: k, LMin: l} }},
+	}
+	for seed := int64(1000); seed < 1006; seed++ {
+		cfg := synth.Config{Seed: seed, M: 6, N: 9, D: 3, G: int(seed % 3)}
+		g, err := synth.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range algos {
+			for _, l := range []int{2, 5} {
+				for _, k := range []int{1, 4} {
+					base := a.req(k, l)
+					base.Parallelism = 1
+					want, err := solve(g, base)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, workers := range []int{2, 8} {
+						req := a.req(k, l)
+						req.Parallelism = workers
+						got, err := solve(g, req)
+						if err != nil {
+							t.Fatalf("%s seed %d workers %d: %v", a.name, seed, workers, err)
+						}
+						if !reflect.DeepEqual(got.Paths, want.Paths) {
+							t.Errorf("%s seed %d l %d k %d workers %d: paths %v != sequential %v",
+								a.name, seed, l, k, workers, got.Paths, want.Paths)
+						}
+						// BFS and normalized runs also promise identical
+						// Stats (per-worker sinks count exactly the
+						// sequential events); DFS chunking legitimately
+						// changes Pruned/Repushes.
+						if a.name != "dfs" && got.Stats != want.Stats {
+							t.Errorf("%s seed %d workers %d: stats %+v != sequential %+v",
+								a.name, seed, workers, got.Stats, want.Stats)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelTAMatchesSequential(t *testing.T) {
+	for seed := int64(1100); seed < 1108; seed++ {
+		g, err := synth.Generate(synth.Config{Seed: seed, M: 5, N: 8, D: 3, G: int(seed % 2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := solve(g, Request{Algorithm: "ta", K: 3, L: FullPaths, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := solve(g, Request{Algorithm: "ta", K: 3, L: FullPaths, Parallelism: workers})
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if !reflect.DeepEqual(got.Paths, want.Paths) {
+				t.Errorf("seed %d workers %d: TA paths %v != sequential %v", seed, workers, got.Paths, want.Paths)
+			}
+			// The parallel run freezes bounds per round, so it prunes at
+			// most as much as the in-round-merging sequential pass: it can
+			// only expand (seek) more, never less.
+			if got.Stats.RandomSeeks < want.Stats.RandomSeeks {
+				t.Errorf("seed %d workers %d: TA seeks %d below sequential %d",
+					seed, workers, got.Stats.RandomSeeks, want.Stats.RandomSeeks)
+			}
+		}
+	}
+}
+
+// Store-backed runs must stay equivalent under parallelism too. Each
+// run gets a fresh store: solvers persist per-run node state under their
+// own key namespaces, so reusing a store across solves reads stale
+// state back.
+func TestParallelStoreBackedMatchesSequential(t *testing.T) {
+	g, err := synth.Generate(synth.Config{Seed: 1200, M: 6, N: 8, D: 2, G: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"bfs", "dfs"} {
+		run := func(workers int) *Result {
+			st, err := diskstore.Open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			res, err := solve(g, Request{Algorithm: algo, K: 3, L: 3, Store: st, Parallelism: workers})
+			if err != nil {
+				t.Fatalf("%s workers %d: %v", algo, workers, err)
+			}
+			if st.Stats().Writes == 0 {
+				t.Fatalf("%s workers %d: store-backed run wrote nothing", algo, workers)
+			}
+			return res
+		}
+		want := run(1)
+		for _, workers := range []int{2, 8} {
+			got := run(workers)
+			if !reflect.DeepEqual(got.Paths, want.Paths) {
+				t.Errorf("%s workers %d: store-backed paths %v != sequential %v", algo, workers, got.Paths, want.Paths)
+			}
+		}
+	}
+}
+
+func TestSolveRequestValidation(t *testing.T) {
+	g, _ := synth.Figure5()
+	if _, err := Solve(context.Background(), g, Request{Algorithm: "simulated-annealing", K: 1, L: 1}); err == nil {
+		t.Error("Solve accepted an unknown algorithm")
+	} else if !strings.Contains(err.Error(), "bfs") {
+		t.Errorf("unknown-algorithm error does not list the registry: %v", err)
+	}
+	if _, err := Solve(context.Background(), g, Request{K: 1, L: 1, Parallelism: -1}); err == nil {
+		t.Error("Solve accepted negative Parallelism")
+	}
+	// Parallelism beyond GOMAXPROCS is clamped, not rejected.
+	if _, err := Solve(context.Background(), g, Request{K: 1, L: 1, Parallelism: 1 << 20}); err != nil {
+		t.Errorf("Solve rejected large Parallelism: %v", err)
+	}
+}
+
+func TestSolveCancellation(t *testing.T) {
+	g, err := synth.Generate(synth.Config{Seed: 9, M: 8, N: 20, D: 3, G: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range Algorithms() {
+		req := Request{Algorithm: algo.Name, K: 3, Parallelism: 4}
+		if algo.Normalized {
+			req.LMin = 2
+		} else if algo.FullPathsOnly {
+			req.L = FullPaths
+		} else {
+			req.L = 3
+		}
+		if _, err := Solve(ctx, g, req); err == nil {
+			t.Errorf("%s ignored a canceled context", algo.Name)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	algos := Algorithms()
+	if len(algos) != 6 {
+		t.Fatalf("registry lists %d algorithms, want 6: %v", len(algos), algos)
+	}
+	for _, want := range []string{"bfs", "brute", "brute-normalized", "dfs", "normalized", "ta"} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("Lookup(%q) missed", want)
+		}
+	}
+	if info, ok := Lookup(""); !ok || info.Name != DefaultAlgorithm {
+		t.Errorf(`Lookup("") = %+v, want the default %q`, info, DefaultAlgorithm)
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error(`Lookup("nope") succeeded`)
+	}
+	for i := 1; i < len(algos); i++ {
+		if algos[i-1].Name >= algos[i].Name {
+			t.Fatalf("Algorithms() not sorted: %v", algos)
+		}
+	}
+}
+
+// TestParallelEquivalenceFuzz drives random worker counts across random
+// graphs for all four real solvers; skipped under -short.
+func TestParallelEquivalenceFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel equivalence fuzz skipped in short mode")
+	}
+	for trial := 0; trial < 25; trial++ {
+		seed := int64(2000 + trial)
+		m := 3 + trial%5
+		g, err := synth.Generate(synth.Config{Seed: seed, M: m, N: 4 + trial%6, D: 1 + trial%3, G: trial % 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers := 2 + trial%7
+		for _, algo := range []string{"bfs", "dfs", "ta", "normalized"} {
+			req := Request{Algorithm: algo, K: 1 + trial%4}
+			switch algo {
+			case "ta":
+				req.L = FullPaths
+			case "normalized":
+				req.LMin = 1 + trial%(m-1)
+			default:
+				req.L = 1 + trial%(m-1)
+			}
+			seq := req
+			seq.Parallelism = 1
+			want, err := solve(g, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := req
+			par.Parallelism = workers
+			got, err := solve(g, par)
+			if err != nil {
+				t.Fatalf("trial %d %s workers %d: %v", trial, algo, workers, err)
+			}
+			if !reflect.DeepEqual(got.Paths, want.Paths) {
+				t.Fatalf("trial %d %s workers %d: %v != %v", trial, algo, workers, got.Paths, want.Paths)
+			}
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/clustergraph"
+	"repro/internal/diskstore"
+)
+
+// ErrInvalidRequest marks request-validation failures: an unknown
+// algorithm, a non-positive K, a path length the graph cannot hold.
+// Callers serving remote clients map it to a client error (400) via
+// errors.Is instead of sniffing message text. The root package aliases
+// it as blogclusters.ErrInvalidQuery.
+var ErrInvalidRequest = errors.New("core: invalid request")
+
+// DefaultAlgorithm is what an empty Request.Algorithm means.
+const DefaultAlgorithm = "bfs"
+
+// Request is the one query shape every solver accepts. Planner, Engine,
+// server and cmds all build a Request and hand it to Solve; the
+// algorithm registry dispatches on Request.Algorithm. Knobs that a
+// given algorithm does not use are ignored by it (they exist so the
+// ablation experiments can sweep every solver through one surface).
+type Request struct {
+	// Algorithm names the registered solver: "bfs" (Algorithm 2),
+	// "dfs" (Algorithm 3), "ta" (Section 4.4), "normalized"
+	// (Section 4.5), or the exhaustive oracles "brute" and
+	// "brute-normalized". Empty means DefaultAlgorithm.
+	Algorithm string
+	// K is the number of top paths to return.
+	K int
+	// L is the exact temporal path length sought (Problem 1 solvers).
+	// The special value FullPaths (or m−1) requests full paths,
+	// enabling the paper's single-heap fast path in BFS and the TA
+	// algorithm.
+	L int
+	// LMin is the minimum temporal path length (normalized solvers,
+	// Problem 2).
+	LMin int
+	// Parallelism is the solver worker count. 0 or 1 runs the exact
+	// sequential code path (the ablation baseline); higher values fan
+	// the solver out on a bounded pool. Results are byte-identical at
+	// any worker count; Stats counters for DFS and TA may differ in
+	// parallel runs (pruning thresholds are shared less eagerly).
+	Parallelism int
+	// Store, when non-nil, persists per-node algorithm state (heaps,
+	// maxweight annotations) to secondary storage so that the I/O
+	// behaviour of the algorithms is real and measurable. Nil keeps all
+	// state in memory; logical I/O counters are maintained either way.
+	// The store must be fresh per solve (leftover state is read back).
+	Store *diskstore.Store
+
+	// MaxWindowNodes caps the number of window nodes whose heaps may be
+	// held in memory at once (BFS). When the g+1-interval window
+	// exceeds the cap, the interval is processed in block-nested-loop
+	// passes — the Mreq/M-passes behaviour at the end of Section 4.2.
+	// Zero means unlimited.
+	MaxWindowNodes int
+	// DisableFullPathFastPath turns off BFS's single-heap optimization
+	// for l = m−1 (ablation).
+	DisableFullPathFastPath bool
+
+	// DisablePruning turns off DFS's maxweight/CanPrune machinery
+	// (ablation).
+	DisablePruning bool
+	// WorstFirstChildren reverses DFS's best-first child order
+	// (ablation).
+	WorstFirstChildren bool
+
+	// DisableBoundHashTables turns off TA's startwts/endwts upper-bound
+	// optimization (ablation).
+	DisableBoundHashTables bool
+	// MaxSeeks aborts a TA run after this many random seeks (the paper
+	// reports TA needing up to m^(d−1) seeks). Zero means unlimited.
+	MaxSeeks int64
+
+	// SuffixDominance enables the aggressive Section 4.5 suffix rule
+	// (normalized).
+	SuffixDominance bool
+	// DisableTheorem1Pruning keeps every normalized candidate instead
+	// of dropping prefixes per Theorem 1, making the algorithm exact
+	// for every k at the cost of larger state.
+	DisableTheorem1Pruning bool
+	// BeamWidth, when positive, caps each node's normalized candidate
+	// set to the BeamWidth highest-stability paths.
+	BeamWidth int
+}
+
+// workers resolves Request.Parallelism: 0 and 1 are the sequential
+// path, negative is rejected at validation, and anything above the
+// CPU count is clamped (more workers than cores only adds scheduling
+// noise for these CPU-bound solvers).
+func (r Request) workers() int {
+	w := r.Parallelism
+	if w <= 1 {
+		return 1
+	}
+	if max := runtime.GOMAXPROCS(0); w > max && max > 1 {
+		w = max
+	}
+	return w
+}
+
+// validate checks the algorithm-independent fields.
+func (r Request) validate() error {
+	if r.K <= 0 {
+		return fmt.Errorf("%w: K must be positive, got %d", ErrInvalidRequest, r.K)
+	}
+	if r.Parallelism < 0 {
+		return fmt.Errorf("%w: Parallelism must be >= 0, got %d", ErrInvalidRequest, r.Parallelism)
+	}
+	return nil
+}
+
+// resolveL normalizes Request.L against the graph's interval count.
+func (r Request) resolveL(g *clustergraph.Graph) (int, error) {
+	if err := r.validate(); err != nil {
+		return 0, err
+	}
+	l := r.L
+	if l == FullPaths {
+		l = g.NumIntervals() - 1
+	}
+	if l <= 0 {
+		return 0, fmt.Errorf("%w: path length must be positive, got %d", ErrInvalidRequest, l)
+	}
+	if l > g.NumIntervals()-1 {
+		return 0, fmt.Errorf("%w: path length %d exceeds m-1 = %d", ErrInvalidRequest, l, g.NumIntervals()-1)
+	}
+	return l, nil
+}
+
+// resolveLMin validates the normalized-solver fields.
+func (r Request) resolveLMin(g *clustergraph.Graph) (int, error) {
+	if err := r.validate(); err != nil {
+		return 0, err
+	}
+	if r.LMin <= 0 {
+		return 0, fmt.Errorf("%w: LMin must be positive, got %d", ErrInvalidRequest, r.LMin)
+	}
+	if r.BeamWidth < 0 {
+		return 0, fmt.Errorf("%w: BeamWidth must be >= 0, got %d", ErrInvalidRequest, r.BeamWidth)
+	}
+	if r.LMin > g.NumIntervals()-1 {
+		return 0, fmt.Errorf("%w: LMin %d exceeds m-1 = %d", ErrInvalidRequest, r.LMin, g.NumIntervals()-1)
+	}
+	return r.LMin, nil
+}
+
+// ctxErr reports ctx's error without blocking; nil ctx never cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// Info describes one registered solver, for planners and CLIs.
+type Info struct {
+	// Name is the Request.Algorithm value.
+	Name string
+	// Normalized solvers rank by stability and use LMin (Problem 2);
+	// the rest rank by weight and use L (Problem 1).
+	Normalized bool
+	// FullPathsOnly solvers require l = m−1 (TA).
+	FullPathsOnly bool
+	// Exhaustive marks the brute-force oracles — exact but exponential,
+	// never chosen by a planner.
+	Exhaustive bool
+}
+
+type solverFunc func(ctx context.Context, g *clustergraph.Graph, req Request) (*Result, error)
+
+type solverEntry struct {
+	info  Info
+	solve solverFunc
+}
+
+// registry maps algorithm name → solver. Entries are fixed at init;
+// the map is read-only afterwards, so Solve needs no lock.
+var registry = map[string]solverEntry{
+	"bfs": {Info{Name: "bfs"}, solveBFS},
+	"dfs": {Info{Name: "dfs"}, solveDFS},
+	"ta":  {Info{Name: "ta", FullPathsOnly: true}, solveTA},
+	"normalized": {
+		Info{Name: "normalized", Normalized: true}, solveNormalized},
+	"brute": {Info{Name: "brute", Exhaustive: true}, solveBrute},
+	"brute-normalized": {
+		Info{Name: "brute-normalized", Normalized: true, Exhaustive: true},
+		solveBruteNormalized},
+}
+
+// Algorithms lists the registered solvers, sorted by name.
+func Algorithms() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the descriptor of one registered solver.
+func Lookup(name string) (Info, bool) {
+	if name == "" {
+		name = DefaultAlgorithm
+	}
+	e, ok := registry[name]
+	return e.info, ok
+}
+
+// Solve answers one stable-clusters request by dispatching to the
+// registered solver. It is the single entry point for every algorithm;
+// ctx cancels the solve at each algorithm's natural loop boundary
+// (BFS per interval and per seek batch, DFS every few thousand stack
+// steps, TA per round and per seek batch).
+func Solve(ctx context.Context, g *clustergraph.Graph, req Request) (*Result, error) {
+	name := req.Algorithm
+	if name == "" {
+		name = DefaultAlgorithm
+	}
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown algorithm %q (want %s)",
+			ErrInvalidRequest, req.Algorithm, strings.Join(algorithmNames(), ", "))
+	}
+	return e.solve(ctx, g, req)
+}
+
+func algorithmNames() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

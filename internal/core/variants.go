@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/clustergraph"
@@ -44,6 +45,25 @@ func (m DiversityMode) String() string {
 		return "disjoint-nodes"
 	default:
 		return fmt.Sprintf("DiversityMode(%d)", int(m))
+	}
+}
+
+// ParseDiversityMode maps a wire name onto a DiversityMode. Both the
+// short forms the HTTP API uses ("endpoints", "prefix", "suffix",
+// "disjoint") and the String() forms round-trip. The error wraps
+// ErrInvalidRequest, so servers map it to a client error.
+func ParseDiversityMode(s string) (DiversityMode, error) {
+	switch s {
+	case "", "endpoints", "distinct-endpoints":
+		return DistinctEndpoints, nil
+	case "prefix", "distinct-prefix":
+		return DistinctPrefix, nil
+	case "suffix", "distinct-suffix":
+		return DistinctSuffix, nil
+	case "disjoint", "disjoint-nodes":
+		return DisjointNodes, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown diversity mode %q (want endpoints, prefix, suffix or disjoint)", ErrInvalidRequest, s)
 	}
 }
 
@@ -114,20 +134,21 @@ func Diversify(paths []topk.Path, k int, mode DiversityMode) ([]topk.Path, error
 }
 
 // DiverseKL answers the constrained variant end to end: it widens the
-// underlying BFS query (fetching overshoot·k candidates) and then
-// filters. A larger overshoot trades work for a better chance of
-// filling all k diverse slots.
-func DiverseKL(g *clustergraph.Graph, opts Options, mode DiversityMode, overshoot int) (*Result, error) {
+// underlying query (fetching overshoot·k candidates through Solve, so
+// req.Algorithm and req.Parallelism are honored) and then filters. A
+// larger overshoot trades work for a better chance of filling all k
+// diverse slots.
+func DiverseKL(ctx context.Context, g *clustergraph.Graph, req Request, mode DiversityMode, overshoot int) (*Result, error) {
 	if overshoot < 1 {
 		overshoot = 4
 	}
-	wide := opts
-	wide.K = opts.K * overshoot
-	res, err := BFS(g, BFSOptions{Options: wide})
+	wide := req
+	wide.K = req.K * overshoot
+	res, err := Solve(ctx, g, wide)
 	if err != nil {
 		return nil, err
 	}
-	filtered, err := Diversify(res.Paths, opts.K, mode)
+	filtered, err := Diversify(res.Paths, req.K, mode)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/synth"
@@ -78,7 +79,7 @@ func TestDiverseKL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := DiverseKL(g, Options{K: 3, L: FullPaths}, DistinctEndpoints, 0)
+	res, err := DiverseKL(context.Background(), g, Request{K: 3, L: FullPaths}, DistinctEndpoints, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestDiverseKL(t *testing.T) {
 		seenEnd[e] = true
 	}
 	// The best diverse path must equal the best unconstrained path.
-	plain, err := BFS(g, BFSOptions{Options: Options{K: 1, L: FullPaths}})
+	plain, err := solve(g, Request{K: 1, L: FullPaths})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,439 @@
+// Package plan is the cost-based query planner for stable-cluster
+// queries: given a normalized query spec and the shape of the cluster
+// graph it will run on, it picks the solver algorithm expected to be
+// cheapest, learns from observed solve times, and caches decisions so
+// the steady state is a map lookup.
+//
+// The planner is deliberately small: costs are EWMAs of observed
+// wall-clock per (algorithm, graph-shape bucket), graph shapes are
+// log2-bucketed so one corpus's graphs collapse into a handful of
+// buckets, and unobserved candidates are explored before observed ones
+// are exploited. Decisions are cached per (spec, bucket) and
+// invalidated by generation when new observations change a bucket's
+// cheapest algorithm.
+package plan
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Variant names for QuerySpec.Variant.
+const (
+	VariantTopK       = "topk"
+	VariantNormalized = "normalized"
+	VariantDiverse    = "diverse"
+)
+
+// AlgorithmAuto asks the planner to choose; it is also the wire value
+// the HTTP API and CLIs accept.
+const AlgorithmAuto = "auto"
+
+// QuerySpec is the one normalized description of a stable-cluster
+// query, shared by the HTTP layer (parameter parsing and response-cache
+// keys), the Engine (validation and dispatch) and the planner (plan-
+// cache keys). Normalizing once means ?variant=topk&k=05 and the
+// equivalent Engine call key the same cache entries and fail with the
+// same errors.
+type QuerySpec struct {
+	// Variant is "topk" (Problem 1, default), "normalized" (Problem 2)
+	// or "diverse" (the constrained variant).
+	Variant string
+	// Algorithm is a core registry name, or ""/"auto" to let the
+	// planner choose. Normalized queries accept only
+	// "normalized"/"brute-normalized"; topk/diverse accept
+	// "bfs"/"dfs"/"ta"/"brute".
+	Algorithm string
+	// K is the result count; must be positive.
+	K int
+	// L is the temporal length for topk/diverse; negative means full
+	// paths (normalized to -1).
+	L int
+	// LMin is the minimum temporal length for normalized queries.
+	LMin int
+	// Mode is the diversity mode for diverse queries: "endpoints"
+	// (default), "prefix", "suffix" or "disjoint".
+	Mode string
+}
+
+// Normalize returns the canonical form of the spec: defaults filled in,
+// full-path lengths collapsed to -1, and fields foreign to the variant
+// zeroed, so equal queries compare (and cache-key) equal.
+func (s QuerySpec) Normalize() QuerySpec {
+	if s.Variant == "" {
+		s.Variant = VariantTopK
+	}
+	if s.Algorithm == AlgorithmAuto {
+		s.Algorithm = ""
+	}
+	switch s.Variant {
+	case VariantNormalized:
+		s.L = 0
+		s.Mode = ""
+		if s.LMin == 0 {
+			s.LMin = 2
+		}
+	case VariantDiverse:
+		s.LMin = 0
+		s.Mode = canonicalMode(s.Mode)
+		if s.L < 0 {
+			s.L = -1
+		}
+	default:
+		s.LMin = 0
+		s.Mode = ""
+		if s.L < 0 {
+			s.L = -1
+		}
+	}
+	return s
+}
+
+// canonicalMode collapses the two accepted wire forms of each
+// diversity mode onto the short one, so "distinct-endpoints" and
+// "endpoints" produce the same cache key. Unknown strings pass through
+// for Validate to reject.
+func canonicalMode(mode string) string {
+	m, err := core.ParseDiversityMode(mode)
+	if err != nil {
+		return mode
+	}
+	switch m {
+	case core.DistinctPrefix:
+		return "prefix"
+	case core.DistinctSuffix:
+		return "suffix"
+	case core.DisjointNodes:
+		return "disjoint"
+	default:
+		return "endpoints"
+	}
+}
+
+// Validate checks everything that does not need the graph. Errors wrap
+// core.ErrInvalidRequest so the serving layer maps them to 400s.
+func (s QuerySpec) Validate() error {
+	s = s.Normalize()
+	switch s.Variant {
+	case VariantTopK, VariantNormalized, VariantDiverse:
+	default:
+		return fmt.Errorf("%w: unknown variant %q (want topk, normalized or diverse)", core.ErrInvalidRequest, s.Variant)
+	}
+	if s.K <= 0 {
+		return fmt.Errorf("%w: k must be positive, got %d", core.ErrInvalidRequest, s.K)
+	}
+	if s.Algorithm != "" {
+		info, ok := core.Lookup(s.Algorithm)
+		if !ok {
+			return fmt.Errorf("%w: unknown algorithm %q", core.ErrInvalidRequest, s.Algorithm)
+		}
+		if info.Normalized != (s.Variant == VariantNormalized) {
+			return fmt.Errorf("%w: algorithm %q does not answer %s queries", core.ErrInvalidRequest, s.Algorithm, s.Variant)
+		}
+	}
+	if s.Variant == VariantNormalized && s.LMin <= 0 {
+		return fmt.Errorf("%w: lmin must be positive, got %d", core.ErrInvalidRequest, s.LMin)
+	}
+	if s.Variant == VariantDiverse {
+		if _, err := core.ParseDiversityMode(s.Mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CacheKey renders the normalized spec as a canonical string — the
+// response-cache key of the HTTP layer and half of the planner's
+// plan-cache key.
+func (s QuerySpec) CacheKey() string {
+	s = s.Normalize()
+	algo := s.Algorithm
+	if algo == "" {
+		algo = AlgorithmAuto
+	}
+	var b strings.Builder
+	b.WriteString("variant=")
+	b.WriteString(s.Variant)
+	b.WriteString("&algorithm=")
+	b.WriteString(algo)
+	b.WriteString("&k=")
+	b.WriteString(strconv.Itoa(s.K))
+	switch s.Variant {
+	case VariantNormalized:
+		b.WriteString("&lmin=")
+		b.WriteString(strconv.Itoa(s.LMin))
+	case VariantDiverse:
+		b.WriteString("&l=")
+		b.WriteString(strconv.Itoa(s.L))
+		b.WriteString("&mode=")
+		b.WriteString(s.Mode)
+	default:
+		b.WriteString("&l=")
+		b.WriteString(strconv.Itoa(s.L))
+	}
+	return b.String()
+}
+
+// Request maps the spec onto a core.Request with the given resolved
+// algorithm (the planner's pick, or the spec's own when forced).
+func (s QuerySpec) Request(algorithm string) core.Request {
+	s = s.Normalize()
+	req := core.Request{Algorithm: algorithm, K: s.K}
+	if s.Variant == VariantNormalized {
+		req.LMin = s.LMin
+	} else {
+		req.L = s.L
+		if req.L < 0 {
+			req.L = core.FullPaths
+		}
+	}
+	return req
+}
+
+// GraphMeta is the planner's view of a cluster graph's shape — enough
+// to bucket costs without holding the graph.
+type GraphMeta struct {
+	Nodes     int
+	Edges     int
+	Intervals int
+	Gap       int
+	MaxWeight float64
+}
+
+// bucketKey collapses the shape into a log2 bucket so observations
+// generalize across graphs of similar size.
+func (m GraphMeta) bucketKey() string {
+	return fmt.Sprintf("n%d_e%d_m%d_g%d", log2Bucket(m.Nodes), log2Bucket(m.Edges), m.Intervals, m.Gap)
+}
+
+func log2Bucket(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return bits.Len(uint(n))
+}
+
+// Stats is a point-in-time snapshot of planner activity, served on
+// /debug/stats inside EngineStats.
+type Stats struct {
+	// Decisions counts Decide calls (auto-algorithm queries planned).
+	Decisions int64 `json:"decisions"`
+	// CacheHits / CacheMisses split Decisions by plan-cache outcome.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Invalidations counts generation bumps: observation batches that
+	// changed some bucket's cheapest algorithm and voided its plans.
+	Invalidations int64 `json:"invalidations"`
+	// Observations counts Observe calls (completed solves fed back).
+	Observations int64 `json:"observations"`
+	// ByAlgorithm counts decisions per chosen algorithm.
+	ByAlgorithm map[string]int64 `json:"by_algorithm"`
+}
+
+// Decision is one planner pick.
+type Decision struct {
+	// Algorithm is the core registry name to run.
+	Algorithm string
+	// Cached reports whether the pick came from the plan cache.
+	Cached bool
+	// Explore reports whether the pick was an unobserved candidate
+	// chosen to gather cost data (exploration), rather than the
+	// cheapest observed one.
+	Explore bool
+}
+
+// Planner learns per-shape solver costs and answers Decide in O(1) on
+// the cached path. Safe for concurrent use.
+type Planner struct {
+	mu sync.Mutex
+	// costs[bucket][algorithm] = EWMA of observed ns.
+	costs map[string]map[string]*ewma
+	// cache[spec+bucket] = decision made at some generation.
+	cache map[string]cachedDecision
+	// gen[bucket] advances whenever the bucket's cheapest observed
+	// algorithm changes; cached decisions from older generations are
+	// stale.
+	gen   map[string]int64
+	stats Stats
+}
+
+type cachedDecision struct {
+	dec Decision
+	gen int64
+}
+
+// ewma is an exponentially weighted moving average of solve cost.
+type ewma struct {
+	value float64
+	n     int64
+}
+
+// ewmaAlpha weights new observations; 0.3 adapts within a few solves
+// without thrashing on one outlier.
+const ewmaAlpha = 0.3
+
+func (e *ewma) observe(v float64) {
+	if e.n == 0 {
+		e.value = v
+	} else {
+		e.value = ewmaAlpha*v + (1-ewmaAlpha)*e.value
+	}
+	e.n++
+}
+
+// New returns an empty planner.
+func New() *Planner {
+	return &Planner{
+		costs: map[string]map[string]*ewma{},
+		cache: map[string]cachedDecision{},
+		gen:   map[string]int64{},
+	}
+}
+
+// Candidates lists the algorithms eligible for a spec on a graph of
+// the given shape, cheapest-first by static heuristic. The exhaustive
+// oracles are never candidates. DFS requires normalized weights (its
+// maxweight pruning assumes edge weights <= 1); TA answers full-path
+// queries only and materializes per-interval-pair edge lists, so it is
+// gated to modest graphs.
+func Candidates(spec QuerySpec, meta GraphMeta) []string {
+	spec = spec.Normalize()
+	if spec.Variant == VariantNormalized {
+		return []string{"normalized"}
+	}
+	cands := []string{"bfs"}
+	if meta.MaxWeight <= 1 {
+		cands = append(cands, "dfs")
+	}
+	fullPath := spec.L < 0 || spec.L == meta.Intervals-1
+	if fullPath && meta.Intervals <= 9 && meta.Edges <= 1<<15 {
+		cands = append(cands, "ta")
+	}
+	return cands
+}
+
+// Decide picks the algorithm for an auto query. The first calls for a
+// shape explore each candidate once (in candidate order); once every
+// candidate has cost data the cheapest EWMA wins and the decision is
+// cached until observations reorder the bucket.
+func (p *Planner) Decide(spec QuerySpec, meta GraphMeta) Decision {
+	spec = spec.Normalize()
+	bucket := meta.bucketKey()
+	key := spec.CacheKey() + "|" + bucket
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Decisions++
+	if cd, ok := p.cache[key]; ok && cd.gen == p.gen[bucket] {
+		p.stats.CacheHits++
+		p.countPick(cd.dec.Algorithm)
+		return cd.dec
+	}
+	p.stats.CacheMisses++
+
+	cands := Candidates(spec, meta)
+	dec := Decision{Algorithm: cands[0]}
+	byAlgo := p.costs[bucket]
+	for _, c := range cands {
+		if byAlgo == nil || byAlgo[c] == nil || byAlgo[c].n == 0 {
+			dec = Decision{Algorithm: c, Explore: true}
+			break
+		}
+	}
+	if !dec.Explore {
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if byAlgo[c].value < byAlgo[best].value {
+				best = c
+			}
+		}
+		dec = Decision{Algorithm: best}
+	}
+	// Exploit decisions are cached (with Cached set so later hits report
+	// their provenance); explore decisions are not, so each Decide keeps
+	// moving through the unobserved candidates until cost data covers
+	// them all.
+	if !dec.Explore {
+		cached := dec
+		cached.Cached = true
+		p.cache[key] = cachedDecision{dec: cached, gen: p.gen[bucket]}
+	}
+	p.countPick(dec.Algorithm)
+	return dec
+}
+
+func (p *Planner) countPick(algorithm string) {
+	if p.stats.ByAlgorithm == nil {
+		p.stats.ByAlgorithm = map[string]int64{}
+	}
+	p.stats.ByAlgorithm[algorithm]++
+}
+
+// Observe feeds one completed solve back: the algorithm's EWMA for the
+// shape bucket absorbs the cost, and if that changes which algorithm is
+// cheapest in the bucket, the bucket's cached plans are invalidated by
+// bumping its generation.
+func (p *Planner) Observe(algorithm string, meta GraphMeta, costNs int64) {
+	bucket := meta.bucketKey()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Observations++
+	byAlgo := p.costs[bucket]
+	if byAlgo == nil {
+		byAlgo = map[string]*ewma{}
+		p.costs[bucket] = byAlgo
+	}
+	prev := cheapest(byAlgo)
+	e := byAlgo[algorithm]
+	if e == nil {
+		e = &ewma{}
+		byAlgo[algorithm] = e
+	}
+	e.observe(float64(costNs))
+	if next := cheapest(byAlgo); prev != "" && next != prev {
+		p.gen[bucket]++
+		p.stats.Invalidations++
+	}
+}
+
+// cheapest returns the lowest-EWMA algorithm of a bucket ("" when
+// empty). Ties break lexicographically so the outcome is deterministic.
+func cheapest(byAlgo map[string]*ewma) string {
+	names := make([]string, 0, len(byAlgo))
+	for name, e := range byAlgo {
+		if e.n > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	sort.Strings(names)
+	best := names[0]
+	for _, name := range names[1:] {
+		if byAlgo[name].value < byAlgo[best].value {
+			best = name
+		}
+	}
+	return best
+}
+
+// Stats snapshots the counters.
+func (p *Planner) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats
+	if p.stats.ByAlgorithm != nil {
+		st.ByAlgorithm = make(map[string]int64, len(p.stats.ByAlgorithm))
+		for k, v := range p.stats.ByAlgorithm {
+			st.ByAlgorithm[k] = v
+		}
+	}
+	return st
+}

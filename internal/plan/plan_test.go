@@ -1,0 +1,353 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestNormalizeCanonicalizes(t *testing.T) {
+	cases := []struct {
+		name string
+		in   QuerySpec
+		want QuerySpec
+	}{
+		{
+			name: "defaults",
+			in:   QuerySpec{K: 5},
+			want: QuerySpec{Variant: VariantTopK, K: 5},
+		},
+		{
+			name: "auto collapses to empty",
+			in:   QuerySpec{Variant: VariantTopK, Algorithm: AlgorithmAuto, K: 5},
+			want: QuerySpec{Variant: VariantTopK, K: 5},
+		},
+		{
+			name: "negative lengths collapse to -1",
+			in:   QuerySpec{Variant: VariantTopK, K: 3, L: -7},
+			want: QuerySpec{Variant: VariantTopK, K: 3, L: -1},
+		},
+		{
+			name: "topk zeroes foreign fields",
+			in:   QuerySpec{Variant: VariantTopK, K: 3, L: 2, LMin: 4, Mode: "prefix"},
+			want: QuerySpec{Variant: VariantTopK, K: 3, L: 2},
+		},
+		{
+			name: "normalized fills lmin and drops l/mode",
+			in:   QuerySpec{Variant: VariantNormalized, K: 3, L: 5, Mode: "suffix"},
+			want: QuerySpec{Variant: VariantNormalized, K: 3, LMin: 2},
+		},
+		{
+			name: "diverse long mode spelling collapses",
+			in:   QuerySpec{Variant: VariantDiverse, K: 3, L: 2, LMin: 9, Mode: "distinct-endpoints"},
+			want: QuerySpec{Variant: VariantDiverse, K: 3, L: 2, Mode: "endpoints"},
+		},
+		{
+			name: "diverse empty mode defaults to endpoints",
+			in:   QuerySpec{Variant: VariantDiverse, K: 3, L: 2},
+			want: QuerySpec{Variant: VariantDiverse, K: 3, L: 2, Mode: "endpoints"},
+		},
+		{
+			name: "diverse disjoint-nodes collapses",
+			in:   QuerySpec{Variant: VariantDiverse, K: 1, L: -2, Mode: "disjoint-nodes"},
+			want: QuerySpec{Variant: VariantDiverse, K: 1, L: -1, Mode: "disjoint"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.in.Normalize(); got != tc.want {
+				t.Errorf("Normalize(%+v) = %+v, want %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCacheKeyUnifiesSpellings(t *testing.T) {
+	// Equivalent spellings of the same query must share one key.
+	same := [][2]QuerySpec{
+		{
+			{K: 5, L: -3},
+			{Variant: VariantTopK, Algorithm: AlgorithmAuto, K: 5, L: -1},
+		},
+		{
+			{Variant: VariantDiverse, K: 3, L: 2, Mode: "distinct-prefix"},
+			{Variant: VariantDiverse, Algorithm: "auto", K: 3, L: 2, Mode: "prefix"},
+		},
+		{
+			{Variant: VariantNormalized, K: 2},
+			{Variant: VariantNormalized, K: 2, LMin: 2, L: 9, Mode: "suffix"},
+		},
+	}
+	for i, pair := range same {
+		if a, b := pair[0].CacheKey(), pair[1].CacheKey(); a != b {
+			t.Errorf("pair %d: keys differ: %q vs %q", i, a, b)
+		}
+	}
+	// Genuinely different queries must not collide.
+	distinct := []QuerySpec{
+		{K: 5, L: 3},
+		{K: 5, L: -1},
+		{Algorithm: "bfs", K: 5, L: 3},
+		{K: 6, L: 3},
+		{Variant: VariantNormalized, K: 5},
+		{Variant: VariantDiverse, K: 5, L: 3},
+		{Variant: VariantDiverse, K: 5, L: 3, Mode: "suffix"},
+	}
+	seen := map[string]int{}
+	for i, s := range distinct {
+		key := s.CacheKey()
+		if j, ok := seen[key]; ok {
+			t.Errorf("specs %d and %d collide on key %q", j, i, key)
+		}
+		seen[key] = i
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := []QuerySpec{
+		{K: 5},
+		{Algorithm: "bfs", K: 5, L: 3},
+		{Algorithm: "ta", K: 1, L: -1},
+		{Variant: VariantNormalized, K: 2},
+		{Variant: VariantNormalized, Algorithm: "normalized", K: 2, LMin: 3},
+		{Variant: VariantDiverse, K: 3, L: 2, Mode: "disjoint"},
+		{Variant: VariantDiverse, K: 3, L: 2, Mode: "distinct-suffix"},
+	}
+	for _, s := range valid {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", s, err)
+		}
+	}
+	invalid := []QuerySpec{
+		{Variant: "quantum", K: 5},
+		{K: 0},
+		{K: -1},
+		{Algorithm: "astar", K: 5},
+		{Algorithm: "normalized", K: 5}, // normalized solver on a topk query
+		{Variant: VariantNormalized, Algorithm: "bfs", K: 5}, // topk solver on a normalized query
+		{Variant: VariantNormalized, K: 5, LMin: -2},
+		{Variant: VariantDiverse, K: 5, Mode: "nope"},
+	}
+	for _, s := range invalid {
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", s)
+			continue
+		}
+		if !errors.Is(err, core.ErrInvalidRequest) {
+			t.Errorf("Validate(%+v) = %v, does not wrap ErrInvalidRequest", s, err)
+		}
+	}
+}
+
+func TestCandidatesGating(t *testing.T) {
+	small := GraphMeta{Nodes: 40, Edges: 100, Intervals: 6, Gap: 1, MaxWeight: 1}
+	cases := []struct {
+		name string
+		spec QuerySpec
+		meta GraphMeta
+		want []string
+	}{
+		{
+			name: "normalized has one solver",
+			spec: QuerySpec{Variant: VariantNormalized, K: 5},
+			meta: small,
+			want: []string{"normalized"},
+		},
+		{
+			name: "full-path small graph gets all three",
+			spec: QuerySpec{K: 5, L: -1},
+			meta: small,
+			want: []string{"bfs", "dfs", "ta"},
+		},
+		{
+			name: "explicit full length counts as full-path",
+			spec: QuerySpec{K: 5, L: 5},
+			meta: small,
+			want: []string{"bfs", "dfs", "ta"},
+		},
+		{
+			name: "short path excludes ta",
+			spec: QuerySpec{K: 5, L: 3},
+			meta: small,
+			want: []string{"bfs", "dfs"},
+		},
+		{
+			name: "unnormalized weights exclude dfs",
+			spec: QuerySpec{K: 5, L: -1},
+			meta: GraphMeta{Nodes: 40, Edges: 100, Intervals: 6, Gap: 1, MaxWeight: 3.5},
+			want: []string{"bfs", "ta"},
+		},
+		{
+			name: "many intervals exclude ta",
+			spec: QuerySpec{K: 5, L: -1},
+			meta: GraphMeta{Nodes: 500, Edges: 2000, Intervals: 30, Gap: 1, MaxWeight: 1},
+			want: []string{"bfs", "dfs"},
+		},
+		{
+			name: "huge edge count excludes ta",
+			spec: QuerySpec{K: 5, L: -1},
+			meta: GraphMeta{Nodes: 1 << 16, Edges: 1 << 20, Intervals: 6, Gap: 1, MaxWeight: 1},
+			want: []string{"bfs", "dfs"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Candidates(tc.spec, tc.meta)
+			if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+				t.Errorf("Candidates = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecisionTable scripts a full planner lifetime against one graph
+// shape: explore each candidate once in order, exploit (and cache) the
+// cheapest observed algorithm, then flip the bucket's cheapest via new
+// observations and check the cached plan is invalidated.
+func TestDecisionTable(t *testing.T) {
+	p := New()
+	spec := QuerySpec{K: 5, L: -1}
+	meta := GraphMeta{Nodes: 40, Edges: 100, Intervals: 6, Gap: 1, MaxWeight: 1}
+	// Candidates for this shape: bfs, dfs, ta.
+
+	type step struct {
+		observe   string // if set, Observe(observe, meta, observeNs)
+		observeNs int64
+		want      Decision // else Decide and compare
+	}
+	steps := []step{
+		// Exploration pass: unobserved candidates in candidate order,
+		// never cached.
+		{want: Decision{Algorithm: "bfs", Explore: true}},
+		{want: Decision{Algorithm: "bfs", Explore: true}}, // still unobserved
+		{observe: "bfs", observeNs: 3000},
+		{want: Decision{Algorithm: "dfs", Explore: true}},
+		{observe: "dfs", observeNs: 1000},
+		{want: Decision{Algorithm: "ta", Explore: true}},
+		{observe: "ta", observeNs: 2000},
+		// All observed: exploit cheapest (dfs), first as a miss that
+		// fills the cache, then as hits.
+		{want: Decision{Algorithm: "dfs"}},
+		{want: Decision{Algorithm: "dfs", Cached: true}},
+		{want: Decision{Algorithm: "dfs", Cached: true}},
+		// dfs got slow (EWMA jumps past both others): ta is now
+		// cheapest, generation bumps, the cached dfs plan is stale, and
+		// the fresh decision re-caches.
+		{observe: "dfs", observeNs: 100000},
+		{want: Decision{Algorithm: "ta"}},
+		{want: Decision{Algorithm: "ta", Cached: true}},
+		// An observation that does not reorder the bucket keeps plans.
+		{observe: "ta", observeNs: 2100},
+		{want: Decision{Algorithm: "ta", Cached: true}},
+	}
+	for i, st := range steps {
+		if st.observe != "" {
+			p.Observe(st.observe, meta, st.observeNs)
+			continue
+		}
+		if got := p.Decide(spec, meta); got != st.want {
+			t.Fatalf("step %d: Decide = %+v, want %+v", i, got, st.want)
+		}
+	}
+
+	stats := p.Stats()
+	if stats.Decisions != 10 {
+		t.Errorf("Decisions = %d, want 10", stats.Decisions)
+	}
+	if stats.CacheHits != 4 {
+		t.Errorf("CacheHits = %d, want 4", stats.CacheHits)
+	}
+	if stats.CacheMisses != 6 {
+		t.Errorf("CacheMisses = %d, want 6", stats.CacheMisses)
+	}
+	// Two cheapest-changes: dfs@1000 dethroning bfs during exploration,
+	// and ta taking over when dfs slows down.
+	if stats.Invalidations != 2 {
+		t.Errorf("Invalidations = %d, want 2", stats.Invalidations)
+	}
+	if stats.Observations != 5 {
+		t.Errorf("Observations = %d, want 5", stats.Observations)
+	}
+	if got := stats.ByAlgorithm["dfs"]; got != 4 {
+		t.Errorf("ByAlgorithm[dfs] = %d, want 4", got)
+	}
+	if got := stats.ByAlgorithm["ta"]; got != 4 {
+		t.Errorf("ByAlgorithm[ta] = %d, want 4", got)
+	}
+}
+
+// TestDecideBucketsIsolated checks that observations for one graph
+// shape do not leak into another bucket's decisions.
+func TestDecideBucketsIsolated(t *testing.T) {
+	p := New()
+	spec := QuerySpec{K: 5, L: -1}
+	small := GraphMeta{Nodes: 40, Edges: 100, Intervals: 6, Gap: 1, MaxWeight: 1}
+	big := GraphMeta{Nodes: 4000, Edges: 100000, Intervals: 6, Gap: 1, MaxWeight: 1}
+
+	for _, algo := range Candidates(spec, small) {
+		p.Observe(algo, small, 1000)
+	}
+	// The big bucket has no observations, so its first decision must
+	// still be an exploration.
+	if got := p.Decide(spec, big); !got.Explore {
+		t.Errorf("Decide(big) = %+v, want exploration", got)
+	}
+}
+
+// TestPlannerConcurrency hammers Decide/Observe from many goroutines
+// (run with -race) and checks the counters stay consistent.
+func TestPlannerConcurrency(t *testing.T) {
+	p := New()
+	specs := []QuerySpec{
+		{K: 5, L: -1},
+		{K: 3, L: 2},
+		{Variant: VariantNormalized, K: 5},
+	}
+	metas := []GraphMeta{
+		{Nodes: 40, Edges: 100, Intervals: 6, Gap: 1, MaxWeight: 1},
+		{Nodes: 4000, Edges: 100000, Intervals: 12, Gap: 2, MaxWeight: 1},
+	}
+	const goroutines = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				spec := specs[(g+i)%len(specs)]
+				meta := metas[i%len(metas)]
+				dec := p.Decide(spec, meta)
+				if dec.Algorithm == "" {
+					t.Error("Decide returned empty algorithm")
+					return
+				}
+				p.Observe(dec.Algorithm, meta, int64(1000+(g*iters+i)%5000))
+				_ = p.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	stats := p.Stats()
+	if want := int64(goroutines * iters); stats.Decisions != want {
+		t.Errorf("Decisions = %d, want %d", stats.Decisions, want)
+	}
+	if stats.Observations != stats.Decisions {
+		t.Errorf("Observations = %d, want %d", stats.Observations, stats.Decisions)
+	}
+	if stats.CacheHits+stats.CacheMisses != stats.Decisions {
+		t.Errorf("hits %d + misses %d != decisions %d", stats.CacheHits, stats.CacheMisses, stats.Decisions)
+	}
+	var picks int64
+	for _, n := range stats.ByAlgorithm {
+		picks += n
+	}
+	if picks != stats.Decisions {
+		t.Errorf("ByAlgorithm totals %d, want %d", picks, stats.Decisions)
+	}
+}

@@ -290,51 +290,36 @@ func toPathsJSON(res *blogclusters.Result) ([]pathJSON, solverStatsJSON) {
 
 // handleStableClusters answers Problems 1 and 2 and the diversity
 // variant over the session's default graph: ?variant=topk (default,
-// with ?algorithm=bfs|dfs|ta|brute, ?k, ?l), ?variant=normalized
-// (?k, ?lmin) or ?variant=diverse (?k, ?l, ?mode).
+// with ?algorithm=auto|bfs|dfs|ta|brute, ?k, ?l), ?variant=normalized
+// (?k, ?lmin) or ?variant=diverse (?k, ?l, ?mode). Algorithm "auto"
+// (the default) lets the Engine's cost-based planner pick the solver.
+//
+// The parameters fold into one blogclusters.QuerySpec: its
+// normalization provides the response-cache key — equivalent requests
+// (?l=-1 vs ?l=-7, ?mode=endpoints vs ?mode=distinct-endpoints) share
+// one entry — and its validation is the single source of client
+// errors, the same checks the Engine itself would apply.
 func (s *Server) handleStableClusters(w http.ResponseWriter, r *http.Request) {
 	p := newParams(r)
-	variant := p.enum("variant", "topk", "topk", "normalized", "diverse")
-	k := p.intDef("k", 5)
-	var (
-		algorithm string
-		l, lmin   int
-		mode      string
-	)
-	switch variant {
-	case "topk":
-		algorithm = p.enum("algorithm", "bfs", "bfs", "dfs", "ta", "brute")
-		l = p.intFloor("l", -1, -1)
-	case "normalized":
-		lmin = p.intDef("lmin", 2)
-	case "diverse":
-		l = p.intFloor("l", -1, -1)
-		mode = p.enum("mode", "endpoints", "endpoints", "prefix", "suffix", "disjoint")
-	}
-	if k <= 0 {
-		p.fail("k", strconv.Itoa(k), "positive")
+	spec := blogclusters.QuerySpec{
+		Variant:   p.str("variant", "topk"),
+		Algorithm: p.str("algorithm", "auto"),
+		K:         p.intDef("k", 5),
+		L:         p.intFloor("l", -1, -1),
+		LMin:      p.intDef("lmin", 2),
+		Mode:      p.str("mode", "endpoints"),
 	}
 	if p.err != nil {
 		writeError(w, http.StatusBadRequest, p.err.Error())
 		return
 	}
-	s.serve(w, r, p.key("stable-clusters"), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
-		solveL := l
-		if solveL < 0 {
-			solveL = blogclusters.FullPaths
-		}
-		var (
-			res *blogclusters.Result
-			err error
-		)
-		switch variant {
-		case "topk":
-			res, err = eng.StableClusters(ctx, algorithm, k, solveL)
-		case "normalized":
-			res, err = eng.NormalizedStableClusters(ctx, k, lmin)
-		case "diverse":
-			res, err = eng.DiverseStableClusters(ctx, k, solveL, diversityMode(mode))
-		}
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.serve(w, r, "stable-clusters?"+spec.CacheKey(), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
+		res, err := eng.Solve(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -344,21 +329,8 @@ func (s *Server) handleStableClusters(w http.ResponseWriter, r *http.Request) {
 			K       int             `json:"k"`
 			Paths   []pathJSON      `json:"paths"`
 			Stats   solverStatsJSON `json:"stats"`
-		}{variant, k, paths, stats}, nil
+		}{spec.Variant, spec.K, paths, stats}, nil
 	})
-}
-
-func diversityMode(mode string) blogclusters.DiversityMode {
-	switch mode {
-	case "prefix":
-		return blogclusters.DistinctPrefix
-	case "suffix":
-		return blogclusters.DistinctSuffix
-	case "disjoint":
-		return blogclusters.DisjointNodes
-	default:
-		return blogclusters.DistinctEndpoints
-	}
 }
 
 // handleTimeSeries serves A(w) per interval: ?keyword=.

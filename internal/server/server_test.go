@@ -264,7 +264,7 @@ func TestCacheHitMissNormalization(t *testing.T) {
 	}
 	// Explicit defaults and reordered params share the first entry.
 	for _, path := range []string{
-		"/v1/stable-clusters?variant=topk&algorithm=bfs&k=5&l=-1",
+		"/v1/stable-clusters?variant=topk&algorithm=auto&k=5&l=-1",
 		"/v1/stable-clusters?l=-1&k=5",
 		"/v1/stable-clusters",
 	} {
@@ -272,13 +272,24 @@ func TestCacheHitMissNormalization(t *testing.T) {
 			t.Fatalf("%s: X-Cache %q, want hit", path, got)
 		}
 	}
-	// A different k is a different entry.
+	// A different k is a different entry, and so is forcing a solver
+	// instead of the planner's auto pick.
 	if got := xcache("/v1/stable-clusters?k=4"); got != "miss" {
 		t.Fatalf("distinct k X-Cache %q, want miss", got)
+	}
+	if got := xcache("/v1/stable-clusters?algorithm=bfs"); got != "miss" {
+		t.Fatalf("forced algorithm X-Cache %q, want miss", got)
 	}
 	// Any negative l means full paths; it must not fragment the cache.
 	if got := xcache("/v1/stable-clusters?l=-7"); got != "hit" {
 		t.Fatalf("negative l X-Cache %q, want hit (clamped to -1)", got)
+	}
+	// Diversity-mode spellings unify on the canonical short form.
+	if got := xcache("/v1/stable-clusters?variant=diverse&mode=endpoints"); got != "miss" {
+		t.Fatalf("first diverse query X-Cache %q, want miss", got)
+	}
+	if got := xcache("/v1/stable-clusters?variant=diverse&mode=distinct-endpoints"); got != "hit" {
+		t.Fatalf("mode spelling variant X-Cache %q, want hit", got)
 	}
 
 	// Keyword surface forms unify on the analyzed form.

@@ -1,6 +1,7 @@
 package blogclusters
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -43,7 +44,7 @@ func graphFingerprint(g *ClusterGraph) string {
 func TestSection4ParallelEquivalence(t *testing.T) {
 	c := endToEndCorpus(t)
 
-	baseSets, err := AllIntervalClusters(c, ClusterOptions{Parallelism: 1})
+	baseSets, err := allIntervalClustersCtx(context.Background(), c, ClusterOptions{Parallelism: 1})
 	if err != nil {
 		t.Fatalf("AllIntervalClusters sequential: %v", err)
 	}
@@ -68,7 +69,7 @@ func TestSection4ParallelEquivalence(t *testing.T) {
 	for vi, v := range graphVariants {
 		opts := v.opts
 		opts.Parallelism = 1
-		g, err := BuildClusterGraph(baseSets, opts)
+		g, err := buildClusterGraphCtx(context.Background(), baseSets, opts)
 		if err != nil {
 			t.Fatalf("BuildClusterGraph %s sequential: %v", v.name, err)
 		}
@@ -79,7 +80,7 @@ func TestSection4ParallelEquivalence(t *testing.T) {
 	}
 
 	for _, par := range []int{2, 8} {
-		sets, err := AllIntervalClusters(c, ClusterOptions{Parallelism: par})
+		sets, err := allIntervalClustersCtx(context.Background(), c, ClusterOptions{Parallelism: par})
 		if err != nil {
 			t.Fatalf("AllIntervalClusters parallelism %d: %v", par, err)
 		}
@@ -89,7 +90,7 @@ func TestSection4ParallelEquivalence(t *testing.T) {
 		for vi, v := range graphVariants {
 			opts := v.opts
 			opts.Parallelism = par
-			g, err := BuildClusterGraph(sets, opts)
+			g, err := buildClusterGraphCtx(context.Background(), sets, opts)
 			if err != nil {
 				t.Fatalf("BuildClusterGraph %s parallelism %d: %v", v.name, par, err)
 			}
@@ -105,11 +106,11 @@ func TestSection4ParallelEquivalence(t *testing.T) {
 // builds and must still reproduce the sequential output.
 func TestAllIntervalClustersBudgetSplit(t *testing.T) {
 	c := endToEndCorpus(t)
-	base, err := AllIntervalClusters(c, ClusterOptions{Parallelism: 1})
+	base, err := allIntervalClustersCtx(context.Background(), c, ClusterOptions{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := AllIntervalClusters(c, ClusterOptions{Parallelism: 4, MemBudget: 64 << 10})
+	got, err := allIntervalClustersCtx(context.Background(), c, ClusterOptions{Parallelism: 4, MemBudget: 64 << 10})
 	if err != nil {
 		t.Fatalf("AllIntervalClusters with split budget: %v", err)
 	}

@@ -49,13 +49,14 @@ check: build vet test race
 # Perf trajectory: Table 1 keyword-graph construction, the ablation
 # benches, the Section 4 cluster-graph/simjoin benches, the index
 # backend benches, the extsort record-format/pre-merge-combine
-# before/afters and the HTTP serving-layer load benches, in test2json
+# before/afters, the HTTP serving-layer load benches and the live
+# ingest benches (Push, multi-segment search), in test2json
 # format (one JSON object per line). BENCH_OUT redirects the dump
 # (bench-gate writes an untracked file so the committed trajectory is
 # never clobbered).
 BENCH_OUT ?= BENCH_table1.json
 bench:
-	$(GO) test -run '^$$' -bench 'Table1|Ablation|ClusterGraph|SimJoin|DiskIndex|Extsort|Serve' -benchmem -count $(BENCH_COUNT) -json . > $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'Table1|Ablation|ClusterGraph|SimJoin|DiskIndex|Extsort|Serve|Push|MultiSegment' -benchmem -count $(BENCH_COUNT) -json . > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT) ($$(grep -c '"Action":"output"' $(BENCH_OUT)) output events)"
 
 # Regression gate: rerun the bench set once into the untracked

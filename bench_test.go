@@ -621,7 +621,7 @@ func BenchmarkDiskIndexBuild(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			path := filepath.Join(dir, fmt.Sprintf("seg-%d", i%4))
-			if err := index.BuildDisk(col, path, index.DiskOptions{}); err != nil {
+			if err := index.BuildDisk(col, path, index.Config{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -642,7 +642,7 @@ func BenchmarkDiskIndexSearch(b *testing.B) {
 		b.Fatal("tiny vocabulary")
 	}
 	path := filepath.Join(b.TempDir(), "seg")
-	if err := index.BuildDisk(col, path, index.DiskOptions{}); err != nil {
+	if err := index.BuildDisk(col, path, index.Config{}); err != nil {
 		b.Fatal(err)
 	}
 	b.Run("mem", func(b *testing.B) {
@@ -659,7 +659,7 @@ func BenchmarkDiskIndexSearch(b *testing.B) {
 		{"diskCold", 16 << 10}, // 16 KiB cache: most lookups hit disk
 	} {
 		b.Run(v.name, func(b *testing.B) {
-			d, err := index.OpenDiskOptions(path, index.OpenOptions{MemBudget: v.budget})
+			d, err := index.OpenDisk(path, index.Config{MemBudget: v.budget})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -835,5 +835,117 @@ func BenchmarkExtsortPreMergeCombine(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// benchPushCollection builds an m-interval corpus for the live-ingest
+// benches, with a persistent event so every interval has postings for
+// the probed keywords.
+func benchPushCollection(b *testing.B, m, posts int) *corpus.Collection {
+	b.Helper()
+	intervals := make([]int, m)
+	for i := range intervals {
+		intervals[i] = i
+	}
+	col, err := corpus.Generate(corpus.GeneratorConfig{
+		Seed: 7, NumIntervals: m, BackgroundPosts: posts,
+		BackgroundVocab: 1500, WordsPerPost: 8,
+		Events: []corpus.Event{{Name: "e", Phases: []corpus.Phase{{
+			Keywords:  []string{"alpha", "beta", "gamma"},
+			Intervals: intervals, Posts: posts / 10, KeywordProb: 0.9,
+		}}}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return col
+}
+
+// BenchmarkPushInterval measures ingesting one interval into a warm
+// session: the timed region is Engine.Push — delta-segment encode plus
+// the incremental extension of the memoized clusters, graph and burst
+// totals — never a full-corpus rebuild. Engine setup and warming run
+// off the clock.
+func BenchmarkPushInterval(b *testing.B) {
+	ctx := context.Background()
+	col := benchPushCollection(b, 4, 500)
+	base := &corpus.Collection{Intervals: col.Intervals[:3:3]}
+	for _, backend := range []string{"mem", "disk"} {
+		b.Run(backend, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng, err := Open(ctx, FromCollection(base),
+					WithGraphOptions(GraphOptions{Gap: 1, Theta: 0.1}),
+					WithIndexOptions(IndexOptions{Backend: backend, CompactAfter: -1}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Clusters(ctx); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Graph(ctx); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.TimeSeries(ctx, "alpha"); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := eng.Push(ctx, col.Intervals[3]); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				eng.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkMultiSegmentSearch measures boolean search against a disk
+// store grown to 1/4/16 delta segments, before and after compaction:
+// the pre-compaction read-time routing overhead versus the folded
+// single-segment base.
+func BenchmarkMultiSegmentSearch(b *testing.B) {
+	ctx := context.Background()
+	col := benchPushCollection(b, 17, 200)
+	terms := []string{"alpha", "beta"}
+	for _, deltas := range []int{1, 4, 16} {
+		for _, compacted := range []bool{false, true} {
+			segs := deltas + 1
+			if compacted {
+				segs = 1
+			}
+			b.Run(fmt.Sprintf("deltas=%d/segments=%d", deltas, segs), func(b *testing.B) {
+				baseN := len(col.Intervals) - deltas
+				baseCol := &corpus.Collection{Intervals: col.Intervals[:baseN:baseN]}
+				st, err := index.OpenStore(ctx, baseCol, index.BackendDisk,
+					filepath.Join(b.TempDir(), "base.seg"), index.Config{CompactAfter: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer st.Close()
+				for _, iv := range col.Intervals[baseN:] {
+					if err := st.Push(ctx, iv); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if compacted {
+					if err := st.Compact(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if got := st.NumSegments(); got != segs {
+					b.Fatalf("NumSegments = %d, want %d", got, segs)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := st.Search(terms, i%len(col.Intervals)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

@@ -34,7 +34,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sync"
 
 	"repro/internal/bicc"
 	"repro/internal/burst"
@@ -242,18 +241,19 @@ func DescribePath(g *ClusterGraph, p Path) string {
 	return s
 }
 
-// Index is the per-interval inverted keyword index underlying the
-// BlogScope-style search features (posting lists, A(u), A(u,v), boolean
-// search, keyword time series).
-type Index = index.Index
-
-// BuildIndex indexes every interval of the collection.
-func BuildIndex(c *Collection) (*Index, error) { return index.New(c) }
-
 // IndexReader is the backend-neutral keyword-index interface: the
 // in-memory index and the disk-backed segment layout answer the same
 // primitives through it.
 type IndexReader = index.Reader
+
+// IndexStore is the live multi-segment keyword index behind an Engine:
+// a base segment built at Open plus one small delta segment per pushed
+// interval, folded back into the base by background compaction. It
+// implements IndexReader (queries route to the segment covering the
+// interval) and replaces the former immutable-corpus helpers
+// (BuildIndex, OpenIndexReader) — a segment set that can grow is the
+// only index surface now.
+type IndexStore = index.Store
 
 // IndexOptions selects and configures the index backend.
 type IndexOptions struct {
@@ -277,113 +277,54 @@ type IndexOptions struct {
 	// Retry bounds how the disk backend retries transient read faults
 	// (EIO, short reads). The zero value uses the diskstore defaults.
 	Retry diskstore.RetryPolicy
+	// CompactAfter is the store's compaction threshold: once more than
+	// CompactAfter delta segments accumulate from pushes, the Engine
+	// folds them into the base in the background. 0 means the default
+	// (index.DefaultCompactAfter); negative disables compaction.
+	CompactAfter int
 }
 
-// OpenIndexReader indexes the collection with the selected backend.
-// Close the reader when done; the mem backend's Close is a no-op, the
-// disk backend's closes (and for temporary segments removes) the file.
-//
-// For repeated index queries prefer an Engine with WithIndexOptions:
-// it opens the reader once, shares it across queries, and closes it
-// with the session.
-func OpenIndexReader(c *Collection, opts IndexOptions) (IndexReader, error) {
-	return openIndexReaderCtx(context.Background(), context.Background(), c, opts)
-}
-
-// openIndexReaderCtx builds and opens the selected backend. ctx bounds
-// the build; lifetime bounds the opened reader's retry backoff sleeps
-// (the reader usually outlives the query that built it — the Engine
-// passes its session context).
-func openIndexReaderCtx(ctx, lifetime context.Context, c *Collection, opts IndexOptions) (IndexReader, error) {
-	switch opts.Backend {
-	case "", "mem":
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		x, err := index.New(c)
-		if err != nil {
-			return nil, err
-		}
-		return x.Reader(), nil
-	case "disk":
-		fs := opts.FS
-		if fs == nil {
-			fs = faultfs.OS()
-		}
-		path := opts.Path
-		temp := false
-		if path == "" {
-			f, err := fs.CreateTemp("", "blogclusters-idx-*.seg")
-			if err != nil {
-				return nil, fmt.Errorf("blogclusters: temp segment: %w", err)
-			}
-			path = f.Name()
-			f.Close()
-			temp = true
-		}
-		if err := index.BuildDiskCtx(ctx, c, path, index.DiskOptions{SortMemoryBudget: opts.SortMemoryBudget, FS: fs}); err != nil {
-			if temp {
-				fs.Remove(path)
-			}
-			return nil, err
-		}
-		d, err := index.OpenDiskOptions(path, index.OpenOptions{
-			MemBudget: opts.MemBudget,
-			FS:        fs,
-			Retry:     opts.Retry,
-			Ctx:       lifetime,
-		})
-		if err != nil {
-			if temp {
-				fs.Remove(path)
-			}
-			return nil, err
-		}
-		if temp {
-			return &tempIndexReader{IndexReader: d, path: path, fs: fs}, nil
-		}
-		return d, nil
-	default:
-		return nil, fmt.Errorf("blogclusters: unknown index backend %q (want mem or disk)", opts.Backend)
+// config translates the facade options into the index package's
+// unified Config. lifetime bounds the opened segments' retry backoff
+// for as long as the store lives (the Engine passes its session
+// context).
+func (o IndexOptions) config(lifetime context.Context) index.Config {
+	return index.Config{
+		SortMemoryBudget: o.SortMemoryBudget,
+		MemBudget:        o.MemBudget,
+		FS:               o.FS,
+		Retry:            o.Retry,
+		Ctx:              lifetime,
+		CompactAfter:     o.CompactAfter,
 	}
 }
 
-// tempIndexReader removes its private segment file on Close. Close is
-// idempotent: the Engine closes its reader on session Close, and
-// defensive callers often close again — the second call must not
-// surface a spurious Remove error for the already-deleted file.
-type tempIndexReader struct {
-	IndexReader
-	path string
-	fs   faultfs.FS
-
-	closeOnce sync.Once
-	closeErr  error
+// OpenIndexStore indexes the collection with the selected backend and
+// returns the live multi-segment store. Close it when done; the mem
+// backend's Close is a no-op, the disk backend's closes every segment
+// (and removes them when Path was empty and the store owns a private
+// temporary directory).
+//
+// For repeated index queries — and for pushing new intervals — prefer
+// an Engine with WithIndexOptions: it opens the store once, shares it
+// across queries, grows it on Push and closes it with the session.
+func OpenIndexStore(ctx context.Context, c *Collection, opts IndexOptions) (*IndexStore, error) {
+	return openIndexStoreCtx(ctx, context.Background(), c, opts)
 }
 
-func (r *tempIndexReader) Close() error {
-	r.closeOnce.Do(func() {
-		err := r.IndexReader.Close()
-		if rmErr := r.fs.Remove(r.path); err == nil {
-			err = rmErr
-		}
-		r.closeErr = err
-	})
-	return r.closeErr
+// openIndexStoreCtx builds and opens the selected backend. ctx bounds
+// the build; lifetime bounds the opened store's retry backoff sleeps
+// (the store usually outlives the query that built it).
+func openIndexStoreCtx(ctx, lifetime context.Context, c *Collection, opts IndexOptions) (*index.Store, error) {
+	return index.OpenStore(ctx, c, opts.Backend, opts.Path, opts.config(lifetime))
 }
 
 // KeywordBurst is one bursty stretch of intervals for a keyword.
 type KeywordBurst = burst.Burst
 
-// DetectBursts finds the intervals in which keyword w bursts — the
-// "information bursts" BlogScope surfaces (paper Section 1). The
-// detector is Kleinberg's two-state automaton; see internal/burst for
-// the z-score alternative and tuning knobs.
-func DetectBursts(x *Index, w string) ([]KeywordBurst, error) {
-	return DetectBurstsIn(x.Reader(), w)
-}
-
-// DetectBurstsIn is DetectBursts over any index backend: the keyword's
+// DetectBurstsIn finds the intervals in which keyword w bursts — the
+// "information bursts" BlogScope surfaces (paper Section 1) — over any
+// index backend: the keyword's
 // document-frequency trajectory comes straight from the reader's
 // resident term statistics (no posting I/O on the disk backend).
 //

@@ -217,24 +217,31 @@ func TestIndexAndBurstsFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, err := BuildIndex(c)
+	idx, err := OpenIndexStore(context.Background(), c, IndexOptions{})
 	if err != nil {
-		t.Fatalf("BuildIndex: %v", err)
+		t.Fatalf("OpenIndexStore: %v", err)
 	}
-	series := idx.TimeSeries("comet")
+	defer idx.Close()
+	series, err := idx.TimeSeries("comet")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if series[4] == 0 || series[5] == 0 || series[0] != 0 {
 		t.Fatalf("TimeSeries(comet) = %v, want activity only at 4-5", series)
 	}
-	bursts, err := DetectBursts(idx, "comet")
+	bursts, err := DetectBurstsIn(idx, "comet")
 	if err != nil {
-		t.Fatalf("DetectBursts: %v", err)
+		t.Fatalf("DetectBurstsIn: %v", err)
 	}
 	if len(bursts) != 1 || bursts[0].Start != 4 || bursts[0].End != 5 {
 		t.Errorf("bursts = %v, want one burst at [4,5]", bursts)
 	}
 	// A background keyword must not burst.
-	vocab := idx.Vocabulary(0)
-	quiet, err := DetectBursts(idx, vocab[0])
+	vocab, err := idx.Vocabulary(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet, err := DetectBurstsIn(idx, vocab[0])
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/diskstore"
+	"repro/internal/index"
 	"repro/internal/par"
 	"repro/internal/plan"
 	"repro/internal/stats"
@@ -33,48 +35,90 @@ import (
 // queries wait for one build instead of duplicating it, and
 // EngineStats counts exactly how many times each stage ran.
 //
+// The session is LIVE: Push appends one new interval, extending the
+// index with a delta segment and every memoized artifact incrementally
+// — the new interval's clusters are built, cached cluster graphs grow
+// by one interval, burst totals gain one entry — never by rebuilding
+// from scratch. Each Push advances a monotonic generation
+// (Engine.Generation); artifacts belong to the generation they were
+// built under, and queries always see a consistent generation snapshot
+// because the whole snapshot is swapped atomically.
+//
 // All methods are safe for concurrent use. Every query takes a
 // context; cancellation propagates into the long-running internals
 // (worker pools, external sort merges, the solvers, disk segment
 // builds), which poll it at their loop boundaries. Closing the Engine
 // cancels in-flight builds and releases the index backend.
-//
-// The package-level free functions remain as thin stateless wrappers
-// for one-shot use; the Engine is the recommended API for anything
-// that issues more than one query.
 type Engine struct {
-	col *corpus.Collection // nil for cluster-set sources
 	cfg engineConfig
+
+	// state is the current generation's snapshot: the corpus and every
+	// generation-scoped artifact memo. Push builds a successor snapshot
+	// and swaps the pointer; in-flight queries keep the snapshot they
+	// loaded, so they observe one generation end to end.
+	state atomic.Pointer[engineState]
+	// pushMu serializes Push (generations are a total order).
+	pushMu sync.Mutex
 
 	// root is canceled by Close; every query context is joined with it.
 	root context.Context
 	stop context.CancelFunc
-	// closeMu orders Close against index-build completion: the build
-	// registers ownedReader under it before returning, so either Close
-	// sees the reader and releases it, or the builder sees closed and
-	// releases it itself — a reader can never slip through the gap.
-	closeMu     sync.Mutex
-	closed      bool
-	ownedReader IndexReader
+	// closeMu orders Close against index-build completion: builds
+	// register their store under it before returning, so either Close
+	// sees the store and releases it, or the builder sees closed and
+	// releases it itself — a store can never slip through the gap.
+	closeMu      sync.Mutex
+	closed       bool
+	ownedReaders []IndexReader
 
-	index  memo[IndexReader]
-	sets   memo[[][]Cluster]
-	totals memo[[]int64]
-	// intervalSets memoizes single intervals built by ClustersAt ahead
-	// of (or instead of) the full sets build.
+	// intervalSets memoizes single-interval cluster sets. Intervals are
+	// immutable once pushed, so this cache is generation-independent and
+	// lives on the Engine, shared by every snapshot.
 	intervalMu   sync.Mutex
 	intervalSets map[int]*memo[[]Cluster]
-	graphsMu     sync.Mutex
-	graphs       map[GraphOptions]*memo[*ClusterGraph]
-	kwMu         sync.Mutex
-	kwGraphs     map[int]*memo[*KeywordGraph]
+	// kwGraphs memoizes per-interval keyword graphs — also
+	// generation-independent (each belongs to one immutable interval).
+	kwMu     sync.Mutex
+	kwGraphs map[int]*memo[*KeywordGraph]
 
 	// planner learns per-shape solver costs and picks the algorithm for
 	// auto queries (see internal/plan); nil never — Open always sets it.
 	planner *plan.Planner
 
-	queries atomic.Int64
-	timings stageTimings
+	queries     atomic.Int64
+	pushes      atomic.Int64
+	compactions atomic.Int64
+	timings     stageTimings
+	// compacting gates the background fold (at most one in flight);
+	// compactWG lets Close wait it out.
+	compacting atomic.Bool
+	compactWG  sync.WaitGroup
+}
+
+// engineState is one generation's snapshot. Everything here is either
+// immutable or a single-flight memo; Push never mutates a published
+// snapshot — it builds the next one and swaps the Engine's pointer.
+type engineState struct {
+	gen int64
+	col *corpus.Collection // nil for cluster-set sources
+
+	index  *memo[*index.Store]
+	sets   *memo[[][]Cluster]
+	totals *memo[[]int64]
+
+	graphsMu sync.Mutex
+	graphs   map[GraphOptions]*memo[*ClusterGraph]
+}
+
+func newEngineState(gen int64, col *corpus.Collection) *engineState {
+	return &engineState{
+		gen:    gen,
+		col:    col,
+		index:  &memo[*index.Store]{},
+		sets:   &memo[[][]Cluster]{},
+		totals: &memo[[]int64]{},
+		graphs: map[GraphOptions]*memo[*ClusterGraph]{},
+	}
 }
 
 // engineConfig is the resolved option set of one Engine.
@@ -108,7 +152,8 @@ func WithGraphOptions(o GraphOptions) Option {
 }
 
 // WithIndexOptions selects and configures the keyword-index backend
-// materialized by index-backed queries (Search, TimeSeries, Bursts).
+// materialized by index-backed queries (Search, TimeSeries, Bursts)
+// and grown by Push.
 func WithIndexOptions(o IndexOptions) Option {
 	return func(c *engineConfig) { c.index = o }
 }
@@ -132,9 +177,13 @@ func WithSolverParallelism(n int) Option {
 }
 
 // WithProgress registers a hook invoked at the start and end of every
-// stage build (corpus load, index, clusters, graph, keyword graph).
-// The hook must be safe for concurrent use; it is called on the
-// goroutine running the build.
+// stage build (corpus load, index, clusters, graph, keyword graph) and
+// of every ingest transition ("push", "graph-extend", "compact") —
+// this is the Watch channel for live sessions: a monitor receives the
+// push-started event, the per-artifact extension events and the
+// push-finished event carrying the new generation. The hook must be
+// safe for concurrent use; it is called on the goroutine running the
+// build.
 func WithProgress(fn func(StageEvent)) Option {
 	return func(c *engineConfig) { c.progress = fn }
 }
@@ -142,7 +191,8 @@ func WithProgress(fn func(StageEvent)) Option {
 // StageEvent describes one stage-build transition for progress hooks.
 type StageEvent struct {
 	// Stage names the artifact: "corpus", "index", "clusters", "graph",
-	// "kwgraph", "totals".
+	// "kwgraph", "totals", "interval-clusters" — or the ingest
+	// transitions "push", "graph-extend" and "compact".
 	Stage string
 	// Done is false for the build-started event, true for the finished
 	// one.
@@ -151,6 +201,9 @@ type StageEvent struct {
 	Duration time.Duration
 	// Err is the build error, if any (finished events only).
 	Err error
+	// Generation is the engine generation the event was emitted under;
+	// a finished "push" event carries the NEW generation.
+	Generation int64
 }
 
 // Source names where an Engine's corpus comes from. Construct one with
@@ -181,8 +234,8 @@ func FromGenerator(cfg CorpusConfig) Source { return Source{gen: &cfg} }
 // FromClusterSets starts the session at the Section 4 boundary:
 // per-interval cluster sets stand in for the corpus, so graph- and
 // path-level queries work while corpus-backed ones (Search,
-// TimeSeries, Bursts, Correlations) return ErrNoCorpus. This is the
-// saved-clusters workflow of cmd/blogstable.
+// TimeSeries, Bursts, Correlations, Push) return ErrNoCorpus. This is
+// the saved-clusters workflow of cmd/blogstable.
 func FromClusterSets(sets [][]Cluster) Source { return Source{sets: sets} }
 
 // ErrNoCorpus is returned by corpus-backed queries on an Engine opened
@@ -191,6 +244,18 @@ var ErrNoCorpus = errors.New("blogclusters: engine opened from cluster sets; no 
 
 // ErrEngineClosed is returned by queries issued after Close.
 var ErrEngineClosed = errors.New("blogclusters: engine is closed")
+
+// ErrOutOfOrderInterval is returned by Push when the interval's index
+// is not exactly the next one: intervals are an append-only temporal
+// sequence, so interval m can only arrive once intervals 0..m-1 are
+// in.
+var ErrOutOfOrderInterval = errors.New("blogclusters: pushed interval is not the next interval")
+
+// ErrMalformedInterval is returned by Push for intervals that fail
+// validation: a document claiming a different interval, a negative or
+// duplicate document id, or a keyword with NUL/newline bytes (which
+// the disk segment encoding forbids).
+var ErrMalformedInterval = errors.New("blogclusters: malformed interval")
 
 // ErrInvalidQuery marks query-validation failures — an interval
 // outside the corpus, a query term with no analyzable keyword, an
@@ -212,14 +277,15 @@ func Open(ctx context.Context, src Source, opts ...Option) (*Engine, error) {
 	e := &Engine{
 		cfg:          cfg,
 		intervalSets: map[int]*memo[[]Cluster]{},
-		graphs:       map[GraphOptions]*memo[*ClusterGraph]{},
 		kwGraphs:     map[int]*memo[*KeywordGraph]{},
 		planner:      plan.New(),
 	}
 	e.root, e.stop = context.WithCancel(context.Background())
 
 	if src.sets != nil {
-		e.sets.prime(src.sets)
+		st := newEngineState(1, nil)
+		st.sets.prime(src.sets)
+		e.state.Store(st)
 		return e, nil
 	}
 	start := time.Now()
@@ -230,7 +296,7 @@ func Open(ctx context.Context, src Source, opts ...Option) (*Engine, error) {
 		e.stop()
 		return nil, err
 	}
-	e.col = col
+	e.state.Store(newEngineState(1, col))
 	e.timings.record("corpus", time.Since(start))
 	return e, nil
 }
@@ -262,27 +328,43 @@ func loadSource(ctx context.Context, src Source) (*corpus.Collection, error) {
 	}
 }
 
-// Close cancels in-flight builds, releases the index backend (removing
-// a temporary disk segment, if one was built) and marks the Engine
-// closed. Close is idempotent; queries issued afterwards return
-// ErrEngineClosed.
+// Close cancels in-flight builds, waits out a background compaction,
+// releases the index backend (removing temporary disk segments, if
+// built) and marks the Engine closed. Close is idempotent; queries
+// issued afterwards return ErrEngineClosed.
 func (e *Engine) Close() error {
 	e.closeMu.Lock()
-	defer e.closeMu.Unlock()
 	if e.closed {
+		e.closeMu.Unlock()
 		return nil
 	}
 	e.closed = true
 	e.stop()
-	if e.ownedReader != nil {
-		return e.ownedReader.Close()
+	readers := e.ownedReaders
+	e.ownedReaders = nil
+	e.closeMu.Unlock()
+	// The fold goroutine may be blocked inside the store; root is
+	// canceled so it unwinds promptly, and waiting outside closeMu
+	// avoids deadlocking against anything it still needs.
+	e.compactWG.Wait()
+	var first error
+	for _, r := range readers {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	return nil
+	return first
 }
 
-// Collection returns the loaded corpus (nil for cluster-set sources).
-// Callers must treat it as read-only.
-func (e *Engine) Collection() *Collection { return e.col }
+// Collection returns the corpus of the current generation (nil for
+// cluster-set sources). Callers must treat it as read-only; Push
+// publishes a grown snapshot rather than mutating this one.
+func (e *Engine) Collection() *Collection { return e.state.Load().col }
+
+// Generation returns the monotonic ingest generation: 1 at Open
+// (leaving 0 to mean "no session" for monitors), incremented by every
+// successful Push. Response caches key dependent entries by it.
+func (e *Engine) Generation() int64 { return e.state.Load().gen }
 
 // queryCtx joins the caller's context with the Engine's lifetime, so
 // either cancels the work. The returned cancel must always be called.
@@ -296,68 +378,266 @@ func (e *Engine) queryCtx(ctx context.Context) (context.Context, context.CancelF
 	return jctx, func() { unlink(); cancel() }, nil
 }
 
+// --- live ingest ---
+
+// Push appends one interval to the session and returns the new
+// generation. The interval must be the next one (iv.Index ==
+// len(Collection().Intervals), else ErrOutOfOrderInterval) and
+// well-formed (ErrMalformedInterval otherwise). Materialized artifacts
+// are extended incrementally for the new interval only: the index
+// gains a delta segment, cached cluster graphs grow by one interval
+// via clustergraph.ExtendCtx, burst totals gain one entry — a push
+// never rebuilds a full-corpus artifact (EngineStats.Stages build
+// counters prove it). Unbuilt artifacts simply stay unbuilt; their
+// first use after the push sees the grown corpus.
+//
+// Normalized-affinity cluster graphs are the one exception: their
+// weights were rescaled by a maximum the new interval may change, so
+// they are dropped from the new generation and lazily rebuilt.
+//
+// Pushes are serialized; queries keep running against the previous
+// generation's snapshot until the swap and are never blocked.
+func (e *Engine) Push(ctx context.Context, iv Interval) (int64, error) {
+	ctx, cancel, err := e.queryCtx(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer cancel()
+	e.pushMu.Lock()
+	defer e.pushMu.Unlock()
+
+	cur := e.state.Load()
+	if cur.col == nil {
+		return 0, ErrNoCorpus
+	}
+	next := len(cur.col.Intervals)
+	if iv.Index != next {
+		return 0, fmt.Errorf("blogclusters: pushed interval %d, engine expects %d: %w", iv.Index, next, ErrOutOfOrderInterval)
+	}
+	if err := validateInterval(iv); err != nil {
+		return 0, err
+	}
+	e.emit(StageEvent{Stage: "push", Generation: cur.gen})
+	start := time.Now()
+	newGen, err := e.push(ctx, cur, iv)
+	e.emit(StageEvent{Stage: "push", Done: true, Duration: time.Since(start), Err: err, Generation: newGen})
+	if err != nil {
+		return 0, err
+	}
+	e.timings.record("push", time.Since(start))
+	e.pushes.Add(1)
+	return newGen, nil
+}
+
+// push does the work of Push after validation: build the next
+// snapshot's artifacts from the current one, push the index delta
+// (the only mutation shared with the current generation — done last,
+// so a failed push leaves the session exactly as it was), then swap.
+func (e *Engine) push(ctx context.Context, cur *engineState, iv Interval) (int64, error) {
+	next := iv.Index
+	newCol := &corpus.Collection{Intervals: append(cur.col.Intervals[:next:next], iv)}
+	st := newEngineState(cur.gen+1, newCol)
+
+	// Extend the cluster sets (and everything downstream of them) only
+	// if they are materialized; an unbuilt artifact stays lazy.
+	var newSets [][]Cluster
+	setsBuilt := false
+	if sets, ok := cur.sets.cached(); ok {
+		setsBuilt = true
+		var ivSet []Cluster
+		var err error
+		func() {
+			defer e.stage("interval-clusters")()
+			ivSet, err = intervalClustersCtx(ctx, newCol, next, e.cfg.cluster)
+		}()
+		if err != nil {
+			return 0, err
+		}
+		newSets = append(sets[:len(sets):len(sets)], ivSet)
+		st.sets.prime(newSets)
+	}
+
+	// Grow each cached cluster graph by the new interval. Normalized
+	// graphs cannot extend (their old weights were already rescaled);
+	// they are dropped and lazily rebuilt on next use.
+	if setsBuilt {
+		cur.graphsMu.Lock()
+		cached := make(map[GraphOptions]*ClusterGraph, len(cur.graphs))
+		for opts, m := range cur.graphs {
+			if g, ok := m.cached(); ok {
+				cached[opts] = g
+			}
+		}
+		cur.graphsMu.Unlock()
+		for opts, g := range cached {
+			aff, normalize, err := resolveAffinity(opts)
+			if err != nil || normalize {
+				continue
+			}
+			var ng *ClusterGraph
+			func() {
+				defer e.stage("graph-extend")()
+				ng, err = clustergraph.ExtendCtx(ctx, g, newSets, clustergraph.FromClustersOptions{
+					Gap:         opts.Gap,
+					Theta:       opts.Theta,
+					Affinity:    aff,
+					UseSimJoin:  opts.UseSimJoin,
+					Parallelism: opts.Parallelism,
+				})
+			}()
+			if err != nil {
+				return 0, err
+			}
+			m := &memo[*ClusterGraph]{}
+			m.prime(ng)
+			st.graphs[opts] = m
+		}
+	}
+
+	if totals, ok := cur.totals.cached(); ok {
+		st.totals.prime(append(totals[:len(totals):len(totals)], int64(len(iv.Docs))))
+	}
+
+	// The index store is shared across generations (it is the mutable
+	// segment set itself), so pushing into it is the point of no
+	// return: do it last.
+	if store, ok := cur.index.cached(); ok {
+		if err := store.Push(ctx, iv); err != nil {
+			return 0, err
+		}
+		st.index.prime(store)
+		e.maybeCompact(store)
+	}
+
+	e.state.Store(st)
+	// A new interval changes every graph's shape: cached plan decisions
+	// describe graphs that no longer exist. Cost models survive.
+	e.planner.InvalidateAll()
+
+	// The new interval's single-interval cluster set is now immutable;
+	// seed the shared cache so ClustersAt(next) is free. (Only after
+	// the swap — a failed push must leave no trace of its docs.)
+	if setsBuilt {
+		e.intervalMu.Lock()
+		if _, ok := e.intervalSets[next]; !ok {
+			m := &memo[[]Cluster]{}
+			m.prime(newSets[next])
+			e.intervalSets[next] = m
+		}
+		e.intervalMu.Unlock()
+	}
+	return st.gen, nil
+}
+
+// maybeCompact starts the background fold when the delta count crosses
+// the policy threshold and no fold is already running.
+func (e *Engine) maybeCompact(store *index.Store) {
+	if !store.NeedsCompaction() || !e.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	e.compactWG.Add(1)
+	go func() {
+		defer e.compactWG.Done()
+		defer e.compacting.Store(false)
+		start := time.Now()
+		e.emit(StageEvent{Stage: "compact", Generation: e.Generation()})
+		err := store.Compact(e.root)
+		e.emit(StageEvent{Stage: "compact", Done: true, Duration: time.Since(start), Err: err, Generation: e.Generation()})
+		if err == nil {
+			e.timings.record("compact", time.Since(start))
+			e.compactions.Add(1)
+		}
+	}()
+}
+
+// validateInterval rejects malformed pushes before any state changes.
+func validateInterval(iv Interval) error {
+	seen := make(map[int64]struct{}, len(iv.Docs))
+	for _, d := range iv.Docs {
+		if d.Interval != iv.Index {
+			return fmt.Errorf("blogclusters: document %d claims interval %d, pushed as %d: %w", d.ID, d.Interval, iv.Index, ErrMalformedInterval)
+		}
+		if d.ID < 0 {
+			return fmt.Errorf("blogclusters: document id %d is negative: %w", d.ID, ErrMalformedInterval)
+		}
+		if _, dup := seen[d.ID]; dup {
+			return fmt.Errorf("blogclusters: duplicate document id %d: %w", d.ID, ErrMalformedInterval)
+		}
+		seen[d.ID] = struct{}{}
+		for _, w := range d.Keywords {
+			if strings.ContainsAny(w, "\x00\n") {
+				return fmt.Errorf("blogclusters: document %d keyword %q contains NUL or newline: %w", d.ID, w, ErrMalformedInterval)
+			}
+		}
+	}
+	return nil
+}
+
 // --- stage artifacts ---
 
-// Index materializes (once) and returns the keyword-index reader for
-// the session's IndexOptions backend. The reader is owned by the
-// Engine: do not Close it; Engine.Close releases it.
+// Index materializes (once per generation lineage) and returns the
+// keyword-index store. The store is owned by the Engine: do not Close
+// it; Engine.Close releases it.
 func (e *Engine) Index(ctx context.Context) (IndexReader, error) {
 	ctx, cancel, err := e.queryCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer cancel()
-	return e.indexReader(ctx)
+	return e.indexStore(ctx, e.state.Load())
 }
 
-// indexReader is Index minus the queryCtx wrap, for internal reuse.
-func (e *Engine) indexReader(ctx context.Context) (IndexReader, error) {
-	if e.col == nil {
+// indexStore materializes the snapshot's index store. The store is the
+// mutable segment set shared by successive generations: once built, a
+// Push reuses it by appending a delta segment; the memo only rebuilds
+// when the index had never been materialized at push time.
+func (e *Engine) indexStore(ctx context.Context, st *engineState) (*index.Store, error) {
+	if st.col == nil {
 		return nil, ErrNoCorpus
 	}
-	return e.index.get(ctx, func() (IndexReader, error) {
+	return st.index.get(ctx, func() (*index.Store, error) {
 		defer e.stage("index")()
 		// e.root (the session lifetime) bounds the disk backend's retry
-		// backoff sleeps: the reader outlives this query's context.
-		r, err := openIndexReaderCtx(ctx, e.root, e.col, e.cfg.index)
+		// backoff sleeps: the store outlives this query's context.
+		s, err := openIndexStoreCtx(ctx, e.root, st.col, e.cfg.index)
 		if err != nil {
 			return nil, err
 		}
 		// Hand ownership to the session under closeMu: a Close that ran
 		// while the build was past its last cancellation poll must not
-		// leak the reader (or its temp disk segment).
+		// leak the store (or its temp disk segments).
 		e.closeMu.Lock()
 		defer e.closeMu.Unlock()
 		if e.closed {
-			r.Close()
+			s.Close()
 			return nil, ErrEngineClosed
 		}
-		e.ownedReader = r
-		return r, nil
+		e.ownedReaders = append(e.ownedReaders, s)
+		return s, nil
 	})
 }
 
-// Clusters materializes (once) and returns the per-interval cluster
-// sets — the Section 3 pipeline over every interval. The result is
-// shared; callers must not mutate it.
+// Clusters materializes (once per generation) and returns the
+// per-interval cluster sets — the Section 3 pipeline over every
+// interval. The result is shared; callers must not mutate it.
 func (e *Engine) Clusters(ctx context.Context) ([][]Cluster, error) {
 	ctx, cancel, err := e.queryCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer cancel()
-	return e.clusters(ctx)
+	return e.clusters(ctx, e.state.Load())
 }
 
-// clusters is Clusters minus the queryCtx wrap, for internal reuse by
-// callers that already hold a joined context.
-func (e *Engine) clusters(ctx context.Context) ([][]Cluster, error) {
-	return e.sets.get(ctx, func() ([][]Cluster, error) {
-		if e.col == nil {
+// clusters is Clusters pinned to one generation snapshot, for internal
+// reuse by callers that already hold a joined context.
+func (e *Engine) clusters(ctx context.Context, st *engineState) ([][]Cluster, error) {
+	return st.sets.get(ctx, func() ([][]Cluster, error) {
+		if st.col == nil {
 			return nil, ErrNoCorpus
 		}
 		defer e.stage("clusters")()
-		return allIntervalClustersCtx(ctx, e.col, e.cfg.cluster)
+		return allIntervalClustersCtx(ctx, st.col, e.cfg.cluster)
 	})
 }
 
@@ -367,24 +647,27 @@ func (e *Engine) clusters(ctx context.Context) ([][]Cluster, error) {
 // and memoizes just that interval — a single-day query (Refine,
 // blogscope's report, streaming's day-by-day pushes) never pays for
 // the whole corpus. The per-interval build is canonical, so mixing
-// ClustersAt with a later Clusters yields identical slices.
+// ClustersAt with a later Clusters yields identical slices; intervals
+// are immutable once pushed, so the per-interval cache survives
+// generations.
 func (e *Engine) ClustersAt(ctx context.Context, interval int) ([]Cluster, error) {
 	ctx, cancel, err := e.queryCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer cancel()
-	if sets, ok := e.sets.cached(); ok {
+	st := e.state.Load()
+	if sets, ok := st.sets.cached(); ok {
 		if interval < 0 || interval >= len(sets) {
 			return nil, fmt.Errorf("blogclusters: interval %d outside [0,%d): %w", interval, len(sets), ErrInvalidQuery)
 		}
 		return sets[interval], nil
 	}
-	if e.col == nil {
+	if st.col == nil {
 		return nil, ErrNoCorpus
 	}
-	if interval < 0 || interval >= len(e.col.Intervals) {
-		return nil, fmt.Errorf("blogclusters: interval %d outside [0,%d): %w", interval, len(e.col.Intervals), ErrInvalidQuery)
+	if interval < 0 || interval >= len(st.col.Intervals) {
+		return nil, fmt.Errorf("blogclusters: interval %d outside [0,%d): %w", interval, len(st.col.Intervals), ErrInvalidQuery)
 	}
 	e.intervalMu.Lock()
 	m, ok := e.intervalSets[interval]
@@ -395,12 +678,12 @@ func (e *Engine) ClustersAt(ctx context.Context, interval int) ([]Cluster, error
 	e.intervalMu.Unlock()
 	return m.get(ctx, func() ([]Cluster, error) {
 		defer e.stage("interval-clusters")()
-		return intervalClustersCtx(ctx, e.col, interval, e.cfg.cluster)
+		return intervalClustersCtx(ctx, st.col, interval, e.cfg.cluster)
 	})
 }
 
-// Graph materializes (once) and returns the cluster graph built with
-// the session's default GraphOptions.
+// Graph materializes (once per generation) and returns the cluster
+// graph built with the session's default GraphOptions.
 func (e *Engine) Graph(ctx context.Context) (*ClusterGraph, error) {
 	return e.GraphWith(ctx, e.cfg.graph)
 }
@@ -408,22 +691,29 @@ func (e *Engine) Graph(ctx context.Context) (*ClusterGraph, error) {
 // GraphWith returns the cluster graph for an explicit option set,
 // memoized per distinct options — sessions that study several gaps or
 // affinities (see examples/newsweek) share one cluster-set build
-// across all of them.
+// across all of them. After a Push, graphs that were materialized are
+// already extended in the new generation; ones that were not follow
+// the usual lazy path over the grown corpus.
 func (e *Engine) GraphWith(ctx context.Context, opts GraphOptions) (*ClusterGraph, error) {
 	ctx, cancel, err := e.queryCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer cancel()
-	e.graphsMu.Lock()
-	m, ok := e.graphs[opts]
+	st := e.state.Load()
+	return e.graphWith(ctx, st, opts)
+}
+
+func (e *Engine) graphWith(ctx context.Context, st *engineState, opts GraphOptions) (*ClusterGraph, error) {
+	st.graphsMu.Lock()
+	m, ok := st.graphs[opts]
 	if !ok {
 		m = &memo[*ClusterGraph]{}
-		e.graphs[opts] = m
+		st.graphs[opts] = m
 	}
-	e.graphsMu.Unlock()
+	st.graphsMu.Unlock()
 	return m.get(ctx, func() (*ClusterGraph, error) {
-		sets, err := e.clusters(ctx)
+		sets, err := e.clusters(ctx, st)
 		if err != nil {
 			return nil, err
 		}
@@ -433,13 +723,14 @@ func (e *Engine) GraphWith(ctx context.Context, opts GraphOptions) (*ClusterGrap
 }
 
 // kwGraph memoizes the χ²-annotated, significance-pruned keyword graph
-// of one interval (the substrate of Correlations).
-func (e *Engine) kwGraph(ctx context.Context, interval int) (*KeywordGraph, error) {
-	if e.col == nil {
+// of one interval (the substrate of Correlations). Intervals are
+// immutable, so the cache is shared across generations.
+func (e *Engine) kwGraph(ctx context.Context, st *engineState, interval int) (*KeywordGraph, error) {
+	if st.col == nil {
 		return nil, ErrNoCorpus
 	}
-	if interval < 0 || interval >= len(e.col.Intervals) {
-		return nil, fmt.Errorf("blogclusters: interval %d outside corpus (%d intervals): %w", interval, len(e.col.Intervals), ErrInvalidQuery)
+	if interval < 0 || interval >= len(st.col.Intervals) {
+		return nil, fmt.Errorf("blogclusters: interval %d outside corpus (%d intervals): %w", interval, len(st.col.Intervals), ErrInvalidQuery)
 	}
 	e.kwMu.Lock()
 	m, ok := e.kwGraphs[interval]
@@ -450,7 +741,7 @@ func (e *Engine) kwGraph(ctx context.Context, interval int) (*KeywordGraph, erro
 	e.kwMu.Unlock()
 	return m.get(ctx, func() (*KeywordGraph, error) {
 		defer e.stage("kwgraph")()
-		kg, err := cooccur.BuildCtx(ctx, e.col, interval, interval, cooccur.BuildOptions{
+		kg, err := cooccur.BuildCtx(ctx, st.col, interval, interval, cooccur.BuildOptions{
 			SortMemoryBudget: e.cfg.cluster.SortMemoryBudget,
 			MinPairCount:     e.cfg.cluster.MinPairCount,
 			Parallelism:      e.cfg.cluster.Parallelism,
@@ -468,9 +759,9 @@ func (e *Engine) kwGraph(ctx context.Context, interval int) (*KeywordGraph, erro
 // docTotals memoizes the per-interval document totals the burst
 // detector divides by, so repeated Bursts calls stop rebuilding the
 // slice from the reader.
-func (e *Engine) docTotals(ctx context.Context) ([]int64, error) {
-	return e.totals.get(ctx, func() ([]int64, error) {
-		r, err := e.indexReader(ctx)
+func (e *Engine) docTotals(ctx context.Context, st *engineState) ([]int64, error) {
+	return st.totals.get(ctx, func() ([]int64, error) {
+		r, err := e.indexStore(ctx, st)
 		if err != nil {
 			return nil, err
 		}
@@ -613,14 +904,15 @@ func (e *Engine) TimeSeries(ctx context.Context, keyword string) ([]int64, error
 
 // Bursts returns the keyword's information bursts (Kleinberg
 // two-state automaton over its document-frequency trajectory). The
-// per-interval totals are computed once per session and shared by
+// per-interval totals are computed once per generation and shared by
 // every call.
 func (e *Engine) Bursts(ctx context.Context, keyword string) ([]KeywordBurst, error) {
 	kw, err := analyzed(keyword)
 	if err != nil {
 		return nil, err
 	}
-	if e.col == nil {
+	st := e.state.Load()
+	if st.col == nil {
 		return nil, ErrNoCorpus
 	}
 	ctx, cancel, err := e.queryCtx(ctx)
@@ -628,17 +920,23 @@ func (e *Engine) Bursts(ctx context.Context, keyword string) ([]KeywordBurst, er
 		return nil, err
 	}
 	defer cancel()
-	r, err := e.indexReader(ctx)
+	r, err := e.indexStore(ctx, st)
 	if err != nil {
 		return nil, err
 	}
-	totals, err := e.docTotals(ctx)
+	totals, err := e.docTotals(ctx, st)
 	if err != nil {
 		return nil, err
 	}
 	counts, err := r.TimeSeries(kw)
 	if err != nil {
 		return nil, err
+	}
+	// The store is shared across generations, so a concurrent push may
+	// have grown it past this snapshot; trim to the snapshot's width so
+	// counts and totals always line up.
+	if len(counts) > len(totals) {
+		counts = counts[:len(totals)]
 	}
 	return kleinbergBursts(counts, totals)
 }
@@ -692,7 +990,7 @@ func (e *Engine) Correlations(ctx context.Context, keyword string, interval, n i
 		return nil, err
 	}
 	defer cancel()
-	kg, err := e.kwGraph(ctx, interval)
+	kg, err := e.kwGraph(ctx, e.state.Load(), interval)
 	if err != nil {
 		return nil, err
 	}
@@ -719,8 +1017,10 @@ func (e *Engine) Describe(ctx context.Context, p Path) (string, error) {
 // "total_ns" to make the nanosecond unit explicit on the wire.
 type StageTiming struct {
 	// Builds counts completed builds of the stage ("clusters" and
-	// "index" build at most once per session; "graph" and "kwgraph"
-	// once per distinct option set / interval).
+	// "index" build at most once per generation lineage; "graph" and
+	// "kwgraph" once per distinct option set / interval;
+	// "interval-clusters", "graph-extend", "push" and "compact" count
+	// ingest work).
 	Builds int64 `json:"builds"`
 	// Total is the cumulative wall-clock build time.
 	Total time.Duration `json:"total_ns"`
@@ -731,15 +1031,28 @@ type StageTiming struct {
 // Marshals to stable JSON (field names pinned by TestEngineStatsJSON):
 // this is the payload /debug/stats serves.
 type EngineStats struct {
+	// Generation is the ingest generation (0 at Open, +1 per Push).
+	Generation int64 `json:"generation"`
+	// Intervals is the current corpus width (0 for cluster-set
+	// sessions before any artifacts are queried).
+	Intervals int `json:"intervals"`
 	// Queries counts Engine query/artifact calls issued.
 	Queries int64 `json:"queries"`
+	// Pushes counts successful Push calls.
+	Pushes int64 `json:"pushes"`
 	// Stages maps stage name → build accounting. Single-flight means
 	// Stages["clusters"].Builds is 1 no matter how many goroutines
-	// raced to first use.
+	// raced to first use — and stays 1 across pushes, which extend
+	// instead of rebuilding.
 	Stages map[string]StageTiming `json:"stages"`
 	// IndexIO is the disk index backend's I/O counters (zero for the
 	// mem backend or while the index is unbuilt).
 	IndexIO diskstore.IOStats `json:"index_io"`
+	// IndexSegments is the live segment count (base + deltas; 0 while
+	// the index is unbuilt).
+	IndexSegments int `json:"index_segments"`
+	// IndexCompactions counts completed background folds.
+	IndexCompactions int64 `json:"index_compactions"`
 	// Planner is the query planner's activity: decisions made,
 	// plan-cache hits/misses/invalidations, observations absorbed and
 	// picks per algorithm.
@@ -748,32 +1061,35 @@ type EngineStats struct {
 
 // Stats snapshots the session counters.
 func (e *Engine) Stats() EngineStats {
-	st := EngineStats{
-		Queries: e.queries.Load(),
-		Stages:  e.timings.snapshot(),
-		Planner: e.planner.Stats(),
+	st := e.state.Load()
+	out := EngineStats{
+		Generation:       st.gen,
+		Queries:          e.queries.Load(),
+		Pushes:           e.pushes.Load(),
+		Stages:           e.timings.snapshot(),
+		Planner:          e.planner.Stats(),
+		IndexCompactions: e.compactions.Load(),
 	}
-	if r, ok := e.index.cached(); ok {
-		if io, ok := r.(interface{ Stats() diskstore.IOStats }); ok {
-			st.IndexIO = io.Stats()
-		} else if t, ok := r.(*tempIndexReader); ok {
-			if io, ok := t.IndexReader.(interface{ Stats() diskstore.IOStats }); ok {
-				st.IndexIO = io.Stats()
-			}
-		}
+	if st.col != nil {
+		out.Intervals = len(st.col.Intervals)
 	}
-	return st
+	if s, ok := st.index.cached(); ok {
+		out.IndexIO = s.Stats()
+		out.IndexSegments = s.NumSegments()
+	}
+	return out
 }
 
 // stage emits the started event and returns the closure recording the
 // finished event plus timing. Usage: defer e.stage("clusters")().
 func (e *Engine) stage(name string) func() {
 	start := time.Now()
-	e.emit(StageEvent{Stage: name})
+	gen := e.Generation()
+	e.emit(StageEvent{Stage: name, Generation: gen})
 	return func() {
 		d := time.Since(start)
 		e.timings.record(name, d)
-		e.emit(StageEvent{Stage: name, Done: true, Duration: d})
+		e.emit(StageEvent{Stage: name, Done: true, Duration: d, Generation: gen})
 	}
 }
 

@@ -118,7 +118,7 @@ func TestEngineEquivalence(t *testing.T) {
 	}
 
 	// Index-backed queries.
-	r, err := OpenIndexReader(col, IndexOptions{})
+	r, err := OpenIndexStore(ctx, col, IndexOptions{})
 	if err != nil {
 		t.Fatalf("legacy index: %v", err)
 	}
@@ -475,7 +475,7 @@ func TestEngineStatsJSON(t *testing.T) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		t.Fatal(err)
 	}
-	wantTop := []string{"queries", "stages", "index_io", "planner"}
+	wantTop := []string{"generation", "intervals", "queries", "pushes", "stages", "index_io", "index_segments", "index_compactions", "planner"}
 	if len(m) != len(wantTop) {
 		t.Fatalf("EngineStats JSON has %d fields, want %d: %s", len(m), len(wantTop), raw)
 	}

@@ -1,10 +1,10 @@
-// Streaming demonstrates the online algorithms of Section 4.6: blog
-// days arrive one at a time and the top-k stable clusters are
-// maintained incrementally, without recomputing past intervals.
-//
-// The Engine session owns cluster generation (each day's clusters come
-// from its memoized per-interval sets); the Stream owns the
-// incremental stable-cluster state the pushes feed.
+// Streaming demonstrates live ingest end to end: the session opens
+// over day 0 only, and every later blog day arrives through
+// Engine.Push — the keyword index gains a delta segment, the memoized
+// cluster sets and graph grow by exactly one interval (Section 4.6's
+// incremental regime), and the generation counter ticks. A Stream
+// rides along, maintaining the top-k stable clusters from the same
+// per-day cluster sets, so nothing is ever recomputed for past days.
 //
 // Run with: go run ./examples/streaming
 package main
@@ -38,8 +38,16 @@ func main() {
 			}}},
 		},
 	}
+	full, err := blogclusters.GenerateCorpus(cfg)
+	if err != nil {
+		log.Fatalf("generate corpus: %v", err)
+	}
+
+	// The session starts with only the first day loaded; the rest of
+	// the corpus plays the role of the live crawl.
+	day0 := &blogclusters.Collection{Intervals: full.Intervals[:1:1]}
 	ctx := context.Background()
-	eng, err := blogclusters.Open(ctx, blogclusters.FromGenerator(cfg))
+	eng, err := blogclusters.Open(ctx, blogclusters.FromCollection(day0))
 	if err != nil {
 		log.Fatalf("open engine: %v", err)
 	}
@@ -52,18 +60,27 @@ func main() {
 		log.Fatalf("new stream: %v", err)
 	}
 
-	for day := range eng.Collection().Intervals {
-		// Each day: fetch the new interval's clusters from the session
-		// and push them into the stream.
+	for day := 0; day < len(full.Intervals); day++ {
+		if day > 0 {
+			// The day's posts arrive: one Push appends a delta segment
+			// and extends every cached artifact in place of a rebuild.
+			gen, err := eng.Push(ctx, full.Intervals[day])
+			if err != nil {
+				log.Fatalf("day %d push: %v", day, err)
+			}
+			fmt.Printf("ingested day %d (generation %d): ", day, gen)
+		} else {
+			fmt.Printf("opened with day 0 (generation %d): ", eng.Generation())
+		}
 		clusters, err := eng.ClustersAt(ctx, day)
 		if err != nil {
 			log.Fatalf("day %d clusters: %v", day, err)
 		}
 		if err := stream.Push(clusters); err != nil {
-			log.Fatalf("day %d push: %v", day, err)
+			log.Fatalf("day %d stream push: %v", day, err)
 		}
 		top := stream.TopK()
-		fmt.Printf("after day %d (%d clusters): ", day, len(clusters))
+		fmt.Printf("%d clusters, ", len(clusters))
 		if len(top) == 0 {
 			fmt.Println("no length-3 stable clusters yet")
 			continue
@@ -78,4 +95,7 @@ func main() {
 	st := stream.Stats()
 	fmt.Printf("\nwork: %d node reads, %d node writes, %d heap offers, peak %d paths in window\n",
 		st.NodeReads, st.NodeWrites, st.HeapConsiders, st.PeakStatePaths)
+	es := eng.Stats()
+	fmt.Printf("session: generation %d, %d pushes, %d index segments\n",
+		es.Generation, es.Pushes, es.IndexSegments)
 }

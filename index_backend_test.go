@@ -21,13 +21,13 @@ func TestIndexBackendsAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mem, err := OpenIndexReader(col, IndexOptions{Backend: "mem"})
+	mem, err := OpenIndexStore(context.Background(), col, IndexOptions{Backend: "mem"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer mem.Close()
 	path := filepath.Join(t.TempDir(), "news.seg")
-	disk, err := OpenIndexReader(col, IndexOptions{Backend: "disk", Path: path, MemBudget: 1 << 20})
+	disk, err := OpenIndexStore(context.Background(), col, IndexOptions{Backend: "disk", Path: path, MemBudget: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,14 +76,14 @@ func TestIndexBackendsAgree(t *testing.T) {
 		t.Fatalf("Search: mem %v disk %v", ms, ds)
 	}
 
-	if _, err := OpenIndexReader(col, IndexOptions{Backend: "bogus"}); err == nil {
+	if _, err := OpenIndexStore(context.Background(), col, IndexOptions{Backend: "bogus"}); err == nil {
 		t.Fatal("bogus backend accepted")
 	}
 
 	// Temp-file route: the private segment must be gone after Close,
 	// and Close must be idempotent (no spurious os.Remove error for the
 	// already-deleted file on the second call).
-	tmp, err := OpenIndexReader(col, IndexOptions{Backend: "disk"})
+	tmp, err := OpenIndexStore(context.Background(), col, IndexOptions{Backend: "disk"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestIndexBackendsAgree(t *testing.T) {
 	if err := tmp.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
 	}
-	matches, err := filepath.Glob(filepath.Join(os.TempDir(), "blogclusters-idx-*.seg"))
+	matches, err := filepath.Glob(filepath.Join(os.TempDir(), "blogclusters-idx-*"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,24 +102,24 @@ func TestIndexBackendsAgree(t *testing.T) {
 	}
 }
 
-// TestOpenIndexReaderErrors covers the error paths of the backend
+// TestOpenIndexStoreErrors covers the error paths of the backend
 // switch: unknown backend, unwritable segment path, and temp-segment
 // cleanup when BuildDisk itself fails mid-build.
-func TestOpenIndexReaderErrors(t *testing.T) {
+func TestOpenIndexStoreErrors(t *testing.T) {
 	t.Setenv("TMPDIR", t.TempDir())
 	col, err := GenerateCorpus(NewsWeekCorpus(2007, 30))
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	if _, err := OpenIndexReader(col, IndexOptions{Backend: "lsm"}); err == nil {
+	if _, err := OpenIndexStore(context.Background(), col, IndexOptions{Backend: "lsm"}); err == nil {
 		t.Fatal("unknown backend accepted")
 	}
 
 	// Unwritable explicit path: creating <missing-dir>/x.seg.partial
 	// must fail and surface the create error.
 	bad := filepath.Join(t.TempDir(), "no-such-dir", "x.seg")
-	if _, err := OpenIndexReader(col, IndexOptions{Backend: "disk", Path: bad}); err == nil {
+	if _, err := OpenIndexStore(context.Background(), col, IndexOptions{Backend: "disk", Path: bad}); err == nil {
 		t.Fatal("unwritable segment path accepted")
 	}
 
@@ -130,7 +130,7 @@ func TestOpenIndexReaderErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	broken.Intervals[0].Docs[0].ID = -7
-	if _, err := OpenIndexReader(broken, IndexOptions{Backend: "disk"}); err == nil {
+	if _, err := OpenIndexStore(context.Background(), broken, IndexOptions{Backend: "disk"}); err == nil {
 		t.Fatal("negative doc id accepted by disk backend")
 	}
 	matches, err := filepath.Glob(filepath.Join(os.TempDir(), "blogclusters-idx-*"))
@@ -144,7 +144,7 @@ func TestOpenIndexReaderErrors(t *testing.T) {
 	// A canceled context aborts the disk build and also cleans up.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := openIndexReaderCtx(ctx, context.Background(), col, IndexOptions{Backend: "disk"}); !errors.Is(err, context.Canceled) {
+	if _, err := openIndexStoreCtx(ctx, context.Background(), col, IndexOptions{Backend: "disk"}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("canceled disk build returned %v, want context.Canceled", err)
 	}
 	matches, err = filepath.Glob(filepath.Join(os.TempDir(), "blogclusters-idx-*"))

@@ -28,9 +28,10 @@ type EngineFlags struct {
 	MemBudget   int
 
 	// Keyword-index backend.
-	IndexBackend string
-	IndexCache   int
-	IndexFile    string
+	IndexBackend      string
+	IndexCache        int
+	IndexFile         string
+	IndexCompactAfter int
 
 	// Stable-cluster query execution.
 	PlanMode          string
@@ -47,6 +48,7 @@ func (f *EngineFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.IndexBackend, "index", "mem", "keyword-index backend: mem (resident) or disk (segment file + LRU block cache)")
 	fs.IntVar(&f.IndexCache, "indexcache", 0, "disk backend: block-cache budget in bytes; 0 = default (8 MiB)")
 	fs.StringVar(&f.IndexFile, "indexfile", "", "disk backend: segment file path; empty = private temp file")
+	fs.IntVar(&f.IndexCompactAfter, "index-compact-after", 0, "fold pushed delta segments into the base once more than this many accumulate; 0 = default, negative = never compact")
 	fs.StringVar(&f.PlanMode, "plan", "auto", "solver planning for auto-algorithm queries: auto (cost-based planner) or off (registry default)")
 	fs.IntVar(&f.SolverParallelism, "solver-parallelism", 0, "worker count for the stable-cluster solvers; 0 = GOMAXPROCS, 1 = sequential")
 }
@@ -75,9 +77,10 @@ func (f *EngineFlags) ClusterOptions(base blogclusters.ClusterOptions) blogclust
 // IndexOptions maps the index flags onto IndexOptions.
 func (f *EngineFlags) IndexOptions() blogclusters.IndexOptions {
 	return blogclusters.IndexOptions{
-		Backend:   f.IndexBackend,
-		Path:      f.IndexFile,
-		MemBudget: f.IndexCache,
+		Backend:      f.IndexBackend,
+		Path:         f.IndexFile,
+		MemBudget:    f.IndexCache,
+		CompactAfter: f.IndexCompactAfter,
 	}
 }
 

@@ -333,3 +333,172 @@ func FromClustersCtx(ctx context.Context, sets [][]cluster.Cluster, opts FromClu
 	}
 	return b.Build(opts.Normalize), nil
 }
+
+// ExtendCtx grows an already-built graph by one interval and returns
+// the extension as a NEW graph — g itself is never mutated, because
+// queries against the previous generation may still be walking it.
+// sets must be the full per-interval cluster sets, len(g.m)+1 long,
+// whose first g.m entries produced g (same opts). The result is
+// identical to FromClustersCtx over all of sets: node ids stay
+// interval-major (new nodes come last), and the per-node half-edge
+// orders — children by (weight desc, peer asc), parents by peer asc —
+// are strict total orders (a peer appears at most once per list), so
+// sorting the extended lists reproduces the one-shot build exactly.
+//
+// Normalized graphs cannot be extended: normalization already rescaled
+// the old weights by a maximum the new interval may change, so the
+// caller must rebuild those from scratch.
+func ExtendCtx(ctx context.Context, g *Graph, sets [][]cluster.Cluster, opts FromClustersOptions) (*Graph, error) {
+	if opts.Normalize {
+		return nil, fmt.Errorf("clustergraph: cannot extend a normalized graph; rebuild instead")
+	}
+	if opts.Gap != g.gap {
+		return nil, fmt.Errorf("clustergraph: extend with gap %d, graph was built with %d", opts.Gap, g.gap)
+	}
+	m := g.m // the new interval's index
+	if len(sets) != m+1 {
+		return nil, fmt.Errorf("clustergraph: extend wants %d cluster sets, got %d", m+1, len(sets))
+	}
+	for i := 0; i < m; i++ {
+		if len(sets[i]) != len(g.intervals[i]) {
+			return nil, fmt.Errorf("clustergraph: interval %d has %d clusters, graph has %d nodes there", i, len(sets[i]), len(g.intervals[i]))
+		}
+	}
+	theta := opts.Theta
+	if theta == 0 {
+		theta = cluster.DefaultAffinityThreshold
+	}
+	aff := opts.Affinity
+	if aff == nil {
+		aff = cluster.Jaccard
+	} else if opts.UseSimJoin {
+		return nil, fmt.Errorf("clustergraph: UseSimJoin requires the default Jaccard affinity")
+	}
+
+	// Copy-on-write: fresh outer slices, shared inner lists except where
+	// the new interval's edges land.
+	nOld := len(g.interval)
+	nNew := nOld + len(sets[m])
+	ng := &Graph{
+		m:         m + 1,
+		gap:       g.gap,
+		interval:  make([]int, nOld, nNew),
+		intervals: make([][]int64, m+1),
+		parents:   make([][]Half, nOld, nNew),
+		children:  make([][]Half, nOld, nNew),
+		clusters:  make([]cluster.Cluster, nOld, nNew),
+		edges:     g.edges,
+		maxWeight: g.maxWeight,
+	}
+	copy(ng.interval, g.interval)
+	copy(ng.intervals, g.intervals)
+	copy(ng.parents, g.parents)
+	copy(ng.children, g.children)
+	copy(ng.clusters, g.clusters)
+	newIDs := make([]int64, len(sets[m]))
+	for j, c := range sets[m] {
+		id := int64(len(ng.interval))
+		ng.interval = append(ng.interval, m)
+		ng.intervals[m] = append(ng.intervals[m], id)
+		ng.parents = append(ng.parents, nil)
+		ng.children = append(ng.children, nil)
+		c.ID = id
+		c.Interval = m
+		ng.clusters = append(ng.clusters, c)
+		newIDs[j] = id
+	}
+
+	// Only intervals within gap+1 of the new one can gain edges.
+	lo := max(0, m-g.gap-1)
+	tasks := make([]int, 0, m-lo)
+	for i := lo; i < m; i++ {
+		tasks = append(tasks, i)
+	}
+	width := opts.Parallelism
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	workers := min(width, len(tasks))
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		vocab    *simjoin.Vocab
+		recs     map[int][]simjoin.Record
+		innerPar = 1
+	)
+	if opts.UseSimJoin {
+		involved := make([][]cluster.Cluster, 0, len(tasks)+1)
+		for _, i := range tasks {
+			involved = append(involved, sets[i])
+		}
+		involved = append(involved, sets[m])
+		vocab = simjoin.NewVocab(involved...)
+		recs = make(map[int][]simjoin.Record, len(tasks)+1)
+		for _, i := range append(tasks, m) {
+			r, err := vocab.Records(sets[i])
+			if err != nil {
+				return nil, err
+			}
+			recs[i] = r
+		}
+		innerPar = max(1, width/workers)
+	}
+	run := func(i int) ([]simjoin.Pair, error) {
+		if opts.UseSimJoin {
+			return vocab.JoinRecords(recs[i], recs[m], theta, innerPar)
+		}
+		var out []simjoin.Pair
+		for a, ca := range sets[i] {
+			for bj, cb := range sets[m] {
+				if w := aff(ca, cb); w >= theta && w > 0 {
+					out = append(out, simjoin.Pair{Left: a, Right: bj, Sim: w})
+				}
+			}
+		}
+		return out, nil
+	}
+	results := make([][]simjoin.Pair, len(tasks))
+	if err := par.ForEachCtx(ctx, len(tasks), workers, func(ti int) error {
+		var err error
+		results[ti], err = run(tasks[ti])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Splice the new edges in. An old node's children list is shared
+	// with g, so it is deep-copied before the first append — mutating it
+	// in place (or re-sorting it) would corrupt the graph a previous
+	// generation is still serving.
+	touched := make(map[int64]bool)
+	for ti, i := range tasks {
+		for _, p := range results[ti] {
+			u, v := g.intervals[i][p.Left], newIDs[p.Right]
+			if !touched[u] {
+				ng.children[u] = append([]Half(nil), ng.children[u]...)
+				touched[u] = true
+			}
+			ng.children[u] = append(ng.children[u], Half{Peer: v, Weight: p.Sim, Length: m - i})
+			ng.parents[v] = append(ng.parents[v], Half{Peer: u, Weight: p.Sim, Length: m - i})
+			ng.edges++
+			if p.Sim > ng.maxWeight {
+				ng.maxWeight = p.Sim
+			}
+		}
+	}
+	for u := range touched {
+		hs := ng.children[u]
+		sort.SliceStable(hs, func(i, j int) bool {
+			if hs[i].Weight != hs[j].Weight {
+				return hs[i].Weight > hs[j].Weight
+			}
+			return hs[i].Peer < hs[j].Peer
+		})
+	}
+	for _, v := range newIDs {
+		hs := ng.parents[v]
+		sort.SliceStable(hs, func(i, j int) bool { return hs[i].Peer < hs[j].Peer })
+	}
+	return ng, nil
+}

@@ -1,0 +1,105 @@
+package clustergraph
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// randomSets draws m cluster sets over a small shared vocabulary so
+// overlaps (and therefore edges) are common.
+func randomSets(rng *rand.Rand, m int) [][]cluster.Cluster {
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	sets := make([][]cluster.Cluster, m)
+	for i := range sets {
+		n := rng.Intn(5) // 0..4 clusters; empty intervals must work too
+		for j := 0; j < n; j++ {
+			var kws []string
+			for _, w := range vocab {
+				if rng.Intn(3) == 0 {
+					kws = append(kws, w)
+				}
+			}
+			if len(kws) == 0 {
+				kws = []string{vocab[rng.Intn(len(vocab))]}
+			}
+			sets[i] = append(sets[i], cluster.New(0, i, kws))
+		}
+	}
+	return sets
+}
+
+// TestExtendMatchesOneShot grows a graph interval by interval and
+// requires the result to be deeply identical to the one-shot build at
+// every step, across gaps, both edge paths, and worker counts.
+func TestExtendMatchesOneShot(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(5)
+		sets := randomSets(rng, m)
+		for _, gap := range []int{0, 1, 3} {
+			for _, simjoin := range []bool{false, true} {
+				for _, par := range []int{1, 8} {
+					opts := FromClustersOptions{Gap: gap, UseSimJoin: simjoin, Parallelism: par, Theta: 0.3}
+					name := fmt.Sprintf("trial=%d m=%d gap=%d simjoin=%v par=%d", trial, m, gap, simjoin, par)
+					g, err := FromClustersCtx(ctx, sets[:1], opts)
+					if err != nil {
+						t.Fatalf("%s: seed build: %v", name, err)
+					}
+					for k := 2; k <= m; k++ {
+						prev := g
+						prevEdges := prev.NumEdges()
+						g, err = ExtendCtx(ctx, g, sets[:k], opts)
+						if err != nil {
+							t.Fatalf("%s: extend to %d: %v", name, k, err)
+						}
+						full, err := FromClustersCtx(ctx, sets[:k], opts)
+						if err != nil {
+							t.Fatalf("%s: full build %d: %v", name, k, err)
+						}
+						if !reflect.DeepEqual(g, full) {
+							t.Fatalf("%s: extended graph at %d intervals differs from one-shot build", name, k)
+						}
+						// The source graph must be untouched — a previous
+						// generation may still be serving from it.
+						if prev.NumIntervals() != k-1 || prev.NumEdges() != prevEdges {
+							t.Fatalf("%s: extend mutated its input graph", name)
+						}
+						for id := int64(0); id < int64(prev.NumNodes()); id++ {
+							for _, h := range prev.Children(id) {
+								if prev.Interval(h.Peer) >= k-1 {
+									t.Fatalf("%s: input graph gained an edge into interval %d", name, prev.Interval(h.Peer))
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExtendRejectsNormalize pins the contract that normalized graphs
+// rebuild instead of extending.
+func TestExtendRejectsNormalize(t *testing.T) {
+	sets := randomSets(rand.New(rand.NewSource(1)), 2)
+	opts := FromClustersOptions{Gap: 1, Normalize: true, Affinity: cluster.Intersection}
+	g, err := FromClusters(sets[:1], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtendCtx(context.Background(), g, sets, opts); err == nil {
+		t.Fatal("ExtendCtx accepted a normalized graph")
+	}
+	if _, err := ExtendCtx(context.Background(), g, sets, FromClustersOptions{Gap: 2}); err == nil {
+		t.Fatal("ExtendCtx accepted a gap mismatch")
+	}
+	if _, err := ExtendCtx(context.Background(), g, sets[:1], FromClustersOptions{Gap: 1}); err == nil {
+		t.Fatal("ExtendCtx accepted a length mismatch")
+	}
+}

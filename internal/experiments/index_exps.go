@@ -72,10 +72,10 @@ func runIndexBackend(ctx context.Context, col *corpus.Collection, backend string
 		}
 		defer os.RemoveAll(dir)
 		path := filepath.Join(dir, "seg")
-		if err := index.BuildDiskCtx(ctx, col, path, index.DiskOptions{}); err != nil {
+		if err := index.BuildDiskCtx(ctx, col, path, index.Config{}); err != nil {
 			return nil, err
 		}
-		disk, err = index.OpenDiskOptions(path, index.OpenOptions{MemBudget: cacheBytes})
+		disk, err = index.OpenDisk(path, index.Config{MemBudget: cacheBytes})
 		if err != nil {
 			return nil, err
 		}

@@ -50,24 +50,6 @@ const (
 	DefaultDiskMemBudget = 8 << 20
 )
 
-// DiskOptions configures BuildDisk.
-type DiskOptions struct {
-	// BlockSize is the number of postings per block; smaller blocks
-	// mean finer-grained skips at the cost of more per-block overhead.
-	// Non-positive means DefaultBlockSize.
-	BlockSize int
-	// SortMemoryBudget bounds the external sorter's in-memory buffer
-	// (the same knob as ClusterOptions.SortMemoryBudget); 0 uses the
-	// extsort default. Tiny budgets force spilled runs, exercising the
-	// larger-than-RAM route.
-	SortMemoryBudget int
-	// FS is the filesystem the segment (and the sorter's spill runs)
-	// are written through. Nil means the OS passthrough; tests
-	// substitute a faultfs.Injector to prove the build cleans up its
-	// .partial file under injected ENOSPC and cancellation.
-	FS faultfs.FS
-}
-
 // encodePosting renders one (interval, term, doc) tuple as a binary
 // record whose bytewise order equals the tuple order: big-endian
 // fixed-width integers (byte order is monotonic in the value) and a
@@ -118,8 +100,8 @@ type dictEntry struct {
 // file at path (atomically, via rename). Document keywords are
 // deduplicated per document, matching New; doc ids must be
 // non-negative and keywords must not contain NUL or newline bytes.
-func BuildDisk(c *corpus.Collection, path string, opts DiskOptions) error {
-	return BuildDiskCtx(context.Background(), c, path, opts)
+func BuildDisk(c *corpus.Collection, path string, cfg Config) error {
+	return BuildDiskCtx(context.Background(), c, path, cfg)
 }
 
 // BuildDiskCtx is BuildDisk with cancellation: the tuple-emission and
@@ -127,21 +109,15 @@ func BuildDisk(c *corpus.Collection, path string, opts DiskOptions) error {
 // external sorter's merge passes poll it too, so an abandoned build
 // stops promptly and leaves no partial segment behind (the .partial
 // temp file is removed on every error path, cancellation included).
-func BuildDiskCtx(ctx context.Context, c *corpus.Collection, path string, opts DiskOptions) (err error) {
+func BuildDiskCtx(ctx context.Context, c *corpus.Collection, path string, cfg Config) (err error) {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	blockSize := opts.BlockSize
-	if blockSize <= 0 {
-		blockSize = DefaultBlockSize
-	}
-	fs := opts.FS
-	if fs == nil {
-		fs = faultfs.OS()
-	}
+	blockSize := cfg.blockSize()
+	fs := cfg.fs()
 	const pollEvery = 4096
 	sorter := extsort.NewWithOptions(extsort.Options{
-		MemoryBudget: opts.SortMemoryBudget,
+		MemoryBudget: cfg.SortMemoryBudget,
 		Binary:       true,
 		Ctx:          ctx,
 		FS:           fs,

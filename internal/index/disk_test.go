@@ -12,13 +12,13 @@ import (
 )
 
 // buildDisk builds a segment for col in a test temp dir and opens it.
-func buildDisk(t *testing.T, col *corpus.Collection, dopts DiskOptions, oopts OpenOptions) (*DiskIndex, string) {
+func buildDisk(t *testing.T, col *corpus.Collection, cfg Config) (*DiskIndex, string) {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "seg")
-	if err := BuildDisk(col, path, dopts); err != nil {
+	if err := BuildDisk(col, path, cfg); err != nil {
 		t.Fatalf("BuildDisk: %v", err)
 	}
-	d, err := OpenDiskOptions(path, oopts)
+	d, err := OpenDisk(path, cfg)
 	if err != nil {
 		t.Fatalf("OpenDisk: %v", err)
 	}
@@ -150,7 +150,7 @@ func TestDiskEquivalenceRandom(t *testing.T) {
 		}
 		// A tiny sort budget forces spilled extsort runs — the
 		// larger-than-RAM build route.
-		d, _ := buildDisk(t, col, DiskOptions{SortMemoryBudget: 1 << 10}, OpenOptions{})
+		d, _ := buildDisk(t, col, Config{SortMemoryBudget: 1 << 10})
 		assertReadersAgree(t, x.Reader(), d, rand.New(rand.NewSource(cfg.Seed)))
 	}
 }
@@ -169,7 +169,7 @@ func TestDiskSmallBlockSizes(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, bs := range []int{1, 2, 3, 7, 64} {
-		d, _ := buildDisk(t, col, DiskOptions{BlockSize: bs}, OpenOptions{})
+		d, _ := buildDisk(t, col, Config{BlockSize: bs})
 		assertReadersAgree(t, x.Reader(), d, rand.New(rand.NewSource(int64(bs))))
 	}
 }
@@ -197,7 +197,7 @@ func TestBuildDiskRejectsBadInput(t *testing.T) {
 		}},
 	}
 	for name, col := range cases {
-		if err := BuildDisk(col, path, DiskOptions{}); err == nil {
+		if err := BuildDisk(col, path, Config{}); err == nil {
 			t.Errorf("%s: BuildDisk accepted it", name)
 		}
 		if _, err := os.Stat(path); !os.IsNotExist(err) {
@@ -208,7 +208,7 @@ func TestBuildDiskRejectsBadInput(t *testing.T) {
 
 func TestBuildDiskEmptyCollection(t *testing.T) {
 	col := &corpus.Collection{Intervals: []corpus.Interval{{Index: 0}, {Index: 1}}}
-	d, _ := buildDisk(t, col, DiskOptions{}, OpenOptions{})
+	d, _ := buildDisk(t, col, Config{})
 	if d.NumIntervals() != 2 || d.NumDocs(0) != 0 {
 		t.Fatalf("shape: %d intervals, %d docs", d.NumIntervals(), d.NumDocs(0))
 	}
@@ -236,7 +236,7 @@ func TestDiskCorruptionSingleByteFlips(t *testing.T) {
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "seg")
-	if err := BuildDisk(col, path, DiskOptions{BlockSize: 4}); err != nil {
+	if err := BuildDisk(col, path, Config{BlockSize: 4}); err != nil {
 		t.Fatal(err)
 	}
 	good, err := os.ReadFile(path)
@@ -264,7 +264,7 @@ func TestDiskCorruptionSingleByteFlips(t *testing.T) {
 		if err := os.WriteFile(mut, flipped, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		d, err := OpenDiskOptions(mut, OpenOptions{})
+		d, err := OpenDisk(mut, Config{})
 		if err != nil {
 			// Detected at open: must carry the typed sentinel so the
 			// serving layers can tell corruption from transient faults.
@@ -306,7 +306,7 @@ func TestDiskTruncationRejected(t *testing.T) {
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "seg")
-	if err := BuildDisk(col, path, DiskOptions{}); err != nil {
+	if err := BuildDisk(col, path, Config{}); err != nil {
 		t.Fatal(err)
 	}
 	good, err := os.ReadFile(path)
@@ -318,7 +318,7 @@ func TestDiskTruncationRejected(t *testing.T) {
 		if err := os.WriteFile(mut, good[:n], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if d, err := OpenDiskOptions(mut, OpenOptions{}); err == nil {
+		if d, err := OpenDisk(mut, Config{}); err == nil {
 			d.Close()
 			t.Fatalf("OpenDisk accepted a segment truncated to %d bytes", n)
 		}
@@ -326,7 +326,7 @@ func TestDiskTruncationRejected(t *testing.T) {
 	// Truncating a block region AFTER open (the dictionary points past
 	// EOF — a stale skip entry) must surface as a read error, not a
 	// wrong result.
-	d, err := OpenDiskOptions(path, OpenOptions{})
+	d, err := OpenDisk(path, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +361,7 @@ func TestDiskSearchIOBound(t *testing.T) {
 	}
 	col := &corpus.Collection{Intervals: []corpus.Interval{{Index: 0, Docs: docs}}}
 	const blockSize = 64
-	d, _ := buildDisk(t, col, DiskOptions{BlockSize: blockSize}, OpenOptions{})
+	d, _ := buildDisk(t, col, Config{BlockSize: blockSize})
 
 	heavyBlocks := int64((n + blockSize - 1) / blockSize)
 	d.ResetStats()
@@ -403,7 +403,7 @@ func TestDiskCacheBounded(t *testing.T) {
 	}
 	col := &corpus.Collection{Intervals: []corpus.Interval{{Index: 0, Docs: docs}}}
 	const budget = 2 << 10
-	d, _ := buildDisk(t, col, DiskOptions{BlockSize: 32}, OpenOptions{MemBudget: budget})
+	d, _ := buildDisk(t, col, Config{BlockSize: 32, MemBudget: budget})
 	blocks := int64((2000 + 31) / 32)
 
 	d.ResetStats()
@@ -432,11 +432,11 @@ func TestOpenDiskRejectsGarbage(t *testing.T) {
 	if err := os.WriteFile(path, []byte("this is not a segment file at all........"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if d, err := OpenDisk(path); err == nil {
+	if d, err := OpenDisk(path, Config{}); err == nil {
 		d.Close()
 		t.Fatal("OpenDisk accepted garbage")
 	}
-	if _, err := OpenDisk(filepath.Join(t.TempDir(), "missing")); err == nil {
+	if _, err := OpenDisk(filepath.Join(t.TempDir(), "missing"), Config{}); err == nil {
 		t.Fatal("OpenDisk accepted a missing file")
 	}
 }

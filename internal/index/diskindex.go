@@ -12,28 +12,6 @@ import (
 	"repro/internal/faultfs"
 )
 
-// OpenOptions configures OpenDiskOptions.
-type OpenOptions struct {
-	// MemBudget bounds the resident bytes of the decoded-block LRU
-	// cache (the same convention as ClusterOptions.MemBudget).
-	// Non-positive means DefaultDiskMemBudget.
-	MemBudget int
-	// FS is the filesystem the segment is opened through. Nil means
-	// the OS passthrough; tests substitute a faultfs.Injector to
-	// exercise the retry path below.
-	FS faultfs.FS
-	// Retry bounds how block and section reads retry transient faults
-	// (EIO, short reads). The zero value uses the diskstore defaults;
-	// Attempts=1 disables retry. Corrupt blocks (ErrCorrupt) are never
-	// retried — re-reading wrong bytes yields the same wrong bytes.
-	Retry diskstore.RetryPolicy
-	// Ctx bounds retry backoff sleeps for the life of the index, not
-	// just the opening call: the DiskIndex outlives the query that
-	// opened it, so pass a session-lifetime context. Nil means no
-	// cancellation.
-	Ctx context.Context
-}
-
 // DiskIndex serves the keyword primitives from an immutable segment
 // file written by BuildDisk. The per-interval term dictionaries and
 // skip indexes are resident; posting blocks are read on demand through
@@ -65,23 +43,16 @@ type diskTerm struct {
 
 var _ Reader = (*DiskIndex)(nil)
 
-// OpenDisk opens a segment file with the default cache budget.
-func OpenDisk(path string) (*DiskIndex, error) {
-	return OpenDiskOptions(path, OpenOptions{})
-}
-
-// OpenDiskOptions opens a segment file written by BuildDisk, loading
-// the footer and every interval dictionary (CRC-verified) into memory.
-func OpenDiskOptions(path string, opts OpenOptions) (*DiskIndex, error) {
-	fs := opts.FS
-	if fs == nil {
-		fs = faultfs.OS()
-	}
+// OpenDisk opens a segment file written by BuildDisk, loading the
+// footer and every interval dictionary (CRC-verified) into memory. The
+// zero Config opens with the defaults.
+func OpenDisk(path string, cfg Config) (*DiskIndex, error) {
+	fs := cfg.fs()
 	f, err := fs.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("index: open segment: %w", err)
 	}
-	d, err := openDisk(f, opts)
+	d, err := openDisk(f, cfg)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -89,7 +60,7 @@ func OpenDiskOptions(path string, opts OpenOptions) (*DiskIndex, error) {
 	return d, nil
 }
 
-func openDisk(f faultfs.File, opts OpenOptions) (*DiskIndex, error) {
+func openDisk(f faultfs.File, cfg Config) (*DiskIndex, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return nil, fmt.Errorf("index: stat segment: %w", err)
@@ -98,11 +69,11 @@ func openDisk(f faultfs.File, opts OpenOptions) (*DiskIndex, error) {
 	if size < int64(len(segMagic)+segTailLen) {
 		return nil, corruptf("index: segment too short (%d bytes)", size)
 	}
-	budget := opts.MemBudget
+	budget := cfg.MemBudget
 	if budget <= 0 {
 		budget = DefaultDiskMemBudget
 	}
-	d := &DiskIndex{f: f, size: size, cache: newBlockCache(int64(budget)), retry: opts.Retry, rctx: opts.Ctx}
+	d := &DiskIndex{f: f, size: size, cache: newBlockCache(int64(budget)), retry: cfg.Retry, rctx: cfg.Ctx}
 
 	head, err := d.readSection(0, int64(len(segMagic)))
 	if err != nil {

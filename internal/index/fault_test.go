@@ -41,12 +41,12 @@ func TestFaultDiskIndexRetriesTransientReads(t *testing.T) {
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "seg")
-	if err := BuildDisk(col, path, DiskOptions{BlockSize: 4}); err != nil {
+	if err := BuildDisk(col, path, Config{BlockSize: 4}); err != nil {
 		t.Fatal(err)
 	}
 	in := faultfs.NewInjector(nil, 1)
 	in.AddRule(faultfs.Rule{Op: faultfs.OpRead, Prob: 0.10})
-	d, err := OpenDiskOptions(path, OpenOptions{
+	d, err := OpenDisk(path, Config{
 		FS:    in,
 		Retry: diskstore.RetryPolicy{Attempts: 6, Backoff: time.Microsecond},
 		Ctx:   context.Background(),
@@ -92,11 +92,11 @@ func TestFaultDiskIndexRetryExhaustion(t *testing.T) {
 	col := faultCorpus(t, 42, 30)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "seg")
-	if err := BuildDisk(col, path, DiskOptions{BlockSize: 4}); err != nil {
+	if err := BuildDisk(col, path, Config{BlockSize: 4}); err != nil {
 		t.Fatal(err)
 	}
 	in := faultfs.NewInjector(nil, 1)
-	d, err := OpenDiskOptions(path, OpenOptions{
+	d, err := OpenDisk(path, Config{
 		FS:    in,
 		Retry: diskstore.RetryPolicy{Attempts: 3, Backoff: time.Microsecond},
 		Ctx:   context.Background(),
@@ -128,7 +128,7 @@ func TestFaultBuildDiskENOSPCRemovesPartial(t *testing.T) {
 	path := filepath.Join(dir, "seg")
 	in := faultfs.NewInjector(nil, 1)
 	in.AddRule(faultfs.Rule{Op: faultfs.OpWrite, Path: ".partial", Err: syscall.ENOSPC})
-	err := BuildDisk(col, path, DiskOptions{BlockSize: 4, FS: in})
+	err := BuildDisk(col, path, Config{BlockSize: 4, FS: in})
 	if !errors.Is(err, syscall.ENOSPC) {
 		t.Fatalf("build under ENOSPC = %v, want ENOSPC", err)
 	}
@@ -142,10 +142,10 @@ func TestFaultBuildDiskENOSPCRemovesPartial(t *testing.T) {
 	// Space comes back: the same injector (faults off) must build a
 	// segment that opens and answers.
 	in.SetEnabled(false)
-	if err := BuildDisk(col, path, DiskOptions{BlockSize: 4, FS: in}); err != nil {
+	if err := BuildDisk(col, path, Config{BlockSize: 4, FS: in}); err != nil {
 		t.Fatalf("rebuild after ENOSPC cleared: %v", err)
 	}
-	d, err := OpenDiskOptions(path, OpenOptions{FS: in})
+	d, err := OpenDisk(path, Config{FS: in})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestFaultBuildDiskCancellationRemovesPartial(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	cfs := &cancelOnCreateFS{FS: faultfs.OS(), cancel: cancel, match: ".partial"}
-	err := BuildDiskCtx(ctx, col, path, DiskOptions{BlockSize: 4, FS: cfs})
+	err := BuildDiskCtx(ctx, col, path, Config{BlockSize: 4, FS: cfs})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled build = %v, want context.Canceled", err)
 	}

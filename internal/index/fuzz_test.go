@@ -64,10 +64,10 @@ func FuzzDiskIndexRoundTrip(f *testing.F) {
 			t.Fatalf("New rejected a fuzz corpus: %v", err)
 		}
 		path := filepath.Join(t.TempDir(), "seg")
-		if err := BuildDisk(col, path, DiskOptions{BlockSize: blockSize, SortMemoryBudget: 512}); err != nil {
+		if err := BuildDisk(col, path, Config{BlockSize: blockSize, SortMemoryBudget: 512}); err != nil {
 			t.Fatalf("BuildDisk: %v", err)
 		}
-		d, err := OpenDiskOptions(path, OpenOptions{MemBudget: 4 << 10})
+		d, err := OpenDisk(path, Config{MemBudget: 4 << 10})
 		if err != nil {
 			t.Fatalf("OpenDisk: %v", err)
 		}

@@ -1,0 +1,651 @@
+// Multi-segment index store: the mutable, LSM-style layer over the
+// immutable segment formats. A Store starts as one base segment built
+// from the opening corpus; each pushed interval becomes a small delta
+// segment (the same delta+varint block format, local interval indices
+// starting at 0), and a multi-segment Reader routes every query to the
+// segment covering its interval — segments cover contiguous,
+// non-overlapping global interval ranges, so "merging at read time" is
+// routing plus concatenation, never a k-way merge. Compaction folds
+// every segment into one new base (written to a .partial file and
+// renamed over the old base, so a crash leaves only .partial residue)
+// once more than CompactAfter deltas accumulate.
+package index
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/corpus"
+	"repro/internal/diskstore"
+	"repro/internal/faultfs"
+)
+
+// DefaultCompactAfter is the delta-count threshold beyond which a push
+// asks for compaction.
+const DefaultCompactAfter = 4
+
+// Backend names for OpenStore.
+const (
+	BackendMem  = "mem"
+	BackendDisk = "disk"
+)
+
+// storeSeg is one live segment: a reader over local intervals
+// [0, n) standing for global intervals [start, start+n).
+type storeSeg struct {
+	r     Reader
+	start int
+	n     int
+	path  string // "" for mem segments and unlinked files
+}
+
+// Store is the mutable multi-segment index. It implements Reader (the
+// merged view over every segment) plus Push and Compact. Reads are
+// safe concurrently with pushes and compaction; Push calls must be
+// serialized by the caller (the Engine holds its push lock).
+type Store struct {
+	cfg      Config
+	backend  string
+	basePath string // disk backend: the base segment file
+	dir      string // owned temp directory, removed on Close ("" if none)
+	fs       faultfs.FS
+
+	mu     sync.RWMutex
+	segs   []storeSeg
+	closed bool
+	// baseIO accumulates the I/O counters of segments retired by
+	// compaction, so Stats never goes backwards.
+	baseIO diskstore.IOStats
+
+	// compactMu serializes compaction (and orders Close after it).
+	compactMu   sync.Mutex
+	deltaSeq    atomic.Int64
+	pushes      atomic.Int64
+	compactions atomic.Int64
+}
+
+var _ Reader = (*Store)(nil)
+
+// OpenStore builds the base segment from the collection and returns
+// the live store. backend is BackendMem or BackendDisk; path is where
+// the disk backend's base segment lives — empty means a private
+// temporary directory removed on Close. ctx bounds the build; cfg.Ctx
+// bounds the opened segments' retry backoff for the store's lifetime.
+func OpenStore(ctx context.Context, c *corpus.Collection, backend, path string, cfg Config) (*Store, error) {
+	s := &Store{cfg: cfg, backend: backend, fs: cfg.fs()}
+	switch backend {
+	case "", BackendMem:
+		s.backend = BackendMem
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		x, err := New(c)
+		if err != nil {
+			return nil, err
+		}
+		s.segs = []storeSeg{{r: x.Reader(), start: 0, n: len(c.Intervals)}}
+		return s, nil
+	case BackendDisk:
+		if path == "" {
+			dir, err := s.fs.MkdirTemp("", "blogclusters-idx-")
+			if err != nil {
+				return nil, fmt.Errorf("index: temp segment dir: %w", err)
+			}
+			s.dir = dir
+			path = filepath.Join(dir, "base.seg")
+		}
+		s.basePath = path
+		if err := BuildDiskCtx(ctx, c, path, cfg); err != nil {
+			s.removeOwnedDir()
+			return nil, err
+		}
+		d, err := OpenDisk(path, cfg)
+		if err != nil {
+			s.removeOwnedDir()
+			return nil, err
+		}
+		s.segs = []storeSeg{{r: d, start: 0, n: len(c.Intervals), path: path}}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("index: unknown store backend %q (want mem or disk)", backend)
+	}
+}
+
+func (s *Store) removeOwnedDir() {
+	if s.dir != "" {
+		s.fs.RemoveAll(s.dir)
+	}
+}
+
+// localize returns one interval's corpus with the documents remapped to
+// local interval 0, so the existing single-segment builders (New,
+// BuildDiskCtx) produce a correct delta segment.
+func localize(iv corpus.Interval) *corpus.Collection {
+	docs := make([]corpus.Document, len(iv.Docs))
+	for i, d := range iv.Docs {
+		d.Interval = 0
+		docs[i] = d
+	}
+	return &corpus.Collection{Intervals: []corpus.Interval{{Index: 0, Label: iv.Label, Docs: docs}}}
+}
+
+// Push appends one interval as a delta segment. iv.Index must be
+// exactly NumIntervals() — intervals are append-only and contiguous.
+// On error the store is unchanged (the disk build removes its .partial
+// file on every failure path).
+func (s *Store) Push(ctx context.Context, iv corpus.Interval) error {
+	s.mu.RLock()
+	next := s.numIntervalsLocked()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return fmt.Errorf("index: push on closed store")
+	}
+	if iv.Index != next {
+		return fmt.Errorf("index: pushed interval %d, store expects %d", iv.Index, next)
+	}
+	local := localize(iv)
+	var (
+		r    Reader
+		path string
+	)
+	switch s.backend {
+	case BackendMem:
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		x, err := New(local)
+		if err != nil {
+			return err
+		}
+		r = x.Reader()
+	default:
+		path = fmt.Sprintf("%s.delta%04d", s.basePath, s.deltaSeq.Add(1))
+		if err := BuildDiskCtx(ctx, local, path, s.cfg); err != nil {
+			return err
+		}
+		d, err := OpenDisk(path, s.cfg)
+		if err != nil {
+			s.fs.Remove(path)
+			return err
+		}
+		r = d
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.numIntervalsLocked() != next {
+		r.Close()
+		if path != "" {
+			s.fs.Remove(path)
+		}
+		return fmt.Errorf("index: store changed under push of interval %d", iv.Index)
+	}
+	s.segs = append(s.segs, storeSeg{r: r, start: next, n: 1, path: path})
+	s.pushes.Add(1)
+	return nil
+}
+
+// NeedsCompaction reports whether the delta count exceeds the policy
+// threshold.
+func (s *Store) NeedsCompaction() bool {
+	after := s.cfg.compactAfter()
+	if after < 0 {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.segs)-1 > after
+}
+
+// Compact folds every current segment into one new base segment and
+// swaps it in; intervals pushed while the fold runs survive as deltas
+// on top of the new base. The new base is written to a .partial file
+// and renamed over the old base path, so a crash mid-compaction leaves
+// the live segments untouched plus inert .partial residue. On error
+// the store serves exactly as before.
+func (s *Store) Compact(ctx context.Context) error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return fmt.Errorf("index: compact on closed store")
+	}
+	snap := make([]storeSeg, len(s.segs))
+	copy(snap, s.segs)
+	s.mu.RUnlock()
+	if len(snap) <= 1 {
+		return nil
+	}
+	covered := snap[len(snap)-1].start + snap[len(snap)-1].n
+	view := &segView{segs: snap, total: covered}
+
+	var (
+		merged storeSeg
+		err    error
+	)
+	if s.backend == BackendMem {
+		var x *Index
+		x, err = memIndexFromReader(ctx, view)
+		if err != nil {
+			return err
+		}
+		merged = storeSeg{r: x.Reader(), start: 0, n: covered}
+	} else {
+		tmp := s.basePath + ".compact.partial"
+		if err = writeSegmentFromReader(ctx, s.fs, tmp, view, s.cfg.blockSize()); err != nil {
+			s.fs.Remove(tmp)
+			return err
+		}
+		// POSIX rename over the old base: segments already open keep
+		// serving from their file handles until the swap closes them.
+		if err = s.fs.Rename(tmp, s.basePath); err != nil {
+			s.fs.Remove(tmp)
+			return fmt.Errorf("index: swap compacted segment: %w", err)
+		}
+		var d *DiskIndex
+		if d, err = OpenDisk(s.basePath, s.cfg); err != nil {
+			return err
+		}
+		merged = storeSeg{r: d, start: 0, n: covered, path: s.basePath}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		merged.r.Close()
+		return fmt.Errorf("index: compact on closed store")
+	}
+	newSegs := []storeSeg{merged}
+	for _, seg := range s.segs {
+		if seg.start >= covered {
+			newSegs = append(newSegs, seg) // pushed mid-compaction
+			continue
+		}
+		if io, ok := seg.r.(interface{ Stats() diskstore.IOStats }); ok {
+			s.baseIO.Add(io.Stats())
+		}
+		seg.r.Close()
+		if seg.path != "" && seg.path != s.basePath {
+			s.fs.Remove(seg.path)
+		}
+	}
+	s.segs = newSegs
+	s.compactions.Add(1)
+	s.mu.Unlock()
+	return nil
+}
+
+// segView is a read-only multi-segment Reader over a snapshot of
+// segments — the compactor's input. It does no locking: the snapshot's
+// readers stay open for the duration of the compaction that holds it.
+type segView struct {
+	segs  []storeSeg
+	total int
+}
+
+func (v *segView) find(i int) (Reader, int, bool) {
+	if i < 0 || i >= v.total {
+		return nil, 0, false
+	}
+	for _, seg := range v.segs {
+		if i < seg.start+seg.n {
+			return seg.r, i - seg.start, true
+		}
+	}
+	return nil, 0, false
+}
+
+func (v *segView) NumIntervals() int { return v.total }
+func (v *segView) NumDocs(i int) int {
+	if r, li, ok := v.find(i); ok {
+		return r.NumDocs(li)
+	}
+	return 0
+}
+func (v *segView) DocFreq(w string, i int) (int64, error) {
+	if r, li, ok := v.find(i); ok {
+		return r.DocFreq(w, li)
+	}
+	return 0, nil
+}
+func (v *segView) CoDocFreq(u, w string, i int) (int64, error) {
+	if r, li, ok := v.find(i); ok {
+		return r.CoDocFreq(u, w, li)
+	}
+	return 0, nil
+}
+func (v *segView) Search(keywords []string, i int) ([]int64, error) {
+	if r, li, ok := v.find(i); ok {
+		return r.Search(keywords, li)
+	}
+	return nil, nil
+}
+func (v *segView) TimeSeries(w string) ([]int64, error) {
+	out := make([]int64, v.total)
+	for _, seg := range v.segs {
+		ts, err := seg.r.TimeSeries(w)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[seg.start:seg.start+seg.n], ts)
+	}
+	return out, nil
+}
+func (v *segView) Vocabulary(i int) ([]string, error) {
+	if r, li, ok := v.find(i); ok {
+		return r.Vocabulary(li)
+	}
+	return nil, nil
+}
+func (v *segView) Postings(w string, i int) ([]int64, error) {
+	if r, li, ok := v.find(i); ok {
+		return r.Postings(w, li)
+	}
+	return nil, nil
+}
+func (v *segView) Close() error { return nil }
+
+// memIndexFromReader materializes an in-memory Index equal to the
+// reader's merged contents (the mem backend's compaction).
+func memIndexFromReader(ctx context.Context, r Reader) (*Index, error) {
+	m := r.NumIntervals()
+	x := &Index{
+		intervals: make([]intervalIndex, m),
+		docs:      make([]int, m),
+	}
+	for i := 0; i < m; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		x.docs[i] = r.NumDocs(i)
+		vocab, err := r.Vocabulary(i)
+		if err != nil {
+			return nil, err
+		}
+		postings := make(map[string][]int64, len(vocab))
+		for _, w := range vocab {
+			ids, err := r.Postings(w, i)
+			if err != nil {
+				return nil, err
+			}
+			cp := make([]int64, len(ids))
+			copy(cp, ids)
+			postings[w] = cp
+		}
+		x.intervals[i].postings = postings
+	}
+	return x, nil
+}
+
+// writeSegmentFromReader writes a segment file whose bytes are
+// identical to BuildDisk over the equivalent one-shot corpus: the
+// reader's vocabularies and postings are already in (interval, term,
+// doc) order, so the fold needs no external sort — it streams straight
+// into the same block/dictionary/footer encoder.
+func writeSegmentFromReader(ctx context.Context, fs faultfs.FS, path string, r Reader, blockSize int) (err error) {
+	sw, err := newSegmentWriter(fs, path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			sw.f.Close()
+			fs.Remove(path)
+		}
+	}()
+	if err = sw.write([]byte(segMagic)); err != nil {
+		return err
+	}
+	m := r.NumIntervals()
+	dicts := make([][]dictEntry, m)
+	var blockBuf []byte
+	for i := 0; i < m; i++ {
+		vocab, verr := r.Vocabulary(i)
+		if verr != nil {
+			return verr
+		}
+		for _, term := range vocab {
+			if err = ctx.Err(); err != nil {
+				return err
+			}
+			ids, perr := r.Postings(term, i)
+			if perr != nil {
+				return perr
+			}
+			if len(ids) == 0 {
+				continue
+			}
+			var blocks []blockRef
+			for lo := 0; lo < len(ids); lo += blockSize {
+				hi := min(lo+blockSize, len(ids))
+				ref, werr := sw.writeBlock(ids[lo:hi], &blockBuf)
+				if werr != nil {
+					return werr
+				}
+				blocks = append(blocks, ref)
+			}
+			dicts[i] = append(dicts[i], dictEntry{term: term, docFreq: int64(len(ids)), blocks: blocks})
+		}
+	}
+	dictOff := make([]int64, m)
+	dictLen := make([]int64, m)
+	for i := 0; i < m; i++ {
+		dictOff[i] = sw.off
+		if err = sw.writeDict(dicts[i]); err != nil {
+			return err
+		}
+		dictLen[i] = sw.off - dictOff[i]
+	}
+	footOff := sw.off
+	foot := binary.AppendUvarint(nil, uint64(m))
+	for i := 0; i < m; i++ {
+		foot = binary.AppendUvarint(foot, uint64(r.NumDocs(i)))
+		foot = binary.AppendUvarint(foot, uint64(dictOff[i]))
+		foot = binary.AppendUvarint(foot, uint64(dictLen[i]))
+	}
+	foot = binary.LittleEndian.AppendUint32(foot, crc32.ChecksumIEEE(foot))
+	if err = sw.write(foot); err != nil {
+		return err
+	}
+	tail := binary.LittleEndian.AppendUint64(nil, uint64(footOff))
+	tail = binary.LittleEndian.AppendUint64(tail, uint64(len(foot)))
+	tail = append(tail, footMagic...)
+	if err = sw.write(tail); err != nil {
+		return err
+	}
+	return sw.finish()
+}
+
+// --- the merged Reader ---
+
+func (s *Store) numIntervalsLocked() int {
+	if len(s.segs) == 0 {
+		return 0
+	}
+	last := s.segs[len(s.segs)-1]
+	return last.start + last.n
+}
+
+// route returns the segment covering global interval i. The caller
+// must hold mu.RLock (reads hold it across the segment call so
+// compaction cannot close a reader mid-query).
+func (s *Store) routeLocked(i int) (Reader, int, bool) {
+	if i < 0 {
+		return nil, 0, false
+	}
+	for _, seg := range s.segs {
+		if i < seg.start+seg.n {
+			if i < seg.start {
+				return nil, 0, false
+			}
+			return seg.r, i - seg.start, true
+		}
+	}
+	return nil, 0, false
+}
+
+// NumIntervals returns the number of intervals across all segments.
+func (s *Store) NumIntervals() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.numIntervalsLocked()
+}
+
+// NumDocs returns the number of documents in interval i.
+func (s *Store) NumDocs(i int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if r, li, ok := s.routeLocked(i); ok {
+		return r.NumDocs(li)
+	}
+	return 0
+}
+
+// DocFreq returns A(u) for interval i.
+func (s *Store) DocFreq(w string, i int) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if r, li, ok := s.routeLocked(i); ok {
+		return r.DocFreq(w, li)
+	}
+	return 0, nil
+}
+
+// CoDocFreq returns A(u,v) for interval i.
+func (s *Store) CoDocFreq(u, v string, i int) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if r, li, ok := s.routeLocked(i); ok {
+		return r.CoDocFreq(u, v, li)
+	}
+	return 0, nil
+}
+
+// Search returns the sorted ids of interval-i documents containing all
+// keywords.
+func (s *Store) Search(keywords []string, i int) ([]int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if r, li, ok := s.routeLocked(i); ok {
+		return r.Search(keywords, li)
+	}
+	return nil, nil
+}
+
+// TimeSeries returns A(w) for every interval — each segment's series
+// concatenated in interval order.
+func (s *Store) TimeSeries(w string) ([]int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int64, s.numIntervalsLocked())
+	for _, seg := range s.segs {
+		ts, err := seg.r.TimeSeries(w)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[seg.start:seg.start+seg.n], ts)
+	}
+	return out, nil
+}
+
+// Vocabulary returns the sorted distinct keywords of interval i.
+func (s *Store) Vocabulary(i int) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if r, li, ok := s.routeLocked(i); ok {
+		return r.Vocabulary(li)
+	}
+	return nil, nil
+}
+
+// Postings returns the sorted document ids containing keyword w in
+// interval i.
+func (s *Store) Postings(w string, i int) ([]int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if r, li, ok := s.routeLocked(i); ok {
+		return r.Postings(w, li)
+	}
+	return nil, nil
+}
+
+// Close closes every segment and removes delta files (and the owned
+// temporary directory, when the store created one). Idempotent.
+func (s *Store) Close() error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, seg := range s.segs {
+		if err := seg.r.Close(); err != nil && first == nil {
+			first = err
+		}
+		if seg.path != "" && seg.path != s.basePath && s.dir == "" {
+			s.fs.Remove(seg.path)
+		}
+	}
+	s.segs = nil
+	if s.dir != "" {
+		if err := s.fs.RemoveAll(s.dir); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// --- observability ---
+
+// Stats aggregates the disk segments' I/O counters (zero for the mem
+// backend), including segments already retired by compaction.
+func (s *Store) Stats() diskstore.IOStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	io := s.baseIO
+	for _, seg := range s.segs {
+		if st, ok := seg.r.(interface{ Stats() diskstore.IOStats }); ok {
+			io.Add(st.Stats())
+		}
+	}
+	return io
+}
+
+// ResetStats zeroes the aggregated I/O counters (used between
+// experiment phases).
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	s.baseIO = diskstore.IOStats{}
+	segs := make([]storeSeg, len(s.segs))
+	copy(segs, s.segs)
+	s.mu.Unlock()
+	for _, seg := range segs {
+		if d, ok := seg.r.(*DiskIndex); ok {
+			d.ResetStats()
+		}
+	}
+}
+
+// NumSegments returns the live segment count (base plus deltas).
+func (s *Store) NumSegments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.segs)
+}
+
+// Pushes returns how many delta segments were appended over the
+// store's lifetime.
+func (s *Store) Pushes() int64 { return s.pushes.Load() }
+
+// Compactions returns how many folds completed.
+func (s *Store) Compactions() int64 { return s.compactions.Load() }

@@ -402,6 +402,21 @@ func (p *Planner) Observe(algorithm string, meta GraphMeta, costNs int64) {
 	}
 }
 
+// InvalidateAll drops every cached decision — called when the corpus
+// itself changes (an Engine push), since a cached pick's GraphMeta no
+// longer describes the graph it will run against. The EWMA cost models
+// survive: algorithm speed is a property of the machine, not of one
+// corpus snapshot, so learning carries across generations.
+func (p *Planner) InvalidateAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.cache) == 0 {
+		return
+	}
+	clear(p.cache)
+	p.stats.Invalidations++
+}
+
 // cheapest returns the lowest-EWMA algorithm of a bucket ("" when
 // empty). Ties break lexicographically so the outcome is deterministic.
 func cheapest(byAlgo map[string]*ewma) string {

@@ -19,6 +19,11 @@ type cacheEntry struct {
 	// fallback until a successful refill replaces it or the LRU evicts
 	// it, which is what makes stale-on-error possible at all.
 	expires time.Time
+	// noStore marks a fill whose result must be returned to its waiters
+	// but never inserted: the Engine's generation moved while the fill
+	// ran, so the rendered body may reflect either snapshot and cannot
+	// be replayed under its (generation-tagged) key.
+	noStore bool
 }
 
 func (e *cacheEntry) fresh(now time.Time) bool {
@@ -184,7 +189,7 @@ func (c *responseCache) Do(ctx context.Context, key string, fill func(context.Co
 		c.mu.Lock()
 		f.e, f.err = e, err
 		delete(c.inflight, key)
-		if err == nil && e.status == 200 {
+		if err == nil && e.status == 200 && !e.noStore {
 			c.insertLocked(key, e)
 		}
 		c.mu.Unlock()

@@ -64,6 +64,12 @@ func errStatus(err error) int {
 	switch {
 	case errors.Is(err, blogclusters.ErrInvalidQuery):
 		return http.StatusBadRequest
+	case errors.Is(err, blogclusters.ErrOutOfOrderInterval):
+		// The pushed interval is not the next one: a sequencing conflict
+		// with the session's current state, not a malformed request.
+		return http.StatusConflict
+	case errors.Is(err, blogclusters.ErrMalformedInterval):
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, blogclusters.ErrNoCorpus):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, blogclusters.ErrEngineClosed):
@@ -83,9 +89,24 @@ const statusClientClosedRequest = 499
 
 // serve runs one cacheable query: resolve the session, consult the
 // response cache under the normalized key, fill via the Engine on a
-// miss, replay the rendered bytes. result builds the response body;
-// it runs at most once across concurrent identical requests.
-func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, result func(ctx context.Context, eng *blogclusters.Engine) (any, error)) {
+// miss, replay the rendered bytes. result builds the response body
+// (receiving the generation the request is keyed against, for the
+// response envelope); it runs at most once across concurrent identical
+// requests.
+//
+// genKeyed marks queries whose answers depend on the whole interval
+// sequence (stable clusters, timeseries, bursts): their cache keys are
+// prefixed with the Engine generation, so a Push invalidates exactly
+// those entries — post-push requests key a fresh namespace while
+// stale-generation entries age out of the LRU. Interval-scoped queries
+// (search, refine, correlations, describe) answer from intervals that
+// are immutable once pushed, so their entries survive a Push and the
+// hit ratio for untouched queries is preserved.
+//
+// Either way a fill that straddles a Push is marked noStore: the
+// Engine snapshot it read is ambiguous, so the result is served to the
+// waiting clients but never cached.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, genKeyed bool, result func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error)) {
 	eng := s.Engine()
 	if eng == nil {
 		w.Header().Set("Retry-After", s.retryHint)
@@ -96,12 +117,20 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, resul
 		writeError(w, http.StatusServiceUnavailable, "corpus is still loading; retry shortly")
 		return
 	}
+	gen := eng.Generation()
+	if genKeyed {
+		key = "g" + strconv.FormatInt(gen, 10) + "|" + key
+	}
 	entry, state, err := s.cache.Do(r.Context(), key, func(ctx context.Context) (*cacheEntry, error) {
-		v, err := result(ctx, eng)
+		v, err := result(ctx, eng, gen)
 		if err != nil {
 			return nil, err
 		}
-		return renderEntry(v)
+		e, err := renderEntry(v)
+		if err == nil && eng.Generation() != gen {
+			e.noStore = true
+		}
+		return e, err
 	})
 	if err != nil {
 		writeError(w, errStatus(err), err.Error())
@@ -318,18 +347,19 @@ func (s *Server) handleStableClusters(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.serve(w, r, "stable-clusters?"+spec.CacheKey(), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
+	s.serve(w, r, "stable-clusters?"+spec.CacheKey(), true, func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error) {
 		res, err := eng.Solve(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
 		paths, stats := toPathsJSON(res)
 		return struct {
-			Variant string          `json:"variant"`
-			K       int             `json:"k"`
-			Paths   []pathJSON      `json:"paths"`
-			Stats   solverStatsJSON `json:"stats"`
-		}{spec.Variant, spec.K, paths, stats}, nil
+			Generation int64           `json:"generation"`
+			Variant    string          `json:"variant"`
+			K          int             `json:"k"`
+			Paths      []pathJSON      `json:"paths"`
+			Stats      solverStatsJSON `json:"stats"`
+		}{gen, spec.Variant, spec.K, paths, stats}, nil
 	})
 }
 
@@ -342,15 +372,16 @@ func (s *Server) handleTimeSeries(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, p.err.Error())
 		return
 	}
-	s.serve(w, r, p.key("timeseries"), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
+	s.serve(w, r, p.key("timeseries"), true, func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error) {
 		counts, err := eng.TimeSeries(ctx, raw)
 		if err != nil {
 			return nil, err
 		}
 		return struct {
-			Keyword string  `json:"keyword"`
-			Counts  []int64 `json:"counts"`
-		}{kw, counts}, nil
+			Generation int64   `json:"generation"`
+			Keyword    string  `json:"keyword"`
+			Counts     []int64 `json:"counts"`
+		}{gen, kw, counts}, nil
 	})
 }
 
@@ -368,7 +399,7 @@ func (s *Server) handleBursts(w http.ResponseWriter, r *http.Request) {
 		End   int     `json:"end"`
 		Score float64 `json:"score"`
 	}
-	s.serve(w, r, p.key("bursts"), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
+	s.serve(w, r, p.key("bursts"), true, func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error) {
 		bursts, err := eng.Bursts(ctx, raw)
 		if err != nil {
 			return nil, err
@@ -378,9 +409,10 @@ func (s *Server) handleBursts(w http.ResponseWriter, r *http.Request) {
 			out[i] = burstJSON{Start: b.Start, End: b.End, Score: b.Score}
 		}
 		return struct {
-			Keyword string      `json:"keyword"`
-			Bursts  []burstJSON `json:"bursts"`
-		}{kw, out}, nil
+			Generation int64       `json:"generation"`
+			Keyword    string      `json:"keyword"`
+			Bursts     []burstJSON `json:"bursts"`
+		}{gen, kw, out}, nil
 	})
 }
 
@@ -416,7 +448,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, p.err.Error())
 		return
 	}
-	s.serve(w, r, p.key("search"), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
+	s.serve(w, r, p.key("search"), false, func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error) {
 		// The index treats out-of-range intervals as empty; surface a
 		// 400 instead so a typo'd interval is not a silent zero-result
 		// (matching Refine/Correlations, which validate in the Engine).
@@ -431,11 +463,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			ids = []int64{}
 		}
 		return struct {
-			Terms    []string `json:"terms"`
-			Interval int      `json:"interval"`
-			Count    int      `json:"count"`
-			IDs      []int64  `json:"ids"`
-		}{analyzed, interval, len(ids), ids}, nil
+			Generation int64    `json:"generation"`
+			Terms      []string `json:"terms"`
+			Interval   int      `json:"interval"`
+			Count      int      `json:"count"`
+			IDs        []int64  `json:"ids"`
+		}{gen, analyzed, interval, len(ids), ids}, nil
 	})
 }
 
@@ -449,7 +482,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, p.err.Error())
 		return
 	}
-	s.serve(w, r, p.key("refine"), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
+	s.serve(w, r, p.key("refine"), false, func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error) {
 		kws, err := eng.Refine(ctx, raw, interval)
 		if err != nil {
 			return nil, err
@@ -458,11 +491,12 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 			kws = []string{}
 		}
 		return struct {
-			Query     string   `json:"query"`
-			Interval  int      `json:"interval"`
-			Clustered bool     `json:"clustered"`
-			Keywords  []string `json:"keywords"`
-		}{kw, interval, len(kws) > 0, kws}, nil
+			Generation int64    `json:"generation"`
+			Query      string   `json:"query"`
+			Interval   int      `json:"interval"`
+			Clustered  bool     `json:"clustered"`
+			Keywords   []string `json:"keywords"`
+		}{gen, kw, interval, len(kws) > 0, kws}, nil
 	})
 }
 
@@ -486,7 +520,7 @@ func (s *Server) handleCorrelations(w http.ResponseWriter, r *http.Request) {
 		Rho     float64 `json:"rho"`
 		Count   int64   `json:"count"`
 	}
-	s.serve(w, r, p.key("correlations"), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
+	s.serve(w, r, p.key("correlations"), false, func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error) {
 		cs, err := eng.Correlations(ctx, raw, interval, n)
 		if err != nil {
 			return nil, err
@@ -496,10 +530,11 @@ func (s *Server) handleCorrelations(w http.ResponseWriter, r *http.Request) {
 			out[i] = correlationJSON{Keyword: c.Keyword, Rho: c.Rho, Count: c.Count}
 		}
 		return struct {
+			Generation   int64             `json:"generation"`
 			Keyword      string            `json:"keyword"`
 			Interval     int               `json:"interval"`
 			Correlations []correlationJSON `json:"correlations"`
-		}{kw, interval, out}, nil
+		}{gen, kw, interval, out}, nil
 	})
 }
 
@@ -541,7 +576,7 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, p.err.Error())
 		return
 	}
-	s.serve(w, r, p.key("describe"), func(ctx context.Context, eng *blogclusters.Engine) (any, error) {
+	s.serve(w, r, p.key("describe"), false, func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error) {
 		g, err := eng.Graph(ctx)
 		if err != nil {
 			return nil, err
@@ -557,9 +592,10 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		return struct {
+			Generation  int64    `json:"generation"`
 			Path        pathJSON `json:"path"`
 			Description string   `json:"description"`
-		}{pathJSON{Nodes: nodes, Length: length, Weight: weight}, desc}, nil
+		}{gen, pathJSON{Nodes: nodes, Length: length, Weight: weight}, desc}, nil
 	})
 }
 
@@ -592,15 +628,20 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDebugStats serves the session's EngineStats (stage builds,
-// wall-clock, disk IOStats) next to the server counters.
+// wall-clock, disk IOStats) next to the server counters. The session
+// generation is surfaced at the top level so ingest monitors can poll
+// it without digging into the engine block (it is 0 before SetEngine).
 func (s *Server) handleDebugStats(w http.ResponseWriter, r *http.Request) {
 	var eng *blogclusters.EngineStats
+	var gen int64
 	if e := s.Engine(); e != nil {
 		st := e.Stats()
 		eng = &st
+		gen = st.Generation
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Engine *blogclusters.EngineStats `json:"engine"`
-		Server Stats                     `json:"server"`
-	}{eng, s.Stats()})
+		Generation int64                     `json:"generation"`
+		Engine     *blogclusters.EngineStats `json:"engine"`
+		Server     Stats                     `json:"server"`
+	}{gen, eng, s.Stats()})
 }

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	blogclusters "repro"
+)
+
+// pushDoc is one ingested post: the document's interval is implied by
+// the enclosing request, so clients cannot ingest a doc into the wrong
+// bucket.
+type pushDoc struct {
+	ID       int64    `json:"id"`
+	Keywords []string `json:"keywords"`
+}
+
+// pushRequest is the POST /v1/push body: exactly one interval, which
+// must be the next one in the session's sequence.
+type pushRequest struct {
+	// Interval is the 0-based index of the pushed interval; it must
+	// equal the session's current interval count (409 otherwise).
+	Interval int `json:"interval"`
+	// Label is the human-readable tag ("Jan 8 2007").
+	Label string `json:"label"`
+	// Docs are the interval's posts with pre-analyzed keywords.
+	Docs []pushDoc `json:"docs"`
+}
+
+// handlePush ingests one interval via Engine.Push. Unlike the /v1
+// queries it mutates the session, so it sits outside the circuit
+// breaker and the admission semaphore (only the request deadline
+// applies): a query surface shedding load must not also block ingest,
+// and one push per interval is too rare to need admission control.
+//
+// Status mapping: 422 for bodies that do not decode or fail interval
+// validation (ErrMalformedInterval), 409 when the interval is not the
+// next one (ErrOutOfOrderInterval) — the client should refetch
+// /debug/stats and resequence. Success returns the new generation, the
+// same value subsequent query envelopes carry.
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	eng := s.Engine()
+	if eng == nil {
+		w.Header().Set("Retry-After", s.retryHint)
+		writeError(w, http.StatusServiceUnavailable, "corpus is still loading; retry shortly")
+		return
+	}
+	var req pushRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "malformed push body: "+err.Error())
+		return
+	}
+	iv := blogclusters.Interval{Index: req.Interval, Label: req.Label}
+	iv.Docs = make([]blogclusters.Document, len(req.Docs))
+	for i, d := range req.Docs {
+		iv.Docs[i] = blogclusters.Document{ID: d.ID, Interval: req.Interval, Keywords: d.Keywords}
+	}
+	gen, err := eng.Push(r.Context(), iv)
+	if err != nil {
+		writeError(w, errStatus(err), err.Error())
+		return
+	}
+	s.pushes.Add(1)
+	writeJSON(w, http.StatusOK, struct {
+		Generation int64  `json:"generation"`
+		Interval   int    `json:"interval"`
+		Label      string `json:"label"`
+		Docs       int    `json:"docs"`
+	}{gen, req.Interval, req.Label, len(req.Docs)})
+}

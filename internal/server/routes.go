@@ -17,9 +17,15 @@ import "net/http"
 //	/v1/refine           → Refine
 //	/v1/correlations     → Correlations
 //	/v1/describe         → Describe (over the default graph)
+//	/v1/push (POST)      → Engine.Push — live ingest of the next interval
 //	/healthz             → process liveness
 //	/readyz              → corpus loaded (SetEngine ran)
 //	/debug/stats         → EngineStats + server/cache counters
+//
+// /v1/push is the one write. It takes only the request deadline: the
+// breaker must not let a failing query route block ingest, and the
+// admission semaphore exists to shed expensive fan-out queries, which
+// a single append-one-interval push is not.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/stable-clusters", s.query("stable-clusters", s.handleStableClusters))
@@ -29,6 +35,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/refine", s.query("refine", s.handleRefine))
 	mux.HandleFunc("GET /v1/correlations", s.query("correlations", s.handleCorrelations))
 	mux.HandleFunc("GET /v1/describe", s.query("describe", s.handleDescribe))
+	mux.HandleFunc("POST /v1/push", s.withTimeout(s.handlePush))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/stats", s.handleDebugStats)

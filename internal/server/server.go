@@ -95,6 +95,7 @@ type Server struct {
 	requests atomic.Int64
 	rejected atomic.Int64
 	panics   atomic.Int64
+	pushes   atomic.Int64
 }
 
 // openFailure boxes a background Engine.Open error for atomic storage.
@@ -171,6 +172,9 @@ type Stats struct {
 	// Panics counts handler panics swallowed by the recovery
 	// middleware; nonzero means a bug, but the process survived it.
 	Panics int64 `json:"panics"`
+	// Pushes counts successful /v1/push ingests (the Engine's own
+	// counter in EngineStats also counts library-level pushes).
+	Pushes int64 `json:"pushes"`
 	// Breakers maps each /v1 route seen so far to its circuit-breaker
 	// state ("closed", "open", "half-open").
 	Breakers map[string]string `json:"breakers"`
@@ -190,6 +194,7 @@ func (s *Server) Stats() Stats {
 		MaxInflight:   s.cfg.MaxInflight,
 		Rejected:      s.rejected.Load(),
 		Panics:        s.panics.Load(),
+		Pushes:        s.pushes.Load(),
 		Breakers:      s.breakerStates(),
 		Cache:         s.cache.Stats(),
 	}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # serve-smoke: boot blogserved on the synthetic demo corpus, curl every
-# endpoint, check the cache and admission headers, and assert a clean
-# SIGTERM drain. `make serve-smoke` runs this; CI's examples job runs
+# endpoint, check the cache and admission headers, push an interval
+# through /v1/push (asserting the generation bump and exact cache
+# invalidation), and assert a clean SIGTERM drain. `make serve-smoke` runs this; CI's examples job runs
 # that target, so the serving layer cannot drift from its routes, its
 # readiness contract, or its shutdown behavior.
 set -eu
@@ -75,6 +76,59 @@ esac
 # Bad parameters are 400, not 500.
 code="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/stable-clusters?algorithm=astar")"
 [ "$code" = 400 ] || fail "bad algorithm returned $code, want 400"
+
+# Live ingest: push the next interval and watch the generation bump
+# and the cache invalidate exactly the generation-keyed entries.
+stats="$(curl -fsS "$BASE/debug/stats")"
+gen="$(printf '%s' "$stats" | sed -n 's/.*"generation":\([0-9]*\).*/\1/p')"
+nint="$(printf '%s' "$stats" | sed -n 's/.*"intervals":\([0-9]*\).*/\1/p')"
+[ -n "$gen" ] && [ -n "$nint" ] || fail "debug/stats missing generation/intervals: $stats"
+[ "$gen" -ge 1 ] || fail "pre-push generation $gen, want >= 1"
+
+# Warm a per-interval query so we can prove pushes leave it hot.
+curl -fsS "$BASE/v1/search?terms=somalia&interval=0" >/dev/null || fail "warm search"
+
+body="$(curl -fsS -X POST "$BASE/v1/push" -H 'Content-Type: application/json' \
+	-d "{\"interval\":$nint,\"label\":\"pushed\",\"docs\":[
+	      {\"id\":900001,\"keywords\":[\"somalia\",\"election\"]},
+	      {\"id\":900002,\"keywords\":[\"storm\",\"flood\"]}]}")" \
+	|| fail "POST /v1/push"
+want=$((gen + 1))
+case "$body" in
+*"\"generation\":$want"*) echo "serve-smoke: OK push (generation $gen -> $want)" ;;
+*) fail "push response missing generation $want: $body" ;;
+esac
+
+# Replaying the same interval is a 409, and the generation holds.
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/push" \
+	-d "{\"interval\":$nint,\"docs\":[{\"id\":900003,\"keywords\":[\"x\"]}]}")"
+[ "$code" = 409 ] || fail "replayed push returned $code, want 409"
+
+# The hot generation-keyed query was evicted by the push...
+hdr="$(curl -fsS -D - -o /dev/null "$BASE/v1/stable-clusters?k=3")"
+case "$hdr" in
+*"X-Cache: miss"*) echo "serve-smoke: OK push evicted generation-keyed entry" ;;
+*) fail "post-push stable-clusters was not a cache miss: $hdr" ;;
+esac
+# ...and re-caches under the new generation...
+hdr="$(curl -fsS -D - -o /dev/null "$BASE/v1/stable-clusters?k=3")"
+case "$hdr" in
+*"X-Cache: hit"*) ;;
+*) fail "post-push stable-clusters did not re-cache: $hdr" ;;
+esac
+# ...while the per-interval query stayed hot across the push.
+hdr="$(curl -fsS -D - -o /dev/null "$BASE/v1/search?terms=somalia&interval=0")"
+case "$hdr" in
+*"X-Cache: hit"*) echo "serve-smoke: OK per-interval entry survived push" ;;
+*) fail "push evicted an interval-immutable search entry: $hdr" ;;
+esac
+
+# The new interval is queryable and the envelope reports the new generation.
+body="$(curl -fsS "$BASE/v1/search?terms=somalia&interval=$nint")" || fail "search pushed interval"
+case "$body" in
+*"\"generation\":$want"*) echo "serve-smoke: OK pushed interval queryable at generation $want" ;;
+*) fail "pushed-interval search missing generation $want: $body" ;;
+esac
 
 # SIGTERM drains cleanly: process exits 0 and logs the drain.
 kill -TERM "$PID"

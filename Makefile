@@ -17,7 +17,7 @@ BENCH_COUNT ?= 3
 # fetched through the module cache, never added to go.mod.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build check vet test race fmt-check staticcheck bench bench-gate fuzz-smoke chaos examples-smoke serve-smoke clean
+.PHONY: all build check vet test race fmt-check staticcheck bench bench-gate fuzz-smoke chaos examples-smoke serve-smoke shard-smoke clean
 
 all: check
 
@@ -50,13 +50,14 @@ check: build vet test race
 # benches, the Section 4 cluster-graph/simjoin benches, the index
 # backend benches, the extsort record-format/pre-merge-combine
 # before/afters, the HTTP serving-layer load benches and the live
-# ingest benches (Push, multi-segment search), in test2json
+# ingest benches (Push, multi-segment search) and the scatter-gather
+# coordinator benches (1/2/4 shards, hot and cold), in test2json
 # format (one JSON object per line). BENCH_OUT redirects the dump
 # (bench-gate writes an untracked file so the committed trajectory is
 # never clobbered).
 BENCH_OUT ?= BENCH_table1.json
 bench:
-	$(GO) test -run '^$$' -bench 'Table1|Ablation|ClusterGraph|SimJoin|DiskIndex|Extsort|Serve|Push|MultiSegment' -benchmem -count $(BENCH_COUNT) -json . > $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'Table1|Ablation|ClusterGraph|SimJoin|DiskIndex|Extsort|Serve|Push|MultiSegment|Shard' -benchmem -count $(BENCH_COUNT) -json . > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT) ($$(grep -c '"Action":"output"' $(BENCH_OUT)) output events)"
 
 # Regression gate: rerun the bench set once into the untracked
@@ -106,6 +107,16 @@ examples-smoke:
 # job runs this after examples-smoke.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# Sharded-serving smoke: boot two blogserved shard servers on interval
+# slices of the demo corpus plus a scatter-gather coordinator fanning
+# out to them, assert the cross-boundary answers match an unsharded
+# reference byte for byte, push an interval through the coordinator
+# (composite generation bump + exact cache eviction), and drain all
+# four processes cleanly (scripts/shard-smoke.sh). CI's examples job
+# runs this after serve-smoke.
+shard-smoke:
+	sh scripts/shard-smoke.sh
 
 clean:
 	rm -f BENCH_table1.json BENCH_fresh.json

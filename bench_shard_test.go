@@ -1,0 +1,72 @@
+package blogclusters_test
+
+// Benchmarks for the shard-by-interval scatter-gather coordinator
+// (internal/shard). External test package for the same reason as the
+// serving benches: internal/shard imports the root package.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	blogclusters "repro"
+	"repro/internal/shard"
+)
+
+// benchShardCollection is the demo news week with a heavier background
+// so the shard solves have real work to scatter.
+func benchShardCollection(b *testing.B) *blogclusters.Collection {
+	b.Helper()
+	col, err := blogclusters.GenerateCorpus(blogclusters.NewsWeekCorpus(2007, 120))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return col
+}
+
+// BenchmarkShardScatterGather measures the decomposed bounded top-k
+// (shard-local solves + boundary windows + deterministic merge) at 1,
+// 2 and 4 in-process shards. hot is the steady state: the coordinator's
+// per-generation caches (node-id offsets, window engines) are warm and
+// each iteration pays gather + solve + merge. cold is first-query-
+// after-open: shard engines, partition map and scatter caches all
+// build inside the iteration — the price of a fresh deployment or a
+// post-push generation.
+func BenchmarkShardScatterGather(b *testing.B) {
+	ctx := context.Background()
+	col := benchShardCollection(b)
+	spec := blogclusters.QuerySpec{Variant: "topk", K: 5, L: 2}
+
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d/hot", shards), func(b *testing.B) {
+			c, err := shard.OpenInProcess(ctx, col, shards, shard.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.Solve(ctx, spec); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Solve(ctx, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("shards=%d/cold", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, err := shard.OpenInProcess(ctx, col, shards, shard.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Solve(ctx, spec); err != nil {
+					b.Fatal(err)
+				}
+				c.Close()
+			}
+		})
+	}
+}

@@ -12,6 +12,17 @@
 //	blogserved -demo -index disk -max-inflight 128 -cache-bytes 33554432
 //	blogserved -demo -cache-ttl 30s -breaker-cooldown 5s
 //
+// Sharded serving (internal/shard): the same binary runs all three
+// roles. A shard server is an ordinary blogserved holding a contiguous
+// interval slice of the corpus; a coordinator fans queries out over
+// shard servers (or over in-process shard engines) and serves the
+// merged answers on the identical HTTP surface:
+//
+//	blogserved -demo -intervals 0:4 -addr :8081     # shard server 0
+//	blogserved -demo -intervals 4:7 -addr :8082     # shard server 1
+//	blogserved -shards localhost:8081,localhost:8082 -addr :8080
+//	blogserved -demo -shard-count 2                 # in-process shards
+//
 // The listener comes up immediately; the corpus loads in the
 // background and /readyz flips to 200 when the session is attached,
 // so orchestrators can health-check during a slow load. If the load
@@ -31,11 +42,13 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	blogclusters "repro"
 	"repro/internal/cli"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -57,12 +70,37 @@ func main() {
 		gap          = flag.Int("gap", 1, "gap g for the session's default cluster graph")
 		theta        = flag.Float64("theta", 0.1, "minimum affinity for a cluster-graph edge")
 		simjoin      = flag.Bool("simjoin", false, "build cluster-graph edges with the prefix-filter similarity join")
+		shardList    = flag.String("shards", "", "comma-separated shard server addresses in interval order (host:port,...); serve as their scatter-gather coordinator instead of loading a corpus")
+		shardCount   = flag.Int("shard-count", 0, "split the corpus into N in-process shard engines behind a coordinator (single-binary sharded serving)")
+		shardWait    = flag.Duration("shards-wait", time.Minute, "how long the coordinator waits for every shard server's /readyz at startup")
 	)
 	flag.Parse()
 
-	src, err := shared.Source()
-	if err != nil {
-		log.Fatal(err)
+	var src blogclusters.Source
+	var err error
+	switch {
+	case *shardList != "" && *shardCount > 0:
+		log.Fatal("pass either -shards or -shard-count, not both")
+	case *shardList != "":
+		// The corpus lives on the shard servers; a coordinator loads
+		// nothing locally.
+		if shared.Input != "" || shared.Demo {
+			log.Fatal("-shards is a coordinator: the corpus is loaded by the shard servers, drop -input/-demo")
+		}
+	case *shardCount > 0:
+		// In-process sharding materializes the collection to split it;
+		// the loader goroutine does the work, validate the flags here.
+		if !shared.Demo && shared.Input == "" {
+			log.Fatal("need -input FILE or -demo (see -help)")
+		}
+		if shared.Intervals != "" {
+			log.Fatal("-shard-count splits the whole corpus; drop -intervals")
+		}
+	default:
+		src, err = shared.Source()
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -87,17 +125,33 @@ func main() {
 	loadDone := make(chan struct{})
 	go func() {
 		defer close(loadDone)
-		opts := shared.Options(
-			blogclusters.ClusterOptions{},
-			blogclusters.GraphOptions{Gap: *gap, Theta: *theta, UseSimJoin: *simjoin},
-		)
-		eng, err := blogclusters.Open(ctx, src, opts...)
+		graph := blogclusters.GraphOptions{Gap: *gap, Theta: *theta, UseSimJoin: *simjoin}
+		copts := shard.Options{
+			Graph:             graph,
+			PlanMode:          shared.PlanMode,
+			SolverParallelism: shared.SolverParallelism,
+		}
+		var sess server.Session
+		var err error
+		switch {
+		case *shardList != "":
+			sess, err = openRemoteCoordinator(ctx, *shardList, *shardWait, copts, logger)
+		case *shardCount > 0:
+			var col *blogclusters.Collection
+			if col, err = shared.Collection(); err == nil {
+				sess, err = shard.OpenInProcess(ctx, col, *shardCount, copts,
+					shared.Options(blogclusters.ClusterOptions{}, graph)...)
+			}
+		default:
+			sess, err = blogclusters.Open(ctx, src,
+				shared.Options(blogclusters.ClusterOptions{}, graph)...)
+		}
 		if err != nil {
 			engineErr <- err
 			return
 		}
-		srv.SetEngine(eng)
-		logger.Info("engine ready")
+		srv.SetEngine(sess)
+		logger.Info("session ready")
 	}()
 
 	httpSrv := &http.Server{
@@ -160,15 +214,50 @@ func main() {
 	logger.Info("drained; exiting")
 }
 
+// openRemoteCoordinator assembles a shard.Coordinator over the shard
+// servers listed in spec (comma-separated, interval order), waiting up
+// to wait for every shard's /readyz so a fleet coming up together
+// settles into a working coordinator without ordering ceremony.
+func openRemoteCoordinator(ctx context.Context, spec string, wait time.Duration, copts shard.Options, logger *slog.Logger) (*shard.Coordinator, error) {
+	var addrs []string
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, errors.New("-shards lists no addresses")
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, wait)
+	defer cancel()
+	backends := make([]shard.Backend, len(addrs))
+	for i, addr := range addrs {
+		if err := shard.WaitReady(waitCtx, addr, nil); err != nil {
+			return nil, err
+		}
+		b, err := shard.NewHTTPBackend(addr, nil)
+		if err != nil {
+			return nil, err
+		}
+		backends[i] = b
+		logger.Info("shard ready", "shard", i, "addr", addr)
+	}
+	return shard.NewCoordinator(ctx, backends, copts)
+}
+
 // closeEngine closes the session if it ever attached, logging (not
 // dying on) close errors — at this point the process is exiting and
 // the only useful action is to report.
 func closeEngine(srv *server.Server, logger *slog.Logger) {
-	eng := srv.Engine()
-	if eng == nil {
+	sess := srv.Session()
+	if sess == nil {
 		return
 	}
-	if err := eng.Close(); err != nil && !errors.Is(err, context.Canceled) {
-		logger.Error("engine close", "err", err)
+	closer, ok := sess.(interface{ Close() error })
+	if !ok {
+		return
+	}
+	if err := closer.Close(); err != nil && !errors.Is(err, context.Canceled) {
+		logger.Error("session close", "err", err)
 	}
 }

@@ -366,6 +366,21 @@ func (e *Engine) Collection() *Collection { return e.state.Load().col }
 // successful Push. Response caches key dependent entries by it.
 func (e *Engine) Generation() int64 { return e.state.Load().gen }
 
+// NumIntervals returns the current corpus width (the number of
+// intervals in this generation). For cluster-set sessions it is the
+// number of cluster sets.
+func (e *Engine) NumIntervals() int { return numIntervals(e.state.Load()) }
+
+func numIntervals(st *engineState) int {
+	if st.col != nil {
+		return len(st.col.Intervals)
+	}
+	if sets, ok := st.sets.cached(); ok {
+		return len(sets)
+	}
+	return 0
+}
+
 // queryCtx joins the caller's context with the Engine's lifetime, so
 // either cancels the work. The returned cancel must always be called.
 func (e *Engine) queryCtx(ctx context.Context) (context.Context, context.CancelFunc, error) {
@@ -656,7 +671,12 @@ func (e *Engine) ClustersAt(ctx context.Context, interval int) ([]Cluster, error
 		return nil, err
 	}
 	defer cancel()
-	st := e.state.Load()
+	return e.clustersAt(ctx, e.state.Load(), interval)
+}
+
+// clustersAt is ClustersAt pinned to one generation snapshot, for
+// internal reuse by callers that already hold a joined context.
+func (e *Engine) clustersAt(ctx context.Context, st *engineState, interval int) ([]Cluster, error) {
 	if sets, ok := st.sets.cached(); ok {
 		if interval < 0 || interval >= len(sets) {
 			return nil, fmt.Errorf("blogclusters: interval %d outside [0,%d): %w", interval, len(sets), ErrInvalidQuery)
@@ -680,6 +700,55 @@ func (e *Engine) ClustersAt(ctx context.Context, interval int) ([]Cluster, error
 		defer e.stage("interval-clusters")()
 		return intervalClustersCtx(ctx, st.col, interval, e.cfg.cluster)
 	})
+}
+
+// ClusterSets returns the cluster sets of the intervals in [from, to),
+// one slice per interval in order. Like ClustersAt it answers from the
+// materialized full sets when available and builds (and memoizes) only
+// the requested intervals otherwise, so a shard coordinator gathering a
+// boundary window never pays for the whole corpus. The returned slices
+// are shared with the session's memos; callers must not mutate them.
+func (e *Engine) ClusterSets(ctx context.Context, from, to int) ([][]Cluster, error) {
+	ctx, cancel, err := e.queryCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	st := e.state.Load()
+	n := numIntervals(st)
+	if from < 0 || to < from || to > n {
+		return nil, fmt.Errorf("blogclusters: interval range [%d,%d) outside [0,%d]: %w", from, to, n, ErrInvalidQuery)
+	}
+	if sets, ok := st.sets.cached(); ok {
+		return sets[from:to:to], nil
+	}
+	out := make([][]Cluster, to-from)
+	for i := range out {
+		cs, err := e.clustersAt(ctx, st, from+i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cs
+	}
+	return out, nil
+}
+
+// DocTotals returns the per-interval document totals of the current
+// generation — the denominators the burst detector divides by, and the
+// series a shard coordinator concatenates to run burst detection
+// globally. Computed from the keyword index (and memoized per
+// generation) so it agrees exactly with Bursts.
+func (e *Engine) DocTotals(ctx context.Context) ([]int64, error) {
+	st := e.state.Load()
+	if st.col == nil {
+		return nil, ErrNoCorpus
+	}
+	ctx, cancel, err := e.queryCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	return e.docTotals(ctx, st)
 }
 
 // Graph materializes (once per generation) and returns the cluster
@@ -998,11 +1067,18 @@ func (e *Engine) Correlations(ctx context.Context, keyword string, interval, n i
 }
 
 // Describe renders a stable-cluster path with its keyword clusters,
-// resolving cluster contents through the session's default graph.
+// resolving cluster contents through the session's default graph. Node
+// ids outside the graph fail with ErrInvalidQuery (they identify no
+// cluster), so remote callers get a client error instead of a panic.
 func (e *Engine) Describe(ctx context.Context, p Path) (string, error) {
 	g, err := e.Graph(ctx)
 	if err != nil {
 		return "", err
+	}
+	for _, id := range p.Nodes {
+		if id < 0 || id >= int64(g.NumNodes()) {
+			return "", fmt.Errorf("blogclusters: node %d outside graph [0,%d): %w", id, g.NumNodes(), ErrInvalidQuery)
+		}
 	}
 	return DescribePath(g, p), nil
 }

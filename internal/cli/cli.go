@@ -11,8 +11,12 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 
 	blogclusters "repro"
+	"repro/internal/shard"
 )
 
 // EngineFlags is the shared flag set. Register it on a FlagSet before
@@ -22,6 +26,10 @@ type EngineFlags struct {
 	// Corpus selection.
 	Input string
 	Demo  bool
+	// Intervals restricts the loaded corpus to a "from:to" slice of
+	// global intervals (half-open, re-stamped to local indices) — how a
+	// shard server loads just its partition of a shared corpus.
+	Intervals string
 
 	// Section 3/4 pipeline knobs.
 	Parallelism int
@@ -43,6 +51,7 @@ type EngineFlags struct {
 func (f *EngineFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Input, "input", "", "JSONL corpus file (one document per line)")
 	fs.BoolVar(&f.Demo, "demo", false, "use the synthetic news-week corpus")
+	fs.StringVar(&f.Intervals, "intervals", "", "serve only global intervals FROM:TO of the corpus (half-open), e.g. 0:4 — the shard-server slice of a shared corpus")
 	fs.IntVar(&f.Parallelism, "parallelism", 0, "worker count for cluster and edge generation; 0 = GOMAXPROCS, 1 = sequential")
 	fs.IntVar(&f.MemBudget, "membudget", 0, "pair-table memory budget in bytes, split across concurrent interval builds; 0 = default")
 	fs.StringVar(&f.IndexBackend, "index", "mem", "keyword-index backend: mem (resident) or disk (segment file + LRU block cache)")
@@ -53,17 +62,69 @@ func (f *EngineFlags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&f.SolverParallelism, "solver-parallelism", 0, "worker count for the stable-cluster solvers; 0 = GOMAXPROCS, 1 = sequential")
 }
 
-// Source maps -input/-demo onto an Engine corpus source.
+// Source maps -input/-demo (and -intervals, when set) onto an Engine
+// corpus source. An -intervals slice forces the corpus to be
+// materialized eagerly so the slice can be cut and re-stamped before
+// the Engine sees it.
 func (f *EngineFlags) Source() (blogclusters.Source, error) {
 	switch {
 	case f.Demo && f.Input != "":
 		return blogclusters.Source{}, fmt.Errorf("pass either -demo or -input, not both")
-	case f.Demo:
-		return blogclusters.FromGenerator(blogclusters.NewsWeekCorpus(2007, 600)), nil
-	case f.Input == "":
+	case f.Demo, f.Input != "":
+	default:
 		return blogclusters.Source{}, fmt.Errorf("need -input FILE or -demo (see -help)")
 	}
-	return blogclusters.FromJSONLFile(f.Input), nil
+	if f.Intervals == "" {
+		if f.Demo {
+			return blogclusters.FromGenerator(blogclusters.NewsWeekCorpus(2007, 600)), nil
+		}
+		return blogclusters.FromJSONLFile(f.Input), nil
+	}
+	from, to, err := parseIntervalRange(f.Intervals)
+	if err != nil {
+		return blogclusters.Source{}, err
+	}
+	col, err := f.Collection()
+	if err != nil {
+		return blogclusters.Source{}, err
+	}
+	sub, err := shard.SliceCollection(col, from, to)
+	if err != nil {
+		return blogclusters.Source{}, err
+	}
+	return blogclusters.FromCollection(sub), nil
+}
+
+// Collection materializes the -input/-demo corpus (without any
+// -intervals slicing).
+func (f *EngineFlags) Collection() (*blogclusters.Collection, error) {
+	if f.Demo {
+		return blogclusters.GenerateCorpus(blogclusters.NewsWeekCorpus(2007, 600))
+	}
+	if f.Input == "" {
+		return nil, fmt.Errorf("need -input FILE or -demo (see -help)")
+	}
+	r, err := os.Open(f.Input)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return blogclusters.ReadJSONL(r)
+}
+
+// parseIntervalRange parses the -intervals "from:to" syntax.
+func parseIntervalRange(s string) (from, to int, err error) {
+	lo, hi, ok := strings.Cut(s, ":")
+	if ok {
+		from, err = strconv.Atoi(strings.TrimSpace(lo))
+		if err == nil {
+			to, err = strconv.Atoi(strings.TrimSpace(hi))
+		}
+	}
+	if !ok || err != nil || from < 0 || to <= from {
+		return 0, 0, fmt.Errorf("-intervals wants FROM:TO with 0 <= FROM < TO, got %q", s)
+	}
+	return from, to, nil
 }
 
 // ClusterOptions maps the pipeline knobs onto ClusterOptions, starting

@@ -193,7 +193,7 @@ const (
 // health computes the three-state summary and a human reason for the
 // non-ok states.
 func (s *Server) health() (state, reason string) {
-	if s.Engine() == nil {
+	if s.Session() == nil {
 		if p := s.openErr.Load(); p != nil {
 			return healthFailing, "engine open failed: " + p.err.Error()
 		}

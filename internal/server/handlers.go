@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	blogclusters "repro"
+	"repro/internal/shard"
 )
 
 // --- JSON plumbing ---
@@ -74,6 +75,10 @@ func errStatus(err error) int {
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, blogclusters.ErrEngineClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, shard.ErrUnavailable):
+		// A shard behind the coordinator failed or was unreachable; the
+		// merge fails closed rather than serving a truncated answer.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -106,9 +111,9 @@ const statusClientClosedRequest = 499
 // Either way a fill that straddles a Push is marked noStore: the
 // Engine snapshot it read is ambiguous, so the result is served to the
 // waiting clients but never cached.
-func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, genKeyed bool, result func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error)) {
-	eng := s.Engine()
-	if eng == nil {
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, genKeyed bool, result func(ctx context.Context, sess Session, gen int64) (any, error)) {
+	sess := s.Session()
+	if sess == nil {
 		w.Header().Set("Retry-After", s.retryHint)
 		if p := s.openErr.Load(); p != nil {
 			writeError(w, http.StatusServiceUnavailable, "corpus failed to load: "+p.err.Error())
@@ -117,17 +122,17 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, genKe
 		writeError(w, http.StatusServiceUnavailable, "corpus is still loading; retry shortly")
 		return
 	}
-	gen := eng.Generation()
+	gen := sess.Generation()
 	if genKeyed {
 		key = "g" + strconv.FormatInt(gen, 10) + "|" + key
 	}
 	entry, state, err := s.cache.Do(r.Context(), key, func(ctx context.Context) (*cacheEntry, error) {
-		v, err := result(ctx, eng, gen)
+		v, err := result(ctx, sess, gen)
 		if err != nil {
 			return nil, err
 		}
 		e, err := renderEntry(v)
-		if err == nil && eng.Generation() != gen {
+		if err == nil && sess.Generation() != gen {
 			e.noStore = true
 		}
 		return e, err
@@ -347,8 +352,8 @@ func (s *Server) handleStableClusters(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.serve(w, r, "stable-clusters?"+spec.CacheKey(), true, func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error) {
-		res, err := eng.Solve(ctx, spec)
+	s.serve(w, r, "stable-clusters?"+spec.CacheKey(), true, func(ctx context.Context, sess Session, gen int64) (any, error) {
+		res, err := sess.Solve(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -372,16 +377,28 @@ func (s *Server) handleTimeSeries(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, p.err.Error())
 		return
 	}
-	s.serve(w, r, p.key("timeseries"), true, func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error) {
-		counts, err := eng.TimeSeries(ctx, raw)
+	s.serve(w, r, p.key("timeseries"), true, func(ctx context.Context, sess Session, gen int64) (any, error) {
+		counts, err := sess.TimeSeries(ctx, raw)
 		if err != nil {
 			return nil, err
+		}
+		totals, err := sess.DocTotals(ctx)
+		if err != nil {
+			return nil, err
+		}
+		// The two reads are not atomic against a push; trim both to the
+		// shorter so the pairing stays positionally aligned.
+		if len(totals) < len(counts) {
+			counts = counts[:len(totals)]
+		} else {
+			totals = totals[:len(counts)]
 		}
 		return struct {
 			Generation int64   `json:"generation"`
 			Keyword    string  `json:"keyword"`
 			Counts     []int64 `json:"counts"`
-		}{gen, kw, counts}, nil
+			Totals     []int64 `json:"totals"`
+		}{gen, kw, counts, totals}, nil
 	})
 }
 
@@ -399,8 +416,8 @@ func (s *Server) handleBursts(w http.ResponseWriter, r *http.Request) {
 		End   int     `json:"end"`
 		Score float64 `json:"score"`
 	}
-	s.serve(w, r, p.key("bursts"), true, func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error) {
-		bursts, err := eng.Bursts(ctx, raw)
+	s.serve(w, r, p.key("bursts"), true, func(ctx context.Context, sess Session, gen int64) (any, error) {
+		bursts, err := sess.Bursts(ctx, raw)
 		if err != nil {
 			return nil, err
 		}
@@ -448,14 +465,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, p.err.Error())
 		return
 	}
-	s.serve(w, r, p.key("search"), false, func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error) {
+	s.serve(w, r, p.key("search"), false, func(ctx context.Context, sess Session, gen int64) (any, error) {
 		// The index treats out-of-range intervals as empty; surface a
 		// 400 instead so a typo'd interval is not a silent zero-result
-		// (matching Refine/Correlations, which validate in the Engine).
-		if col := eng.Collection(); col != nil && (interval < 0 || interval >= len(col.Intervals)) {
-			return nil, fmt.Errorf("interval %d outside [0,%d): %w", interval, len(col.Intervals), blogclusters.ErrInvalidQuery)
+		// (matching Refine/Correlations, which validate in the session).
+		if m := sess.NumIntervals(); interval < 0 || interval >= m {
+			return nil, fmt.Errorf("interval %d outside [0,%d): %w", interval, m, blogclusters.ErrInvalidQuery)
 		}
-		ids, err := eng.Search(ctx, terms, interval)
+		ids, err := sess.Search(ctx, terms, interval)
 		if err != nil {
 			return nil, err
 		}
@@ -482,8 +499,8 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, p.err.Error())
 		return
 	}
-	s.serve(w, r, p.key("refine"), false, func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error) {
-		kws, err := eng.Refine(ctx, raw, interval)
+	s.serve(w, r, p.key("refine"), false, func(ctx context.Context, sess Session, gen int64) (any, error) {
+		kws, err := sess.Refine(ctx, raw, interval)
 		if err != nil {
 			return nil, err
 		}
@@ -520,8 +537,8 @@ func (s *Server) handleCorrelations(w http.ResponseWriter, r *http.Request) {
 		Rho     float64 `json:"rho"`
 		Count   int64   `json:"count"`
 	}
-	s.serve(w, r, p.key("correlations"), false, func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error) {
-		cs, err := eng.Correlations(ctx, raw, interval, n)
+	s.serve(w, r, p.key("correlations"), false, func(ctx context.Context, sess Session, gen int64) (any, error) {
+		cs, err := sess.Correlations(ctx, raw, interval, n)
 		if err != nil {
 			return nil, err
 		}
@@ -576,18 +593,11 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, p.err.Error())
 		return
 	}
-	s.serve(w, r, p.key("describe"), false, func(ctx context.Context, eng *blogclusters.Engine, gen int64) (any, error) {
-		g, err := eng.Graph(ctx)
-		if err != nil {
-			return nil, err
-		}
-		for _, id := range nodes {
-			if id < 0 || id >= int64(g.NumNodes()) {
-				return nil, fmt.Errorf("node %d outside graph [0,%d): %w", id, g.NumNodes(), blogclusters.ErrInvalidQuery)
-			}
-		}
+	s.serve(w, r, p.key("describe"), false, func(ctx context.Context, sess Session, gen int64) (any, error) {
+		// Node-bounds validation lives in the session's Describe now
+		// (out-of-range ids come back as ErrInvalidQuery → 400).
 		path := blogclusters.Path{Nodes: nodes, Length: length, Weight: weight}
-		desc, err := eng.Describe(ctx, path)
+		desc, err := sess.Describe(ctx, path)
 		if err != nil {
 			return nil, err
 		}
@@ -631,17 +641,91 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // wall-clock, disk IOStats) next to the server counters. The session
 // generation is surfaced at the top level so ingest monitors can poll
 // it without digging into the engine block (it is 0 before SetEngine).
+// A sharded session additionally exposes its per-shard rows under
+// "shards" (the engine block is then the cross-shard aggregate).
 func (s *Server) handleDebugStats(w http.ResponseWriter, r *http.Request) {
 	var eng *blogclusters.EngineStats
 	var gen int64
-	if e := s.Engine(); e != nil {
-		st := e.Stats()
+	var shards []shard.ShardStat
+	if sess := s.Session(); sess != nil {
+		st := sess.Stats()
 		eng = &st
 		gen = st.Generation
+		if sc, ok := sess.(interface{ ShardStats() []shard.ShardStat }); ok {
+			shards = sc.ShardStats()
+		}
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Generation int64                     `json:"generation"`
 		Engine     *blogclusters.EngineStats `json:"engine"`
+		Shards     []shard.ShardStat         `json:"shards,omitempty"`
 		Server     Stats                     `json:"server"`
-	}{gen, eng, s.Stats()})
+	}{gen, eng, shards, s.Stats()})
+}
+
+// handleMeta serves the session's shape in one cheap read —
+// {generation, intervals, totals} — the handshake a shard coordinator
+// (or any client wanting the corpus width before querying) starts
+// with.
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	p := newParams(r)
+	s.serve(w, r, p.key("meta"), true, func(ctx context.Context, sess Session, gen int64) (any, error) {
+		totals, err := sess.DocTotals(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if totals == nil {
+			totals = []int64{}
+		}
+		return struct {
+			Generation int64   `json:"generation"`
+			Intervals  int     `json:"intervals"`
+			Totals     []int64 `json:"totals"`
+		}{gen, len(totals), totals}, nil
+	})
+}
+
+// handleClusters serves the canonical per-interval cluster sets for
+// global intervals [from, to): ?from=&to=[&counts=1]. With counts=1
+// only the per-interval cluster counts are returned — the cheap lens a
+// coordinator uses to build its node-id offset table without shipping
+// every keyword set across the wire.
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	p := newParams(r)
+	from := p.requiredInt("from")
+	to := p.requiredInt("to")
+	countsOnly := p.str("counts", "") == "1"
+	if p.err != nil {
+		writeError(w, http.StatusBadRequest, p.err.Error())
+		return
+	}
+	s.serve(w, r, p.key("clusters"), true, func(ctx context.Context, sess Session, gen int64) (any, error) {
+		sets, err := sess.ClusterSets(ctx, from, to)
+		if err != nil {
+			return nil, err
+		}
+		if countsOnly {
+			counts := make([]int, len(sets))
+			for i, set := range sets {
+				counts[i] = len(set)
+			}
+			return struct {
+				Generation int64 `json:"generation"`
+				From       int   `json:"from"`
+				To         int   `json:"to"`
+				Counts     []int `json:"counts"`
+			}{gen, from, to, counts}, nil
+		}
+		for i, set := range sets {
+			if set == nil {
+				sets[i] = []blogclusters.Cluster{}
+			}
+		}
+		return struct {
+			Generation int64                    `json:"generation"`
+			From       int                      `json:"from"`
+			To         int                      `json:"to"`
+			Sets       [][]blogclusters.Cluster `json:"sets"`
+		}{gen, from, to, sets}, nil
+	})
 }

@@ -39,8 +39,8 @@ type pushRequest struct {
 // /debug/stats and resequence. Success returns the new generation, the
 // same value subsequent query envelopes carry.
 func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
-	eng := s.Engine()
-	if eng == nil {
+	sess := s.Session()
+	if sess == nil {
 		w.Header().Set("Retry-After", s.retryHint)
 		writeError(w, http.StatusServiceUnavailable, "corpus is still loading; retry shortly")
 		return
@@ -57,7 +57,7 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	for i, d := range req.Docs {
 		iv.Docs[i] = blogclusters.Document{ID: d.ID, Interval: req.Interval, Keywords: d.Keywords}
 	}
-	gen, err := eng.Push(r.Context(), iv)
+	gen, err := sess.Push(r.Context(), iv)
 	if err != nil {
 		writeError(w, errStatus(err), err.Error())
 		return

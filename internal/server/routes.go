@@ -17,6 +17,10 @@ import "net/http"
 //	/v1/refine           → Refine
 //	/v1/correlations     → Correlations
 //	/v1/describe         → Describe (over the default graph)
+//	/v1/meta             → session shape: generation, width, doc totals
+//	/v1/clusters         → canonical per-interval cluster sets (the
+//	                       scatter-gather exchange a shard coordinator
+//	                       reads; ?counts=1 for sizes only)
 //	/v1/push (POST)      → Engine.Push — live ingest of the next interval
 //	/healthz             → process liveness
 //	/readyz              → corpus loaded (SetEngine ran)
@@ -35,6 +39,8 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/refine", s.query("refine", s.handleRefine))
 	mux.HandleFunc("GET /v1/correlations", s.query("correlations", s.handleCorrelations))
 	mux.HandleFunc("GET /v1/describe", s.query("describe", s.handleDescribe))
+	mux.HandleFunc("GET /v1/meta", s.query("meta", s.handleMeta))
+	mux.HandleFunc("GET /v1/clusters", s.query("clusters", s.handleClusters))
 	mux.HandleFunc("POST /v1/push", s.withTimeout(s.handlePush))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)

@@ -38,8 +38,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	blogclusters "repro"
 )
 
 // Config tunes one Server. The zero value serves with the defaults.
@@ -82,7 +80,7 @@ const (
 type Server struct {
 	cfg       Config
 	log       *slog.Logger
-	eng       atomic.Pointer[blogclusters.Engine]
+	sess      atomic.Pointer[sessionBox]
 	openErr   atomic.Pointer[openFailure]
 	cache     *responseCache
 	sem       chan struct{}
@@ -134,11 +132,12 @@ func New(cfg Config) *Server {
 }
 
 // SetEngine attaches the session and flips readiness (clearing any
-// recorded open failure). The Server does not own the Engine: the
-// caller closes it after draining HTTP (the reverse order would cancel
-// in-flight queries mid-drain).
-func (s *Server) SetEngine(e *blogclusters.Engine) {
-	s.eng.Store(e)
+// recorded open failure). Any Session works — a single Engine or a
+// shard Coordinator. The Server does not own it: the caller closes it
+// after draining HTTP (the reverse order would cancel in-flight
+// queries mid-drain).
+func (s *Server) SetEngine(sess Session) {
+	s.sess.Store(&sessionBox{s: sess})
 	s.openErr.Store(nil)
 }
 
@@ -154,8 +153,13 @@ func (s *Server) SetOpenError(err error) {
 	s.openErr.Store(&openFailure{err: err})
 }
 
-// Engine returns the attached session, or nil before SetEngine.
-func (s *Server) Engine() *blogclusters.Engine { return s.eng.Load() }
+// Session returns the attached session, or nil before SetEngine.
+func (s *Server) Session() Session {
+	if b := s.sess.Load(); b != nil {
+		return b.s
+	}
+	return nil
+}
 
 // Stats is the server-side half of /debug/stats.
 type Stats struct {
@@ -186,7 +190,7 @@ func (s *Server) Stats() Stats {
 	health, reason := s.health()
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Ready:         s.Engine() != nil,
+		Ready:         s.Session() != nil,
 		Health:        health,
 		HealthReason:  reason,
 		Requests:      s.requests.Load(),

@@ -1,0 +1,59 @@
+package shard
+
+import (
+	"context"
+	"sync"
+)
+
+// cell is a single-flight memo: the first caller fills, concurrent
+// callers wait, later callers hit. Errors are not cached — a failed
+// fill (a shard briefly unreachable, a canceled request) leaves the
+// cell empty so the next caller retries. Waiters honor their own
+// context, so one slow fill cannot pin an unrelated request past its
+// deadline.
+type cell[T any] struct {
+	mu      sync.Mutex
+	ok      bool
+	val     T
+	filling chan struct{} // non-nil while a fill is in flight
+}
+
+func (c *cell[T]) get(ctx context.Context, fill func() (T, error)) (T, error) {
+	for {
+		c.mu.Lock()
+		if c.ok {
+			v := c.val
+			c.mu.Unlock()
+			return v, nil
+		}
+		if c.filling == nil {
+			ch := make(chan struct{})
+			c.filling = ch
+			c.mu.Unlock()
+			v, err := fill()
+			c.mu.Lock()
+			c.filling = nil
+			if err == nil {
+				c.ok, c.val = true, v
+			}
+			c.mu.Unlock()
+			close(ch)
+			return v, err
+		}
+		ch := c.filling
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err()
+		}
+	}
+}
+
+// cached returns the value without filling.
+func (c *cell[T]) cached() (T, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.val, c.ok
+}

@@ -100,10 +100,19 @@ func NewK(k int) *K {
 // and is not already present. Duplicate suppression matters because the
 // DFS algorithm can rediscover a path after visited flags are unmarked
 // (Section 4.3) and a duplicate must not occupy two of the k slots.
-// Reports whether p was retained.
+// When the duplicate outranks the retained copy (rediscoveries may
+// carry weights differing in the last ulp; see indexOf), the retained
+// copy is replaced, so the surviving representative — and therefore the
+// final ordering — does not depend on the order paths were offered.
+// Reports whether p was retained (replacement counts as retained).
 func (t *K) Consider(p Path) bool {
-	if t.contains(p) {
-		return false
+	if i := t.indexOf(p); i >= 0 {
+		if !Better(p, t.items[i]) {
+			return false
+		}
+		t.items[i] = p
+		heap.Fix(&t.items, i)
+		return true
 	}
 	if t.items.Len() < t.k {
 		heap.Push(&t.items, p)
@@ -117,14 +126,14 @@ func (t *K) Consider(p Path) bool {
 	return false
 }
 
-// contains reports whether a path with the same node sequence is
-// already retained. The node sequence alone identifies a path — two
+// indexOf returns the heap index of the retained path with the same
+// node sequence, or -1. The node sequence alone identifies a path — two
 // discoveries of it may carry weights differing in the last ulp when
 // algorithms sum edge weights in different orders (TA assembles
 // prefix+edge+suffix, DFS prepends, BFS appends), so weights must not
 // participate in the identity check. Linear in k, which is small.
-func (t *K) contains(p Path) bool {
-	for _, q := range t.items {
+func (t *K) indexOf(p Path) int {
+	for j, q := range t.items {
 		if len(q.Nodes) != len(p.Nodes) {
 			continue
 		}
@@ -136,10 +145,10 @@ func (t *K) contains(p Path) bool {
 			}
 		}
 		if same {
-			return true
+			return j
 		}
 	}
-	return false
+	return -1
 }
 
 // Len returns the number of retained paths (≤ k).

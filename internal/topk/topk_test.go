@@ -195,3 +195,71 @@ func BenchmarkConsider(b *testing.B) {
 		k.Consider(paths[i%len(paths)])
 	}
 }
+
+func TestConsiderReplacesWorseDuplicate(t *testing.T) {
+	// Two discoveries of one path whose summation orders differ in the
+	// last ulp: whichever arrives first, the Better copy must survive,
+	// so merge results do not depend on offer order.
+	lo := Path{Nodes: []int64{1, 2, 3}, Length: 2, Weight: 1.0}
+	hi := lo
+	hi.Weight = math.Nextafter(1.0, 2.0)
+
+	first := NewK(3)
+	first.Consider(lo)
+	first.Consider(hi)
+	second := NewK(3)
+	second.Consider(hi)
+	second.Consider(lo)
+
+	for name, k := range map[string]*K{"lo-first": first, "hi-first": second} {
+		items := k.Items()
+		if len(items) != 1 {
+			t.Fatalf("%s: %d items, want 1 (duplicate occupies two slots)", name, len(items))
+		}
+		if items[0].Weight != hi.Weight {
+			t.Errorf("%s: surviving weight %v, want the better copy %v", name, items[0].Weight, hi.Weight)
+		}
+	}
+
+	// A worse duplicate must not displace the retained copy.
+	k := NewK(3)
+	k.Consider(hi)
+	if k.Consider(lo) {
+		t.Error("worse duplicate reported as retained")
+	}
+	if got := k.Items()[0].Weight; got != hi.Weight {
+		t.Errorf("worse duplicate displaced the better copy: weight %v", got)
+	}
+}
+
+func TestMergeOrderIndependent(t *testing.T) {
+	// Merging the same candidate multiset in any order yields identical
+	// Items — the property distributed scatter-gather merges rely on.
+	rng := rand.New(rand.NewSource(7))
+	var candidates []Path
+	for i := 0; i < 40; i++ {
+		n := []int64{int64(rng.Intn(5)), int64(5 + rng.Intn(5)), int64(10 + rng.Intn(5))}
+		w := 1 + rng.Float64()
+		candidates = append(candidates, Path{Nodes: n, Length: 2, Weight: w})
+		if rng.Intn(2) == 0 {
+			// Duplicate identity with an ulp-perturbed weight.
+			candidates = append(candidates, Path{Nodes: n, Length: 2, Weight: math.Nextafter(w, 2)})
+		}
+	}
+	reference := NewK(5)
+	for _, p := range candidates {
+		reference.Consider(p)
+	}
+	want := reference.Items()
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]Path(nil), candidates...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		k := NewK(5)
+		for _, p := range shuffled {
+			k.Consider(p)
+		}
+		if got := k.Items(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merge order changed the result:\ngot  %v\nwant %v", trial, got, want)
+		}
+	}
+}

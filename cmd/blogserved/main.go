@@ -11,6 +11,7 @@
 //	blogserved -input posts.jsonl -addr :8080
 //	blogserved -demo -index disk -max-inflight 128 -cache-bytes 33554432
 //	blogserved -demo -cache-ttl 30s -breaker-cooldown 5s
+//	blogserved -demo -pprof localhost:6060          # profiling sidecar
 //
 // Sharded serving (internal/shard): the same binary runs all three
 // roles. A shard server is an ordinary blogserved holding a contiguous
@@ -73,6 +74,7 @@ func main() {
 		shardList    = flag.String("shards", "", "comma-separated shard server addresses in interval order (host:port,...); serve as their scatter-gather coordinator instead of loading a corpus")
 		shardCount   = flag.Int("shard-count", 0, "split the corpus into N in-process shard engines behind a coordinator (single-binary sharded serving)")
 		shardWait    = flag.Duration("shards-wait", time.Minute, "how long the coordinator waits for every shard server's /readyz at startup")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this extra listener (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Parse()
 
@@ -104,6 +106,13 @@ func main() {
 	}
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	if *pprofAddr != "" {
+		stopPprof, err := cli.StartPprof(*pprofAddr, logger)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopPprof()
+	}
 	srv := server.New(server.Config{
 		MaxInflight:     *maxInflight,
 		CacheBytes:      *cacheBytes,

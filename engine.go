@@ -19,6 +19,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/diskstore"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/plan"
 	"repro/internal/stats"
@@ -436,6 +437,7 @@ func (e *Engine) Push(ctx context.Context, iv Interval) (int64, error) {
 	start := time.Now()
 	newGen, err := e.push(ctx, cur, iv)
 	e.emit(StageEvent{Stage: "push", Done: true, Duration: time.Since(start), Err: err, Generation: newGen})
+	obs.RecorderFrom(ctx).Record("push", start, err)
 	if err != nil {
 		return 0, err
 	}
@@ -462,7 +464,7 @@ func (e *Engine) push(ctx context.Context, cur *engineState, iv Interval) (int64
 		var ivSet []Cluster
 		var err error
 		func() {
-			defer e.stage("interval-clusters")()
+			defer e.stage(ctx, "interval-clusters")()
 			ivSet, err = intervalClustersCtx(ctx, newCol, next, e.cfg.cluster)
 		}()
 		if err != nil {
@@ -491,7 +493,7 @@ func (e *Engine) push(ctx context.Context, cur *engineState, iv Interval) (int64
 			}
 			var ng *ClusterGraph
 			func() {
-				defer e.stage("graph-extend")()
+				defer e.stage(ctx, "graph-extend")()
 				ng, err = clustergraph.ExtendCtx(ctx, g, newSets, clustergraph.FromClustersOptions{
 					Gap:         opts.Gap,
 					Theta:       opts.Theta,
@@ -611,7 +613,7 @@ func (e *Engine) indexStore(ctx context.Context, st *engineState) (*index.Store,
 		return nil, ErrNoCorpus
 	}
 	return st.index.get(ctx, func() (*index.Store, error) {
-		defer e.stage("index")()
+		defer e.stage(ctx, "index")()
 		// e.root (the session lifetime) bounds the disk backend's retry
 		// backoff sleeps: the store outlives this query's context.
 		s, err := openIndexStoreCtx(ctx, e.root, st.col, e.cfg.index)
@@ -651,7 +653,7 @@ func (e *Engine) clusters(ctx context.Context, st *engineState) ([][]Cluster, er
 		if st.col == nil {
 			return nil, ErrNoCorpus
 		}
-		defer e.stage("clusters")()
+		defer e.stage(ctx, "clusters")()
 		return allIntervalClustersCtx(ctx, st.col, e.cfg.cluster)
 	})
 }
@@ -697,7 +699,7 @@ func (e *Engine) clustersAt(ctx context.Context, st *engineState, interval int) 
 	}
 	e.intervalMu.Unlock()
 	return m.get(ctx, func() ([]Cluster, error) {
-		defer e.stage("interval-clusters")()
+		defer e.stage(ctx, "interval-clusters")()
 		return intervalClustersCtx(ctx, st.col, interval, e.cfg.cluster)
 	})
 }
@@ -786,7 +788,7 @@ func (e *Engine) graphWith(ctx context.Context, st *engineState, opts GraphOptio
 		if err != nil {
 			return nil, err
 		}
-		defer e.stage("graph")()
+		defer e.stage(ctx, "graph")()
 		return buildClusterGraphCtx(ctx, sets, opts)
 	})
 }
@@ -809,7 +811,7 @@ func (e *Engine) kwGraph(ctx context.Context, st *engineState, interval int) (*K
 	}
 	e.kwMu.Unlock()
 	return m.get(ctx, func() (*KeywordGraph, error) {
-		defer e.stage("kwgraph")()
+		defer e.stage(ctx, "kwgraph")()
 		kg, err := cooccur.BuildCtx(ctx, st.col, interval, interval, cooccur.BuildOptions{
 			SortMemoryBudget: e.cfg.cluster.SortMemoryBudget,
 			MinPairCount:     e.cfg.cluster.MinPairCount,
@@ -834,7 +836,7 @@ func (e *Engine) docTotals(ctx context.Context, st *engineState) ([]int64, error
 		if err != nil {
 			return nil, err
 		}
-		defer e.stage("totals")()
+		defer e.stage(ctx, "totals")()
 		return intervalTotals(r), nil
 	})
 }
@@ -924,8 +926,14 @@ func (e *Engine) SolveOn(ctx context.Context, gopts GraphOptions, spec QuerySpec
 	if err != nil {
 		return nil, err
 	}
+	obs.RecorderFrom(ctx).Record("solve:"+algorithm, start, nil)
 	if planned {
 		e.planner.Observe(algorithm, meta, time.Since(start).Nanoseconds())
+	} else {
+		// Forced-algorithm solves still count toward the per-algorithm
+		// work histograms (the /metrics solve-duration series), they just
+		// don't teach the cost model.
+		e.planner.RecordSolve(algorithm, time.Since(start).Nanoseconds())
 	}
 	return res, nil
 }
@@ -1124,6 +1132,10 @@ type EngineStats struct {
 	// IndexIO is the disk index backend's I/O counters (zero for the
 	// mem backend or while the index is unbuilt).
 	IndexIO diskstore.IOStats `json:"index_io"`
+	// IndexCache is the disk index's block-cache accounting (zero for
+	// the mem backend): residency in bytes plus hit/miss counters, the
+	// source of the index_cache_* series on /metrics.
+	IndexCache IndexCacheStats `json:"index_cache"`
 	// IndexSegments is the live segment count (base + deltas; 0 while
 	// the index is unbuilt).
 	IndexSegments int `json:"index_segments"`
@@ -1152,19 +1164,33 @@ func (e *Engine) Stats() EngineStats {
 	if s, ok := st.index.cached(); ok {
 		out.IndexIO = s.Stats()
 		out.IndexSegments = s.NumSegments()
+		hits, misses, bytes := s.CacheStats()
+		out.IndexCache = IndexCacheStats{Hits: hits, Misses: misses, Bytes: bytes}
 	}
 	return out
 }
 
+// IndexCacheStats is the disk index's block-cache snapshot inside
+// EngineStats (field names pinned by TestEngineStatsJSON).
+type IndexCacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Bytes  int64 `json:"bytes"`
+}
+
 // stage emits the started event and returns the closure recording the
-// finished event plus timing. Usage: defer e.stage("clusters")().
-func (e *Engine) stage(name string) func() {
+// finished event plus timing. Usage: defer e.stage(ctx, "clusters")().
+// A traced request (obs.Recorder in ctx) additionally gets the build
+// as a span — only requests that actually triggered the single-flight
+// build see it, which is the honest answer: a memo hit did no work.
+func (e *Engine) stage(ctx context.Context, name string) func() {
 	start := time.Now()
 	gen := e.Generation()
 	e.emit(StageEvent{Stage: name, Generation: gen})
 	return func() {
 		d := time.Since(start)
 		e.timings.record(name, d)
+		obs.RecorderFrom(ctx).Record(name, start, nil)
 		e.emit(StageEvent{Stage: name, Done: true, Duration: d, Generation: gen})
 	}
 }

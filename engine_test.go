@@ -475,7 +475,7 @@ func TestEngineStatsJSON(t *testing.T) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		t.Fatal(err)
 	}
-	wantTop := []string{"generation", "intervals", "queries", "pushes", "stages", "index_io", "index_segments", "index_compactions", "planner"}
+	wantTop := []string{"generation", "intervals", "queries", "pushes", "stages", "index_io", "index_segments", "index_compactions", "index_cache", "planner"}
 	if len(m) != len(wantTop) {
 		t.Fatalf("EngineStats JSON has %d fields, want %d: %s", len(m), len(wantTop), raw)
 	}

@@ -1,0 +1,38 @@
+package cli
+
+import (
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartPprof serves the net/http/pprof handlers on their own listener
+// and mux. Profiling stays off the public API listener on purpose:
+// the handlers expose heap contents and can run seconds-long CPU
+// captures, so they belong on an operator-chosen (typically localhost)
+// port, operationally exempt from the serving stack's admission
+// control and breakers the same way /healthz and /metrics are. The
+// returned stop function closes the listener; in-flight profile
+// captures are cut off, which is fine at process exit.
+func StartPprof(addr string, logger *slog.Logger) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if serr := srv.Serve(ln); serr != http.ErrServerClosed {
+			logger.Error("pprof server", "err", serr)
+		}
+	}()
+	logger.Info("pprof listening", "addr", ln.Addr().String())
+	return func() { srv.Close() }, nil
+}

@@ -621,6 +621,20 @@ func (s *Store) Stats() diskstore.IOStats {
 	return io
 }
 
+// CacheStats aggregates the disk segments' block-cache counters:
+// hits, misses and resident bytes (all zero for the mem backend).
+func (s *Store) CacheStats() (hits, misses, bytes int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, seg := range s.segs {
+		if d, ok := seg.r.(*DiskIndex); ok {
+			h, m, b := d.CacheStats()
+			hits, misses, bytes = hits+h, misses+m, bytes+b
+		}
+	}
+	return hits, misses, bytes
+}
+
 // ResetStats zeroes the aggregated I/O counters (used between
 // experiment phases).
 func (s *Store) ResetStats() {

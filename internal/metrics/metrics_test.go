@@ -1,0 +1,443 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// --- a strict text-format parser for the tests ---
+
+// parsedFamily is one exposition family as the parser saw it.
+type parsedFamily struct {
+	name    string
+	help    string
+	kind    string
+	samples []parsedSample
+}
+
+type parsedSample struct {
+	name   string            // full sample name, e.g. foo_bucket
+	labels map[string]string // unescaped label values
+	value  float64
+}
+
+// parseExposition validates the Prometheus text format strictly:
+// every family must open with a # HELP line immediately followed by
+// its # TYPE line; every sample must parse and belong to the family
+// declared above it; histogram suffixes are only legal for histogram
+// families. It fails the test on any violation.
+func parseExposition(t *testing.T, text string) map[string]*parsedFamily {
+	t.Helper()
+	fams := map[string]*parsedFamily{}
+	var cur *parsedFamily
+	var pendingHelp string
+	var pendingName string
+	lines := strings.Split(text, "\n")
+	if lines[len(lines)-1] != "" {
+		t.Fatalf("exposition does not end in a newline")
+	}
+	for ln, line := range lines[:len(lines)-1] {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			if pendingName != "" {
+				t.Fatalf("line %d: HELP %s while HELP %s awaits its TYPE", ln+1, name, pendingName)
+			}
+			pendingName, pendingHelp = name, help
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: TYPE without kind: %q", ln+1, line)
+			}
+			if name != pendingName {
+				t.Fatalf("line %d: TYPE %s not preceded by its HELP (pending %q)", ln+1, name, pendingName)
+			}
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Fatalf("line %d: unknown TYPE %q", ln+1, kind)
+			}
+			if _, dup := fams[name]; dup {
+				t.Fatalf("line %d: duplicate family %s", ln+1, name)
+			}
+			cur = &parsedFamily{name: name, help: pendingHelp, kind: kind}
+			fams[name] = cur
+			pendingName, pendingHelp = "", ""
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		default:
+			if cur == nil {
+				t.Fatalf("line %d: sample before any TYPE: %q", ln+1, line)
+			}
+			s := parseSample(t, ln+1, line)
+			base := s.name
+			if cur.kind == "histogram" {
+				base = strings.TrimSuffix(base, "_bucket")
+				base = strings.TrimSuffix(base, "_sum")
+				base = strings.TrimSuffix(base, "_count")
+			}
+			if base != cur.name {
+				t.Fatalf("line %d: sample %s under family %s", ln+1, s.name, cur.name)
+			}
+			if cur.kind != "histogram" && s.name != cur.name {
+				t.Fatalf("line %d: suffixed sample %s in %s family", ln+1, s.name, cur.kind)
+			}
+			cur.samples = append(cur.samples, s)
+		}
+	}
+	if pendingName != "" {
+		t.Fatalf("HELP %s never got its TYPE", pendingName)
+	}
+	return fams
+}
+
+// parseSample parses `name{l1="v1",...} value`, unescaping label
+// values and rejecting malformed escapes.
+func parseSample(t *testing.T, ln int, line string) parsedSample {
+	t.Helper()
+	s := parsedSample{labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		t.Fatalf("line %d: no value separator: %q", ln, line)
+	}
+	s.name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			eq := strings.Index(rest, `="`)
+			if eq < 0 {
+				t.Fatalf("line %d: malformed labels: %q", ln, line)
+			}
+			lname := rest[:eq]
+			rest = rest[eq+2:]
+			var val strings.Builder
+			j := 0
+			for ; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' {
+					j++
+					if j >= len(rest) {
+						t.Fatalf("line %d: dangling escape", ln)
+					}
+					switch rest[j] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						t.Fatalf("line %d: bad escape \\%c", ln, rest[j])
+					}
+					continue
+				}
+				if c == '"' {
+					break
+				}
+				val.WriteByte(c)
+			}
+			if j >= len(rest) {
+				t.Fatalf("line %d: unterminated label value", ln)
+			}
+			s.labels[lname] = val.String()
+			rest = rest[j+1:]
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			t.Fatalf("line %d: malformed label list: %q", ln, line)
+		}
+	}
+	if !strings.HasPrefix(rest, " ") {
+		t.Fatalf("line %d: no space before value: %q", ln, line)
+	}
+	v, err := parseValue(strings.TrimPrefix(rest, " "))
+	if err != nil {
+		t.Fatalf("line %d: bad value in %q: %v", ln, line, err)
+	}
+	s.value = v
+	return s
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// checkHistogram asserts the family's buckets are cumulative,
+// monotone, end at +Inf, and agree with _count.
+func checkHistogram(t *testing.T, f *parsedFamily) {
+	t.Helper()
+	type key string
+	series := map[key][]parsedSample{}
+	sums := map[key]float64{}
+	counts := map[key]float64{}
+	for _, s := range f.samples {
+		labels := make([]string, 0, len(s.labels))
+		for k, v := range s.labels {
+			if k == "le" {
+				continue
+			}
+			labels = append(labels, k+"="+v)
+		}
+		sort.Strings(labels)
+		k := key(strings.Join(labels, ","))
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			series[k] = append(series[k], s)
+		case strings.HasSuffix(s.name, "_sum"):
+			sums[k] = s.value
+		case strings.HasSuffix(s.name, "_count"):
+			counts[k] = s.value
+		}
+	}
+	for k, buckets := range series {
+		prev := -1.0
+		prevUB := math.Inf(-1)
+		for _, b := range buckets {
+			ub, err := parseValue(b.labels["le"])
+			if err != nil {
+				t.Fatalf("%s{%s}: bad le %q", f.name, k, b.labels["le"])
+			}
+			if ub <= prevUB {
+				t.Fatalf("%s{%s}: le %v not ascending after %v", f.name, k, ub, prevUB)
+			}
+			if b.value < prev {
+				t.Fatalf("%s{%s}: bucket at le=%v went down: %v < %v", f.name, k, ub, b.value, prev)
+			}
+			prev, prevUB = b.value, ub
+		}
+		last := buckets[len(buckets)-1]
+		if last.labels["le"] != "+Inf" {
+			t.Fatalf("%s{%s}: final bucket is le=%q, want +Inf", f.name, k, last.labels["le"])
+		}
+		if c, ok := counts[k]; !ok || c != last.value {
+			t.Fatalf("%s{%s}: _count %v != +Inf bucket %v", f.name, k, c, last.value)
+		}
+		if _, ok := sums[k]; !ok {
+			t.Fatalf("%s{%s}: missing _sum", f.name, k)
+		}
+	}
+}
+
+// --- tests ---
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return b.String()
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.Counter("test_requests_total", "Requests with a \\ backslash\nand newline in help.", "route", "status")
+	gauge := r.Gauge("test_inflight", "Gauge.").With()
+	hist := r.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, "route")
+
+	reqs.With("home", "200").Add(3)
+	reqs.With(`we"ird\route`+"\n", "500").Inc()
+	gauge.Set(7.5)
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		hist.With("home").Observe(v)
+	}
+
+	text := scrape(t, r)
+	fams := parseExposition(t, text)
+
+	if len(fams) != 3 {
+		t.Fatalf("got %d families, want 3: %q", len(fams), text)
+	}
+	rf := fams["test_requests_total"]
+	if rf == nil || rf.kind != "counter" {
+		t.Fatalf("test_requests_total missing or wrong kind: %+v", rf)
+	}
+	if !strings.Contains(rf.help, "\\") || !strings.Contains(rf.help, "backslash") {
+		// The parser keeps HELP raw; the escaped form must be on the wire.
+		if !strings.Contains(text, `backslash\nand`) || !strings.Contains(text, `\\ backslash`) {
+			t.Fatalf("help not escaped on the wire: %q", text)
+		}
+	}
+	var found bool
+	for _, s := range rf.samples {
+		if s.labels["route"] == `we"ird\route`+"\n" && s.labels["status"] == "500" {
+			found = true
+			if s.value != 1 {
+				t.Fatalf("escaped-label series = %v, want 1", s.value)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("escaped label value did not round-trip: %q", text)
+	}
+
+	if g := fams["test_inflight"]; g == nil || g.kind != "gauge" || g.samples[0].value != 7.5 {
+		t.Fatalf("gauge wrong: %+v", g)
+	}
+
+	hf := fams["test_latency_seconds"]
+	if hf == nil || hf.kind != "histogram" {
+		t.Fatalf("histogram missing: %+v", hf)
+	}
+	checkHistogram(t, hf)
+	for _, s := range hf.samples {
+		if s.name == "test_latency_seconds_count" && s.value != 4 {
+			t.Fatalf("histogram count = %v, want 4", s.value)
+		}
+		if s.name == "test_latency_seconds_bucket" && s.labels["le"] == "0.1" && s.value != 2 {
+			t.Fatalf("le=0.1 cumulative = %v, want 2", s.value)
+		}
+	}
+}
+
+func TestCounterMonotoneAcrossScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "Events.", "kind")
+	h := r.Histogram("test_work_seconds", "Work.", []float64{1, 10}, "kind")
+
+	read := func() (map[string]float64, map[string]*parsedFamily) {
+		fams := parseExposition(t, scrape(t, r))
+		vals := map[string]float64{}
+		for _, f := range fams {
+			for _, s := range f.samples {
+				key := s.name + "{"
+				labels := make([]string, 0, len(s.labels))
+				for k, v := range s.labels {
+					labels = append(labels, k+"="+v)
+				}
+				sort.Strings(labels)
+				vals[key+strings.Join(labels, ",")+"}"] = s.value
+			}
+		}
+		return vals, fams
+	}
+
+	c.With("a").Inc()
+	h.With("a").Observe(0.5)
+	before, _ := read()
+	c.With("a").Add(2)
+	c.With("b").Inc()
+	h.With("a").Observe(100)
+	after, fams := read()
+	checkHistogram(t, fams["test_work_seconds"])
+
+	for k, v := range before {
+		if after[k] < v {
+			t.Fatalf("series %s went backwards: %v -> %v", k, v, after[k])
+		}
+	}
+	if got := after[`test_events_total{kind=a}`]; got != 3 {
+		t.Fatalf("test_events_total{kind=a} = %v, want 3", got)
+	}
+}
+
+func TestSetHistogramMirror(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_mirror_seconds", "Mirrored.", []float64{1, 2, 3}, "algo")
+	// Per-bucket counts with the final overflow slot; sum is arbitrary.
+	h.With("bfs").SetHistogram([]int64{5, 0, 2, 1}, 12.5)
+	fams := parseExposition(t, scrape(t, r))
+	f := fams["test_mirror_seconds"]
+	checkHistogram(t, f)
+	want := map[string]float64{"1": 5, "2": 5, "3": 7, "+Inf": 8}
+	for _, s := range f.samples {
+		if s.name != "test_mirror_seconds_bucket" {
+			continue
+		}
+		if got := s.value; got != want[s.labels["le"]] {
+			t.Fatalf("le=%s = %v, want %v", s.labels["le"], got, want[s.labels["le"]])
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		c := r.Counter("test_a_total", "A.", "x")
+		g := r.Gauge("test_b", "B.")
+		c.With("2").Inc()
+		c.With("1").Inc()
+		g.With().Set(1)
+		return scrape(t, r)
+	}
+	first := build()
+	for i := 0; i < 5; i++ {
+		if got := build(); got != first {
+			t.Fatalf("output not deterministic:\n%q\nvs\n%q", first, got)
+		}
+	}
+	if strings.Index(first, `x="1"`) > strings.Index(first, `x="2"`) {
+		t.Fatalf("series not sorted by label value: %q", first)
+	}
+}
+
+// TestConcurrentScrape hammers live instruments from many goroutines
+// while scraping; run under -race this is the data-race gate, and the
+// parser run on every scrape asserts each snapshot is well-formed.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_hits_total", "Hits.", "worker")
+	h := r.Histogram("test_dur_seconds", "Durations.", []float64{0.001, 0.01, 0.1}, "worker")
+	g := r.Gauge("test_level", "Level.").With()
+
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := fmt.Sprintf("w%d", w)
+			for i := 0; i < perWorker; i++ {
+				c.With(lbl).Inc()
+				h.With(lbl).Observe(float64(i%200) / 1000)
+				g.Set(float64(i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			fams := parseExposition(t, scrape(t, r))
+			var total float64
+			for _, s := range fams["test_hits_total"].samples {
+				total += s.value
+			}
+			if total != workers*perWorker {
+				t.Fatalf("lost increments: %v, want %v", total, workers*perWorker)
+			}
+			checkHistogram(t, fams["test_dur_seconds"])
+			return
+		default:
+			// Mid-flight scrapes must be well-formed text; the strict
+			// cumulative checks run only on the quiesced snapshot above (a
+			// live histogram's bucket/count pair is not read atomically, so
+			// a racing scrape may see them one observation apart).
+			parseExposition(t, scrape(t, r))
+		}
+	}
+}

@@ -232,8 +232,62 @@ type Stats struct {
 	Invalidations int64 `json:"invalidations"`
 	// Observations counts Observe calls (completed solves fed back).
 	Observations int64 `json:"observations"`
+	// Explored / Exploited split Decisions by strategy: picks of an
+	// unobserved candidate to gather cost data vs picks of the cheapest
+	// observed one (plan-cache hits count as exploited).
+	Explored  int64 `json:"explored"`
+	Exploited int64 `json:"exploited"`
 	// ByAlgorithm counts decisions per chosen algorithm.
 	ByAlgorithm map[string]int64 `json:"by_algorithm"`
+	// SolveNs holds per-algorithm wall-clock histograms of completed
+	// solves (planned and forced), bucketed by SolveNsBuckets — the
+	// solver work accounting behind /metrics' solve-duration series.
+	SolveNs map[string]SolveHist `json:"solve_ns"`
+}
+
+// SolveNsBuckets are the solve-duration histogram upper bounds in
+// nanoseconds: 10µs to 10s, one decade per bucket (solves span five
+// orders of magnitude between a hot small graph and a cold full-corpus
+// brute run; finer resolution adds series without adding signal).
+var SolveNsBuckets = []int64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+
+// SolveHist is a fixed-bucket histogram of solve wall-clock. Counts
+// has len(SolveNsBuckets)+1 slots, per-bucket (non-cumulative), the
+// final slot counting solves beyond the largest bound.
+type SolveHist struct {
+	Counts []int64 `json:"counts"`
+	SumNs  int64   `json:"sum_ns"`
+	Count  int64   `json:"count"`
+}
+
+// Merge accumulates other into h (both in SolveNsBuckets layout).
+func (h *SolveHist) Merge(other SolveHist) {
+	if len(h.Counts) == 0 {
+		h.Counts = make([]int64, len(SolveNsBuckets)+1)
+	}
+	for i, c := range other.Counts {
+		if i < len(h.Counts) {
+			h.Counts[i] += c
+		}
+	}
+	h.SumNs += other.SumNs
+	h.Count += other.Count
+}
+
+func (h *SolveHist) observe(ns int64) {
+	if len(h.Counts) == 0 {
+		h.Counts = make([]int64, len(SolveNsBuckets)+1)
+	}
+	slot := len(SolveNsBuckets)
+	for i, ub := range SolveNsBuckets {
+		if ns <= ub {
+			slot = i
+			break
+		}
+	}
+	h.Counts[slot]++
+	h.SumNs += ns
+	h.Count++
 }
 
 // Decision is one planner pick.
@@ -332,6 +386,7 @@ func (p *Planner) Decide(spec QuerySpec, meta GraphMeta) Decision {
 	p.stats.Decisions++
 	if cd, ok := p.cache[key]; ok && cd.gen == p.gen[bucket] {
 		p.stats.CacheHits++
+		p.stats.Exploited++
 		p.countPick(cd.dec.Algorithm)
 		return cd.dec
 	}
@@ -364,6 +419,11 @@ func (p *Planner) Decide(spec QuerySpec, meta GraphMeta) Decision {
 		cached.Cached = true
 		p.cache[key] = cachedDecision{dec: cached, gen: p.gen[bucket]}
 	}
+	if dec.Explore {
+		p.stats.Explored++
+	} else {
+		p.stats.Exploited++
+	}
 	p.countPick(dec.Algorithm)
 	return dec
 }
@@ -384,6 +444,7 @@ func (p *Planner) Observe(algorithm string, meta GraphMeta, costNs int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Observations++
+	p.recordSolveLocked(algorithm, costNs)
 	byAlgo := p.costs[bucket]
 	if byAlgo == nil {
 		byAlgo = map[string]*ewma{}
@@ -400,6 +461,27 @@ func (p *Planner) Observe(algorithm string, meta GraphMeta, costNs int64) {
 		p.gen[bucket]++
 		p.stats.Invalidations++
 	}
+}
+
+// RecordSolve feeds one completed solve's wall-clock into the
+// per-algorithm histogram without touching the cost model — the path
+// for forced-algorithm solves, whose timings must show up in the
+// work-accounting metrics but must not teach the planner (the caller
+// chose the algorithm, so the sample is not an exploration signal; the
+// Observations counter likewise stays planned-only).
+func (p *Planner) RecordSolve(algorithm string, costNs int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.recordSolveLocked(algorithm, costNs)
+}
+
+func (p *Planner) recordSolveLocked(algorithm string, costNs int64) {
+	if p.stats.SolveNs == nil {
+		p.stats.SolveNs = map[string]SolveHist{}
+	}
+	h := p.stats.SolveNs[algorithm]
+	h.observe(costNs)
+	p.stats.SolveNs[algorithm] = h
 }
 
 // InvalidateAll drops every cached decision — called when the corpus
@@ -448,6 +530,13 @@ func (p *Planner) Stats() Stats {
 		st.ByAlgorithm = make(map[string]int64, len(p.stats.ByAlgorithm))
 		for k, v := range p.stats.ByAlgorithm {
 			st.ByAlgorithm[k] = v
+		}
+	}
+	if p.stats.SolveNs != nil {
+		st.SolveNs = make(map[string]SolveHist, len(p.stats.SolveNs))
+		for k, h := range p.stats.SolveNs {
+			h.Counts = append([]int64(nil), h.Counts...)
+			st.SolveNs[k] = h
 		}
 	}
 	return st

@@ -233,6 +233,14 @@ func (c *responseCache) insertLocked(key string, e *cacheEntry) {
 	}
 }
 
+// noteBypass counts a response served around the cache (the ?trace=1
+// path): the X-Cache header says bypass, so the counters must agree.
+func (c *responseCache) noteBypass() {
+	c.mu.Lock()
+	c.bypass++
+	c.mu.Unlock()
+}
+
 // Stats snapshots the counters.
 func (c *responseCache) Stats() CacheStats {
 	c.mu.Lock()

@@ -9,11 +9,15 @@ import (
 	"math"
 	"net/http"
 	"net/url"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	blogclusters "repro"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -123,6 +127,10 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, genKe
 		return
 	}
 	gen := sess.Generation()
+	if r.URL.Query().Get("trace") == "1" {
+		s.serveTraced(w, r, sess, gen, result)
+		return
+	}
 	if genKeyed {
 		key = "g" + strconv.FormatInt(gen, 10) + "|" + key
 	}
@@ -142,6 +150,56 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, genKe
 		return
 	}
 	writeEntry(w, entry, state)
+}
+
+// serveTraced handles ?trace=1: the request bypasses the response
+// cache (a replayed body cannot carry this request's spans — the point
+// is to watch the work happen), runs the query with a span recorder in
+// its context, and splices the recorded spans into the JSON envelope
+// as a trailing "trace" array. Engine stage builds, solver runs and
+// shard fan-out hops all record into the same recorder; a memo-hot
+// request honestly shows few or no engine spans, because the work was
+// already done by an earlier request.
+func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request, sess Session, gen int64, result func(ctx context.Context, sess Session, gen int64) (any, error)) {
+	ctx, rec := obs.WithRecorder(r.Context())
+	start := time.Now()
+	v, err := result(ctx, sess, gen)
+	rec.Record("request", start, err)
+	s.cache.noteBypass()
+	if err != nil {
+		writeError(w, errStatus(err), err.Error())
+		return
+	}
+	e, rerr := renderEntry(v)
+	if rerr != nil {
+		writeError(w, http.StatusInternalServerError, "encode response")
+		return
+	}
+	e.body = spliceTrace(e.body, rec.Spans())
+	writeEntry(w, e, cacheBypass)
+}
+
+// spliceTrace injects `"trace":[...]` as the last member of a JSON
+// object body (every /v1 envelope is an object, so splicing before its
+// closing brace is safe without re-decoding).
+func spliceTrace(body []byte, spans []obs.Span) []byte {
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	tr, err := json.Marshal(spans)
+	if err != nil {
+		return body
+	}
+	i := bytes.LastIndexByte(body, '}')
+	if i < 0 {
+		return body
+	}
+	out := make([]byte, 0, len(body)+len(tr)+16)
+	out = append(out, body[:i]...)
+	out = append(out, `,"trace":`...)
+	out = append(out, tr...)
+	out = append(out, body[i:]...)
+	return out
 }
 
 // --- param parsing ---
@@ -637,12 +695,45 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
+// processStats is the process-level block of /debug/stats: the runtime
+// identity an operator needs when correlating a scrape or a pprof
+// profile with the binary that produced it.
+type processStats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	Goroutines    int     `json:"goroutines"`
+	// Main and Revision come from the embedded build info when the
+	// binary carries it (empty under plain `go test`).
+	Main     string `json:"main,omitempty"`
+	Revision string `json:"revision,omitempty"`
+}
+
+func (s *Server) processInfo() processStats {
+	p := processStats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GoVersion:     runtime.Version(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Goroutines:    runtime.NumGoroutine(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		p.Main = bi.Main.Path
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				p.Revision = kv.Value
+			}
+		}
+	}
+	return p
+}
+
 // handleDebugStats serves the session's EngineStats (stage builds,
-// wall-clock, disk IOStats) next to the server counters. The session
-// generation is surfaced at the top level so ingest monitors can poll
-// it without digging into the engine block (it is 0 before SetEngine).
-// A sharded session additionally exposes its per-shard rows under
-// "shards" (the engine block is then the cross-shard aggregate).
+// wall-clock, disk IOStats) next to the server counters and the
+// process block. The session generation is surfaced at the top level
+// so ingest monitors can poll it without digging into the engine block
+// (it is 0 before SetEngine). A sharded session additionally exposes
+// its per-shard rows under "shards" (the engine block is then the
+// cross-shard aggregate).
 func (s *Server) handleDebugStats(w http.ResponseWriter, r *http.Request) {
 	var eng *blogclusters.EngineStats
 	var gen int64
@@ -660,7 +751,8 @@ func (s *Server) handleDebugStats(w http.ResponseWriter, r *http.Request) {
 		Engine     *blogclusters.EngineStats `json:"engine"`
 		Shards     []shard.ShardStat         `json:"shards,omitempty"`
 		Server     Stats                     `json:"server"`
-	}{gen, eng, shards, s.Stats()})
+		Process    processStats              `json:"process"`
+	}{gen, eng, shards, s.Stats(), s.processInfo()})
 }
 
 // handleMeta serves the session's shape in one cheap read —

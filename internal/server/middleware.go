@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"runtime/debug"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // statusWriter captures the status and byte count for the access log.
@@ -31,11 +33,22 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 }
 
 // withAccessLog emits one structured record per request: method, path,
-// query, status, response bytes, wall time and the cache disposition
-// (read back from the X-Cache header the handlers set).
+// query, status, response bytes, wall time, the cache disposition
+// (read back from the X-Cache header the handlers set) and the request
+// id. The id is minted here when the client sent none and propagated
+// verbatim when it did (a coordinator forwards its own id on shard
+// hops, so one query's log lines correlate across processes); either
+// way it is echoed in the X-Request-ID response header and carried in
+// the request context for downstream hops.
 func (s *Server) withAccessLog(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(obs.WithRequestID(r.Context(), id))
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		if sw.status == 0 {
@@ -50,6 +63,7 @@ func (s *Server) withAccessLog(next http.Handler) http.Handler {
 			"bytes", sw.bytes,
 			"dur_ms", float64(time.Since(start).Microseconds())/1000,
 			"cache", sw.Header().Get("X-Cache"),
+			"request_id", id,
 			"remote", r.RemoteAddr,
 		)
 	})
@@ -95,6 +109,7 @@ func (s *Server) withBreaker(route string, next http.HandlerFunc) http.HandlerFu
 		b := s.breakerFor(route)
 		if !b.allow() {
 			s.rejected.Add(1)
+			s.m.shed.With("breaker").Inc()
 			w.Header().Set("Retry-After", s.retryHint)
 			writeError(w, http.StatusServiceUnavailable,
 				"route "+route+" is failing; circuit breaker open, retry later")
@@ -132,6 +147,7 @@ func (s *Server) withAdmission(next http.HandlerFunc) http.HandlerFunc {
 			next(w, r)
 		default:
 			s.rejected.Add(1)
+			s.m.shed.With("admission").Inc()
 			w.Header().Set("Retry-After", s.retryHint)
 			writeError(w, http.StatusTooManyRequests, "server is at its in-flight query limit; retry shortly")
 		}

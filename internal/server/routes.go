@@ -25,25 +25,32 @@ import "net/http"
 //	/healthz             → process liveness
 //	/readyz              → corpus loaded (SetEngine ran)
 //	/debug/stats         → EngineStats + server/cache counters
+//	/metrics             → Prometheus text exposition
 //
 // /v1/push is the one write. It takes only the request deadline: the
 // breaker must not let a failing query route block ingest, and the
 // admission semaphore exists to shed expensive fan-out queries, which
 // a single append-one-interval push is not.
+//
+// Every route — operational ones included — is wrapped in instrument,
+// outermost, so http_requests_total{route,status} counts shed 429/503
+// responses under the route that shed them and the per-route latency
+// histogram sees every served byte.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/stable-clusters", s.query("stable-clusters", s.handleStableClusters))
-	mux.HandleFunc("GET /v1/bursts", s.query("bursts", s.handleBursts))
-	mux.HandleFunc("GET /v1/timeseries", s.query("timeseries", s.handleTimeSeries))
-	mux.HandleFunc("GET /v1/search", s.query("search", s.handleSearch))
-	mux.HandleFunc("GET /v1/refine", s.query("refine", s.handleRefine))
-	mux.HandleFunc("GET /v1/correlations", s.query("correlations", s.handleCorrelations))
-	mux.HandleFunc("GET /v1/describe", s.query("describe", s.handleDescribe))
-	mux.HandleFunc("GET /v1/meta", s.query("meta", s.handleMeta))
-	mux.HandleFunc("GET /v1/clusters", s.query("clusters", s.handleClusters))
-	mux.HandleFunc("POST /v1/push", s.withTimeout(s.handlePush))
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /debug/stats", s.handleDebugStats)
+	mux.HandleFunc("GET /v1/stable-clusters", s.instrument("stable-clusters", s.query("stable-clusters", s.handleStableClusters)))
+	mux.HandleFunc("GET /v1/bursts", s.instrument("bursts", s.query("bursts", s.handleBursts)))
+	mux.HandleFunc("GET /v1/timeseries", s.instrument("timeseries", s.query("timeseries", s.handleTimeSeries)))
+	mux.HandleFunc("GET /v1/search", s.instrument("search", s.query("search", s.handleSearch)))
+	mux.HandleFunc("GET /v1/refine", s.instrument("refine", s.query("refine", s.handleRefine)))
+	mux.HandleFunc("GET /v1/correlations", s.instrument("correlations", s.query("correlations", s.handleCorrelations)))
+	mux.HandleFunc("GET /v1/describe", s.instrument("describe", s.query("describe", s.handleDescribe)))
+	mux.HandleFunc("GET /v1/meta", s.instrument("meta", s.query("meta", s.handleMeta)))
+	mux.HandleFunc("GET /v1/clusters", s.instrument("clusters", s.query("clusters", s.handleClusters)))
+	mux.HandleFunc("POST /v1/push", s.instrument("push", s.withTimeout(s.handlePush)))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	mux.HandleFunc("GET /debug/stats", s.instrument("debug-stats", s.handleDebugStats))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
 }

@@ -86,6 +86,7 @@ type Server struct {
 	sem       chan struct{}
 	start     time.Time
 	retryHint string // shared Retry-After value, derived from RequestTimeout
+	m         *serverMetrics
 
 	breakerMu sync.Mutex
 	breakers  map[string]*breaker
@@ -127,6 +128,7 @@ func New(cfg Config) *Server {
 		sem:       make(chan struct{}, cfg.MaxInflight),
 		start:     time.Now(),
 		retryHint: retryAfterSeconds(cfg.RequestTimeout),
+		m:         newServerMetrics(),
 		breakers:  map[string]*breaker{},
 	}
 }

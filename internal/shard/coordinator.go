@@ -9,6 +9,7 @@ import (
 
 	blogclusters "repro"
 	"repro/internal/par"
+	"repro/internal/plan"
 )
 
 // Options tunes a Coordinator.
@@ -39,6 +40,7 @@ type Options struct {
 type Coordinator struct {
 	backends []Backend
 	opts     Options
+	metrics  *coordMetrics
 
 	// root is canceled by Close; every query context joins it.
 	root context.Context
@@ -76,15 +78,22 @@ func NewCoordinator(ctx context.Context, backends []Backend, opts Options) (*Coo
 		return nil, fmt.Errorf("shard: need at least one backend")
 	}
 	c := &Coordinator{
-		backends:  backends,
+		backends:  make([]Backend, len(backends)),
 		opts:      opts,
+		metrics:   newCoordMetrics(),
 		counts:    make([]int, len(backends)),
 		shardGens: make([]int64, len(backends)),
+	}
+	// Wrap every backend in its metering decorator so all fan-out hops
+	// — the Meta handshake below included — feed the per-shard latency
+	// histograms, error counters and ?trace=1 spans.
+	for s, b := range backends {
+		c.backends[s] = c.meter(s, b)
 	}
 	c.root, c.stop = context.WithCancel(context.Background())
 	metas := make([]Meta, len(backends))
 	err := c.gather(ctx, len(backends), func(ctx context.Context, s int) error {
-		m, err := backends[s].Meta(ctx)
+		m, err := c.backends[s].Meta(ctx)
 		metas[s] = m
 		return err
 	})
@@ -326,6 +335,9 @@ func mergeEngineStats(dst *blogclusters.EngineStats, src blogclusters.EngineStat
 	dst.IndexSegments += src.IndexSegments
 	dst.IndexCompactions += src.IndexCompactions
 	dst.IndexIO.Add(src.IndexIO)
+	dst.IndexCache.Hits += src.IndexCache.Hits
+	dst.IndexCache.Misses += src.IndexCache.Misses
+	dst.IndexCache.Bytes += src.IndexCache.Bytes
 	for name, t := range src.Stages {
 		cur := dst.Stages[name]
 		cur.Builds += t.Builds
@@ -337,10 +349,20 @@ func mergeEngineStats(dst *blogclusters.EngineStats, src blogclusters.EngineStat
 	dst.Planner.CacheMisses += src.Planner.CacheMisses
 	dst.Planner.Invalidations += src.Planner.Invalidations
 	dst.Planner.Observations += src.Planner.Observations
+	dst.Planner.Explored += src.Planner.Explored
+	dst.Planner.Exploited += src.Planner.Exploited
 	for algo, n := range src.Planner.ByAlgorithm {
 		if dst.Planner.ByAlgorithm == nil {
 			dst.Planner.ByAlgorithm = map[string]int64{}
 		}
 		dst.Planner.ByAlgorithm[algo] += n
+	}
+	for algo, h := range src.Planner.SolveNs {
+		if dst.Planner.SolveNs == nil {
+			dst.Planner.SolveNs = map[string]plan.SolveHist{}
+		}
+		cur := dst.Planner.SolveNs[algo]
+		cur.Merge(h)
+		dst.Planner.SolveNs[algo] = cur
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	blogclusters "repro"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -75,6 +76,11 @@ func (b *HTTPBackend) do(ctx context.Context, method, path string, query url.Val
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Forward the coordinator-side request id so one query's access-log
+	// lines correlate across the coordinator and every shard it touched.
+	if id := obs.RequestID(ctx); id != "" {
+		req.Header.Set("X-Request-ID", id)
 	}
 	resp, err := b.client.Do(req)
 	if err != nil {

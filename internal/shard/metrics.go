@@ -1,0 +1,212 @@
+package shard
+
+import (
+	"context"
+	"io"
+	"strconv"
+	"time"
+
+	blogclusters "repro"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// coordMetrics is the coordinator's own registry. The serving layer
+// appends it to the server exposition (see internal/server's
+// metricsAppender), so every family here is prefixed coordinator_ or
+// shard_ to keep the merged output collision-free. Per-hop series are
+// live (recorded by the instrumented backend wrappers); per-shard
+// state gauges are mirrored from ShardStats at scrape time.
+type coordMetrics struct {
+	reg *metrics.Registry
+
+	// Live, per backend hop.
+	hopDur  *metrics.Vec // coordinator_shard_gather_duration_seconds{shard,method}
+	hopErrs *metrics.Vec // coordinator_backend_errors_total{shard,method}
+
+	// Live, per Solve.
+	solves   *metrics.Vec    // coordinator_solves_total{route}
+	partials *metrics.Vec    // coordinator_scatter_partials_total{kind}
+	fanout   *metrics.Series // coordinator_fanout_width
+
+	// Scrape-time mirrors of ShardStats.
+	shardGen         *metrics.Vec // shard_generation{shard}
+	shardIntervals   *metrics.Vec // shard_intervals{shard}
+	shardQueries     *metrics.Vec // shard_queries_total{shard}
+	shardPushes      *metrics.Vec // shard_pushes_total{shard}
+	shardUnreachable *metrics.Vec // shard_unreachable{shard}
+}
+
+// fanoutBuckets covers realistic scatter widths: a handful of shards
+// plus their boundary windows.
+var fanoutBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+
+func newCoordMetrics() *coordMetrics {
+	reg := metrics.NewRegistry()
+	m := &coordMetrics{reg: reg}
+	m.hopDur = reg.Histogram("coordinator_shard_gather_duration_seconds",
+		"Latency of one backend hop during a gather, by shard and method.",
+		nil, "shard", "method")
+	m.hopErrs = reg.Counter("coordinator_backend_errors_total",
+		"Failed backend hops, by shard and method.", "shard", "method")
+	m.solves = reg.Counter("coordinator_solves_total",
+		"Coordinator Solve calls, by route (forward: single backend; scatter: decomposed top-k; merged: whole-corpus engine).", "route")
+	m.partials = reg.Counter("coordinator_scatter_partials_total",
+		"Partial solves issued by scatterSolve, by kind (local: one shard's sub-graph; window: a boundary-window engine).", "kind")
+	m.fanout = reg.Histogram("coordinator_fanout_width",
+		"Concurrent partial solves per scattered query (shard-local plus boundary-window).",
+		fanoutBuckets).With()
+	m.shardGen = reg.Gauge("shard_generation",
+		"Per-shard ingest generation.", "shard")
+	m.shardIntervals = reg.Gauge("shard_intervals",
+		"Per-shard corpus width in intervals.", "shard")
+	m.shardQueries = reg.Counter("shard_queries_total",
+		"Per-shard Engine query calls (mirrored from the shard's stats).", "shard")
+	m.shardPushes = reg.Counter("shard_pushes_total",
+		"Per-shard successful pushes (mirrored from the shard's stats).", "shard")
+	m.shardUnreachable = reg.Gauge("shard_unreachable",
+		"1 when the shard's stats could not be fetched on the last scrape.", "shard")
+	return m
+}
+
+// WriteMetrics renders the coordinator registry after refreshing the
+// per-shard gauges from a best-effort ShardStats fan-out. The serving
+// layer calls this from /metrics after its own registry; shard rows
+// that do not answer within the stats timeout expose
+// shard_unreachable=1 instead of stale numbers.
+func (c *Coordinator) WriteMetrics(w io.Writer) (int64, error) {
+	for _, ss := range c.ShardStats() {
+		label := strconv.Itoa(ss.Shard)
+		c.metrics.shardIntervals.With(label).Set(float64(ss.Intervals))
+		if ss.Error != "" || ss.Engine == nil {
+			c.metrics.shardUnreachable.With(label).Set(1)
+			continue
+		}
+		c.metrics.shardUnreachable.With(label).Set(0)
+		c.metrics.shardGen.With(label).Set(float64(ss.Generation))
+		c.metrics.shardQueries.With(label).Set(float64(ss.Engine.Queries))
+		c.metrics.shardPushes.With(label).Set(float64(ss.Engine.Pushes))
+	}
+	return c.metrics.reg.WriteTo(w)
+}
+
+// metered decorates a Backend with per-hop accounting: every call
+// observes the per-shard latency histogram, failed calls bump the
+// error counter, and — when the request context carries a ?trace=1
+// span recorder — the hop is recorded as a "shard<N>.<method>" span.
+// The wrapper is applied inside NewCoordinator, so even the initial
+// Meta handshake is measured.
+type metered struct {
+	b     Backend
+	m     *coordMetrics
+	shard string // label value, the shard index
+	span  string // "shard<N>.", the span-name prefix
+}
+
+func (c *Coordinator) meter(s int, b Backend) Backend {
+	label := strconv.Itoa(s)
+	return &metered{b: b, m: c.metrics, shard: label, span: "shard" + label + "."}
+}
+
+// hop wraps one backend call with the full accounting.
+func (mb *metered) hop(ctx context.Context, method string, call func() error) error {
+	start := time.Now()
+	err := call()
+	mb.m.hopDur.With(mb.shard, method).Observe(time.Since(start).Seconds())
+	if err != nil {
+		mb.m.hopErrs.With(mb.shard, method).Inc()
+	}
+	obs.RecorderFrom(ctx).Record(mb.span+method, start, err)
+	return err
+}
+
+func (mb *metered) Meta(ctx context.Context) (Meta, error) {
+	var out Meta
+	err := mb.hop(ctx, "meta", func() (err error) {
+		out, err = mb.b.Meta(ctx)
+		return err
+	})
+	return out, err
+}
+
+func (mb *metered) ClusterSets(ctx context.Context, from, to int) ([][]blogclusters.Cluster, error) {
+	var out [][]blogclusters.Cluster
+	err := mb.hop(ctx, "cluster-sets", func() (err error) {
+		out, err = mb.b.ClusterSets(ctx, from, to)
+		return err
+	})
+	return out, err
+}
+
+func (mb *metered) ClusterCounts(ctx context.Context, from, to int) ([]int, error) {
+	var out []int
+	err := mb.hop(ctx, "cluster-counts", func() (err error) {
+		out, err = mb.b.ClusterCounts(ctx, from, to)
+		return err
+	})
+	return out, err
+}
+
+func (mb *metered) Solve(ctx context.Context, spec blogclusters.QuerySpec) (*blogclusters.Result, error) {
+	var out *blogclusters.Result
+	err := mb.hop(ctx, "solve", func() (err error) {
+		out, err = mb.b.Solve(ctx, spec)
+		return err
+	})
+	return out, err
+}
+
+func (mb *metered) TimeSeries(ctx context.Context, keyword string) (counts, totals []int64, err error) {
+	err = mb.hop(ctx, "timeseries", func() (err error) {
+		counts, totals, err = mb.b.TimeSeries(ctx, keyword)
+		return err
+	})
+	return counts, totals, err
+}
+
+func (mb *metered) Search(ctx context.Context, terms []string, interval int) ([]int64, error) {
+	var out []int64
+	err := mb.hop(ctx, "search", func() (err error) {
+		out, err = mb.b.Search(ctx, terms, interval)
+		return err
+	})
+	return out, err
+}
+
+func (mb *metered) Refine(ctx context.Context, query string, interval int) ([]string, error) {
+	var out []string
+	err := mb.hop(ctx, "refine", func() (err error) {
+		out, err = mb.b.Refine(ctx, query, interval)
+		return err
+	})
+	return out, err
+}
+
+func (mb *metered) Correlations(ctx context.Context, keyword string, interval, n int) ([]blogclusters.Correlation, error) {
+	var out []blogclusters.Correlation
+	err := mb.hop(ctx, "correlations", func() (err error) {
+		out, err = mb.b.Correlations(ctx, keyword, interval, n)
+		return err
+	})
+	return out, err
+}
+
+func (mb *metered) Push(ctx context.Context, iv blogclusters.Interval) (int64, error) {
+	var out int64
+	err := mb.hop(ctx, "push", func() (err error) {
+		out, err = mb.b.Push(ctx, iv)
+		return err
+	})
+	return out, err
+}
+
+func (mb *metered) Stats(ctx context.Context) (blogclusters.EngineStats, error) {
+	var out blogclusters.EngineStats
+	err := mb.hop(ctx, "stats", func() (err error) {
+		out, err = mb.b.Stats(ctx)
+		return err
+	})
+	return out, err
+}
+
+func (mb *metered) Close() error { return mb.b.Close() }

@@ -255,12 +255,15 @@ func (c *Coordinator) Solve(ctx context.Context, spec blogclusters.QuerySpec) (*
 	}
 	defer cancel()
 	if len(c.backends) == 1 {
+		c.metrics.solves.With("forward").Inc()
 		return c.backends[0].Solve(ctx, spec)
 	}
 	st := c.curState()
 	if scatterable(spec, st.m) {
+		c.metrics.solves.With("scatter").Inc()
 		return c.scatterSolve(ctx, st, spec)
 	}
+	c.metrics.solves.With("merged").Inc()
 	eng, err := c.mergedEngine(ctx, st)
 	if err != nil {
 		return nil, err
@@ -291,6 +294,9 @@ func (c *Coordinator) scatterSolve(ctx context.Context, st *coordState, spec blo
 	wins := boundaryWindows(st.starts, st.m, l)
 
 	n := len(locals) + len(wins)
+	c.metrics.fanout.Observe(float64(n))
+	c.metrics.partials.With("local").Add(float64(len(locals)))
+	c.metrics.partials.With("window").Add(float64(len(wins)))
 	partials := make([]*blogclusters.Result, n)
 	offsets := make([]int64, n)
 	err = c.gather(ctx, n, func(ctx context.Context, i int) error {

@@ -123,6 +123,39 @@ case "$hdr" in
 *) fail "push evicted an interval-immutable search entry: $hdr" ;;
 esac
 
+# /metrics speaks Prometheus text format and its counters agree with
+# the traffic this script just generated: the timeseries route was hit
+# exactly once above, and the histogram _count moves with the counter.
+metrics="$(curl -fsS "$BASE/metrics")" || fail "GET /metrics"
+case "$metrics" in
+*'# TYPE http_requests_total counter'*) ;;
+*) fail "/metrics missing http_requests_total TYPE line" ;;
+esac
+tscount="$(printf '%s\n' "$metrics" | sed -n 's/^http_requests_total{route="timeseries",status="200"} //p')"
+[ "$tscount" = 1 ] || fail "http_requests_total{route=timeseries} = '$tscount', want 1"
+hcount="$(printf '%s\n' "$metrics" | sed -n 's/^http_request_duration_seconds_count{route="timeseries"} //p')"
+[ "$hcount" = 1 ] || fail "duration histogram count for timeseries = '$hcount', want 1"
+hits="$(printf '%s\n' "$metrics" | sed -n 's/^cache_requests_total{state="hit"} //p')"
+[ -n "$hits" ] && [ "$hits" -ge 3 ] || fail "cache hit counter '$hits', want >= 3"
+echo "serve-smoke: OK /metrics (route counters match traffic)"
+
+# Counters are monotone: another query, then the counter must have advanced.
+curl -fsS "$BASE/v1/timeseries?keyword=somalia" >/dev/null || fail "second timeseries"
+ts2="$(curl -fsS "$BASE/metrics" | sed -n 's/^http_requests_total{route="timeseries",status="200"} //p')"
+[ "$ts2" = 2 ] || fail "timeseries counter did not advance: '$ts2', want 2"
+echo "serve-smoke: OK /metrics counters advance"
+
+# ?trace=1 returns span timings and bypasses the cache.
+hdr_body="$(curl -fsS -D - "$BASE/v1/stable-clusters?k=3&trace=1")"
+case "$hdr_body" in
+*"X-Cache: bypass"*) ;;
+*) fail "traced query did not bypass the cache" ;;
+esac
+case "$hdr_body" in
+*'"trace":'*'"request"'*) echo "serve-smoke: OK trace block" ;;
+*) fail "traced query has no trace block" ;;
+esac
+
 # The new interval is queryable and the envelope reports the new generation.
 body="$(curl -fsS "$BASE/v1/search?terms=somalia&interval=$nint")" || fail "search pushed interval"
 case "$body" in

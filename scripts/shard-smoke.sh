@@ -126,6 +126,34 @@ case "$hdr" in
 *) fail "push evicted an interval-immutable search entry: $hdr" ;;
 esac
 
+# The coordinator's /metrics scrape carries its own families — solve
+# routing, per-shard labeled gather-latency histograms and mirrored
+# shard gauges — alongside the serving layer's. The scattered solves
+# above must show under route="scatter", and both shards must appear
+# as labels with populated hop histograms.
+metrics="$(curl -fsS "$CO/metrics")" || fail "GET coordinator /metrics"
+scatter="$(printf '%s\n' "$metrics" | sed -n 's/^coordinator_solves_total{route="scatter"} //p')"
+[ -n "$scatter" ] && [ "$scatter" -ge 1 ] || fail "coordinator_solves_total{route=scatter} = '$scatter', want >= 1"
+# The push above went to the tail shard only: shard 0 is still at
+# generation 1, shard 1 advanced to 2.
+for sh in 0 1; do
+	gen="$(printf '%s\n' "$metrics" | sed -n "s/^shard_generation{shard=\"$sh\"} //p")"
+	want=$((sh + 1))
+	[ "$gen" = "$want" ] || fail "shard_generation{shard=$sh} = '$gen', want $want"
+	hops="$(printf '%s\n' "$metrics" | sed -n "s/^coordinator_shard_gather_duration_seconds_count{shard=\"$sh\",method=\"solve\"} //p")"
+	[ -n "$hops" ] && [ "$hops" -ge 1 ] || fail "no solve hops recorded for shard $sh"
+done
+echo "shard-smoke: OK coordinator /metrics (per-shard labels, scatter accounting)"
+
+# A request id handed to the coordinator reaches the shard servers'
+# access logs — one id correlates the whole fan-out.
+curl -fsS -H 'X-Request-ID: smoke-trace-1' "$CO/v1/timeseries?keyword=storm" >/dev/null \
+	|| fail "traced timeseries"
+sleep 0.2
+grep -q 'smoke-trace-1' "$LOG0" || grep -q 'smoke-trace-1' "$LOG1" \
+	|| fail "request id never reached a shard access log"
+echo "shard-smoke: OK request id propagated to shards"
+
 # The pushed interval is queryable through the coordinator and landed
 # on the tail shard (its own width grew to 4).
 body="$(curl -fsS "$CO/v1/search?terms=somalia&interval=7")" || fail "search pushed interval"
